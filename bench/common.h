@@ -1,0 +1,230 @@
+// Shared scaffolding for the experiment benches.
+//
+// Each bench regenerates one table or figure from the paper. They all follow the same
+// recipe: build a fresh ExperimentEnv per (system, workload) cell — serving systems
+// mutate cluster state — run the workload, and print a paper-style text table. Headline
+// workload parameters mirror §9: 20 QPS baseline, CV-parameterised arrivals, Splitwise-
+// like prompt/output lengths, OPT-66B unless stated otherwise. Lifecycles are shortened
+// from the paper's 2 hours to simulated minutes (steady state is reached much earlier);
+// see EXPERIMENTS.md.
+#ifndef FLEXPIPE_BENCH_COMMON_H_
+#define FLEXPIPE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/alpaserve.h"
+#include "src/baselines/muxserve.h"
+#include "src/baselines/serverless_llm.h"
+#include "src/baselines/tetris.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+#include "src/core/flexpipe_system.h"
+#include "src/metrics/recovery.h"
+
+namespace flexpipe {
+namespace bench {
+
+inline constexpr double kBaselineQps = 30.0;
+inline constexpr TimeNs kDefaultSlo = 10 * kSecond;
+inline constexpr TimeNs kDefaultDuration = 5 * kMinute;
+inline constexpr TimeNs kDrainGrace = 60 * kSecond;
+// Initial fleet deployment (provisioning + cold parameter load) happens before traffic.
+inline constexpr TimeNs kWarmup = 90 * kSecond;
+inline constexpr uint64_t kSeed = 42;
+
+enum class SystemKind {
+  kFlexPipe,
+  kAlpaServe,
+  kMuxServe,
+  kServerlessLlm,
+  kTetris,
+};
+
+inline const char* KindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kFlexPipe:
+      return "FlexPipe";
+    case SystemKind::kAlpaServe:
+      return "AlpaServe";
+    case SystemKind::kMuxServe:
+      return "MuxServe";
+    case SystemKind::kServerlessLlm:
+      return "ServerlessLLM";
+    case SystemKind::kTetris:
+      return "Tetris";
+  }
+  return "?";
+}
+
+inline std::vector<SystemKind> AllSystems() {
+  return {SystemKind::kFlexPipe, SystemKind::kAlpaServe, SystemKind::kMuxServe,
+          SystemKind::kServerlessLlm, SystemKind::kTetris};
+}
+
+inline ExperimentEnvConfig DefaultEnvConfig(std::vector<ModelSpec> models = {Opt66B()},
+                                            uint64_t seed = kSeed) {
+  ExperimentEnvConfig config;
+  config.models = std::move(models);
+  config.seed = seed;
+  return config;
+}
+
+inline WorkloadGenerator::Config DefaultWorkloadConfig(int model_index = 0) {
+  WorkloadGenerator::Config config;
+  config.model_index = model_index;
+  config.slo = kDefaultSlo;
+  config.lengths.prompt_median = 512;
+  config.lengths.prompt_sigma = 0.9;
+  config.lengths.prompt_max = 4096;
+  config.lengths.output_median = 24;
+  config.lengths.output_sigma = 0.7;
+  config.lengths.output_max = 256;
+  return config;
+}
+
+// Standard CV-parameterised workload at the paper's baseline QPS.
+inline std::vector<RequestSpec> CvWorkload(double cv, double qps = kBaselineQps,
+                                           TimeNs duration = kDefaultDuration,
+                                           uint64_t seed = kSeed, int model_index = 0) {
+  WorkloadGenerator gen(DefaultWorkloadConfig(model_index));
+  Rng rng(Rng(seed).Child("workload").seed());
+  return gen.GenerateWithCv(rng, qps, cv, duration);
+}
+
+// Builds the system under test. `expected_cv` parameterises the static systems' offline
+// tuning knobs the way the paper's baselines were configured per experiment.
+inline std::unique_ptr<ServingSystemBase> MakeSystem(SystemKind kind, ExperimentEnv& env,
+                                                     int model_index = 0,
+                                                     double peak_rps = kBaselineQps) {
+  const GranularityLadder& ladder = env.ladder(model_index);
+  switch (kind) {
+    case SystemKind::kFlexPipe: {
+      FlexPipeConfig config;
+      config.model_id = model_index;
+      config.initial_stages = ladder.coarsest();
+      config.target_peak_rps = peak_rps;
+      config.default_slo = kDefaultSlo;
+      // The paper's 5-minute reclamation window, scaled to the compressed bench
+      // lifecycle (2 h -> ~5 min).
+      config.scaling.reclaim_idle = 45 * kSecond;
+      return std::make_unique<FlexPipeSystem>(env.Context(), &ladder, config);
+    }
+    case SystemKind::kAlpaServe: {
+      AlpaServeConfig config;
+      config.model_id = model_index;
+      config.stages = ladder.coarsest();
+      config.target_peak_rps = peak_rps;
+      config.default_slo = kDefaultSlo;
+      return std::make_unique<AlpaServeSystem>(env.Context(), &ladder, config);
+    }
+    case SystemKind::kMuxServe: {
+      MuxServeConfig config;
+      config.model_id = model_index;
+      config.stages = ladder.coarsest();
+      config.target_peak_rps = peak_rps;
+      config.default_slo = kDefaultSlo;
+      return std::make_unique<MuxServeSystem>(env.Context(), &ladder, config);
+    }
+    case SystemKind::kServerlessLlm: {
+      ServerlessLlmConfig config;
+      config.reactive.model_id = model_index;
+      // DeepSpeed-style static pipeline degree; its edge is the fast checkpoint loader.
+      config.reactive.stages = ladder.coarsest();
+      config.reactive.min_replicas = 1;
+      config.reactive.check_interval = 2 * kSecond;
+      config.reactive.scale_up_queue_per_replica = 16;
+      config.reactive.default_slo = kDefaultSlo;
+      return std::make_unique<ServerlessLlmSystem>(env.Context(), &ladder, config);
+    }
+    case SystemKind::kTetris: {
+      TetrisConfig config;
+      config.reactive.model_id = model_index;
+      config.reactive.stages = ladder.coarsest();
+      config.reactive.min_replicas = 6;  // pre-provisioned like the other baselines
+      config.reactive.placement = PlacementPolicy::kBestFit;
+      config.reactive.distinct_servers = false;
+      config.reactive.check_interval = 2 * kSecond;
+      config.reactive.max_replicas = 10;
+      config.reactive.default_slo = kDefaultSlo;
+      return std::make_unique<TetrisSystem>(env.Context(), &ladder, config);
+    }
+  }
+  return nullptr;
+}
+
+struct CellResult {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  double goodput_rate = 0.0;       // completions within SLO / submitted
+  double mean_latency_s = 0.0;
+  LatencyBreakdown breakdown;
+  double p50 = 0.0, p75 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+  double mean_prefill_s = 0.0;
+  double gpu_utilization = 0.0;    // busy / reserved GPU-time
+  double goodput_per_sec = 0.0;
+  double stall_seconds = 0.0;
+  RecoveryReport recovery;
+  int peak_gpus = 0;
+  double mean_gpus = 0.0;  // time-averaged reserved GPUs
+  double mean_alloc_wait_s = 0.0;
+  int64_t cold_loads = 0;
+  int64_t warm_loads = 0;
+  // FlexPipe-only:
+  int64_t refactors = 0;
+  double last_pause_ms = 0.0;
+  int final_stages = 0;
+};
+
+// Runs `kind` on a fresh environment against `specs`; returns the metrics cell.
+inline CellResult RunCell(SystemKind kind, const std::vector<RequestSpec>& specs,
+                          std::vector<ModelSpec> models = {Opt66B()}, uint64_t seed = kSeed,
+                          double peak_rps = kBaselineQps) {
+  ExperimentEnv env(DefaultEnvConfig(std::move(models), seed));
+  std::unique_ptr<ServingSystemBase> system = MakeSystem(kind, env, 0, peak_rps);
+  std::vector<Request> storage;
+  RunReport report = RunWorkload(env, *system, specs, storage,
+                                 RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+
+  CellResult cell;
+  cell.submitted = report.submitted;
+  const MetricsCollector& m = system->metrics();
+  cell.completed = m.completed();
+  cell.goodput_rate = m.GoodputRate(report.submitted);
+  cell.mean_latency_s = m.MeanLatencySec();
+  cell.breakdown = m.MeanBreakdown();
+  cell.p50 = m.LatencyPercentileSec(50);
+  cell.p75 = m.LatencyPercentileSec(75);
+  cell.p90 = m.LatencyPercentileSec(90);
+  cell.p95 = m.LatencyPercentileSec(95);
+  cell.p99 = m.LatencyPercentileSec(99);
+  cell.mean_prefill_s = m.MeanPrefillSec();
+  cell.gpu_utilization = system->MeanGpuUtilization(report.ran_until);
+  cell.goodput_per_sec = m.GoodputPerSec(report.measured_span());
+  cell.stall_seconds = ToSeconds(system->TotalStallAll());
+  cell.recovery = AnalyzeRecovery(m.completions());
+  cell.peak_gpus = system->peak_reserved_gpus();
+  cell.mean_gpus = system->GpuSecondsReserved(report.ran_until) /
+                   std::max(1.0, ToSeconds(report.ran_until));
+  cell.mean_alloc_wait_s = system->MeanAllocationWaitSec();
+  cell.cold_loads = system->cold_loads();
+  cell.warm_loads = system->warm_loads();
+  if (auto* fp = dynamic_cast<FlexPipeSystem*>(system.get())) {
+    cell.refactors = fp->refactor_count();
+    cell.last_pause_ms = ToMillis(fp->last_refactor_pause());
+    cell.final_stages = fp->current_stages();
+  }
+  return cell;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("=== %s ===\n", title);
+  std::printf("Reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace bench
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_BENCH_COMMON_H_

@@ -1,0 +1,40 @@
+// Fig. 10: performance-stability percentiles for the serverless systems.
+//
+// FlexPipe vs ServerlessLLM vs Tetris at CV in {1, 2, 4}: P50/75/90/95/99 latency.
+// The paper's point: FlexPipe's tail stays controlled while the static serverless
+// systems degrade 2-3x at P90-P99 as variability rises.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace flexpipe;
+  using namespace flexpipe::bench;
+  PrintHeader("Fig. 10 - latency percentiles across request distributions",
+              "Fig. 10 (FlexPipe / ServerlessLLM / Tetris, CV in {1,2,4})");
+
+  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kServerlessLlm,
+                                         SystemKind::kTetris};
+  for (double cv : {1.0, 2.0, 4.0}) {
+    std::printf("--- CV = %.0f ---\n", cv);
+    auto specs = CvWorkload(cv);
+    TextTable table({"System", "P50(s)", "P75(s)", "P90(s)", "P95(s)", "P99(s)"});
+    double flexpipe_p99 = 0.0;
+    double worst_p99 = 0.0;
+    for (SystemKind kind : kinds) {
+      CellResult cell = RunCell(kind, specs);
+      table.AddRow({KindName(kind), TextTable::Num(cell.p50, 2), TextTable::Num(cell.p75, 2),
+                    TextTable::Num(cell.p90, 2), TextTable::Num(cell.p95, 2),
+                    TextTable::Num(cell.p99, 2)});
+      if (kind == SystemKind::kFlexPipe) {
+        flexpipe_p99 = cell.p99;
+      } else {
+        worst_p99 = std::max(worst_p99, cell.p99);
+      }
+    }
+    table.Print();
+    std::printf("P99 gap vs worst serverless baseline: %.1fx\n\n",
+                worst_p99 / std::max(flexpipe_p99, 1e-9));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 13: prefill latency across the four production models.
+//
+// WHISPER-9B / LLAMA2-7B / BERT-21B / OPT-66B served under a production-like trace;
+// FlexPipe vs AlpaServe vs ServerlessLLM. Paper: 6.4%-24.4% lower mean prefill latency,
+// growing with model scale, plus visibly tighter distributions.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace flexpipe;
+  using namespace flexpipe::bench;
+  PrintHeader("Fig. 13 - prefill latency across model scales",
+              "Fig. 13 (four models, production-like trace, mean + distribution)");
+
+  const std::vector<ModelSpec> models = EvaluationModels();
+  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
+                                         SystemKind::kServerlessLlm};
+
+  TextTable table({"Model", "System", "MeanPrefill(s)", "P50(s)", "P95(s)", "vs AlpaServe"});
+  for (size_t mi = 0; mi < models.size(); ++mi) {
+    // Per-model rate: lighter models see more traffic in production mixes.
+    double qps = models[mi].param_bytes > GiB(60) ? 10.0 : 16.0;
+    WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(0);
+    wconfig.lengths.prompt_max = models[mi].context_window;
+    WorkloadGenerator gen(wconfig);
+    Rng rng(Rng(kSeed).Child(models[mi].name).seed());
+    auto specs = gen.GenerateWithCv(rng, qps, 2.0, 4 * kMinute);
+
+    double alpa_mean = 0.0;
+    struct Row {
+      SystemKind kind;
+      double mean, p50, p95;
+    };
+    std::vector<Row> rows;
+    for (SystemKind kind : kinds) {
+      ExperimentEnv env(DefaultEnvConfig({models[mi]}, kSeed + mi));
+      auto system = MakeSystem(kind, env, 0, qps);
+      std::vector<Request> storage;
+      RunWorkload(env, *system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      const MetricsCollector& m = system->metrics();
+      rows.push_back({kind, m.MeanPrefillSec(), m.prefill_histogram().Percentile(50),
+                      m.prefill_histogram().Percentile(95)});
+      if (kind == SystemKind::kAlpaServe) {
+        alpa_mean = m.MeanPrefillSec();
+      }
+    }
+    for (const Row& r : rows) {
+      double delta = alpa_mean > 0 ? 100.0 * (1.0 - r.mean / alpa_mean) : 0.0;
+      table.AddRow({models[mi].name, KindName(r.kind), TextTable::Num(r.mean, 3),
+                    TextTable::Num(r.p50, 3), TextTable::Num(r.p95, 3),
+                    r.kind == SystemKind::kAlpaServe ? "-" : TextTable::Num(delta, 1) + "%"});
+    }
+  }
+  table.Print();
+  std::printf("\n(paper: FlexPipe improves prefill by 6.4%% on WHISPER up to 24.4%% on "
+              "OPT-66B, average 17.3%%)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 4: latency distribution of static 4/8/16-stage pipelines across CV values.
+//
+// Constant request volume, varying CV. Expected shape: coarse pipelines win under
+// stable traffic (less communication), deep pipelines win under bursty traffic
+// (distributed buffering absorbs the peaks) — the 16-stage pipeline is ~2.7x slower at
+// low CV but ~3x faster at CV=4 in the paper.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace flexpipe;
+  using namespace flexpipe::bench;
+  PrintHeader("Fig. 4 - latency distributions by pipeline granularity and CV",
+              "Fig. 4 (4/8/16-stage static pipelines, constant volume, varying CV)");
+
+  TextTable table({"CV", "Stages", "Mean(s)", "P50(s)", "P95(s)", "P99(s)"});
+  struct Cell {
+    double cv;
+    int stages;
+    double mean;
+  };
+  std::vector<Cell> cells;
+  for (double cv : {0.1, 1.0, 2.0, 4.0}) {
+    auto specs = CvWorkload(cv, /*qps=*/20.0);
+    for (int stages : {4, 8, 16}) {
+      ExperimentEnv env(DefaultEnvConfig());
+      AlpaServeConfig config;
+      config.stages = stages;
+      config.replicas = 1;
+      config.default_slo = kDefaultSlo;
+      AlpaServeSystem system(env.Context(), &env.ladder(0), config);
+      std::vector<Request> storage;
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      const MetricsCollector& m = system.metrics();
+      table.AddRow({TextTable::Num(cv, 1), std::to_string(stages),
+                    TextTable::Num(m.MeanLatencySec(), 2),
+                    TextTable::Num(m.LatencyPercentileSec(50), 2),
+                    TextTable::Num(m.LatencyPercentileSec(95), 2),
+                    TextTable::Num(m.LatencyPercentileSec(99), 2)});
+      cells.push_back({cv, stages, m.MeanLatencySec()});
+    }
+  }
+  table.Print();
+
+  auto mean_of = [&](double cv, int stages) {
+    for (const auto& c : cells) {
+      if (c.cv == cv && c.stages == stages) {
+        return c.mean;
+      }
+    }
+    return 0.0;
+  };
+  std::printf("\nshape checks:\n");
+  std::printf("  low CV (0.1): 16-stage / 4-stage mean = %.2fx (paper ~2.7x slower)\n",
+              mean_of(0.1, 16) / mean_of(0.1, 4));
+  std::printf("  high CV (4): 4-stage / 16-stage mean = %.2fx (paper ~3x: deep pipeline "
+              "absorbs bursts)\n",
+              mean_of(4.0, 4) / mean_of(4.0, 16));
+  return 0;
+}

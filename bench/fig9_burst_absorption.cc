@@ -1,0 +1,65 @@
+// Fig. 9: burst absorption under extreme variability (CV=8, first 300 s).
+//
+// (a) per-15s-window CV of the arrival stream, (b) windowed mean response time for
+// FlexPipe vs AlpaServe vs MuxServe. The paper's observation: MuxServe sustains >10 s
+// latencies, AlpaServe spikes periodically, FlexPipe stays low and flat.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/trace/cv_analysis.h"
+
+int main() {
+  using namespace flexpipe;
+  using namespace flexpipe::bench;
+  PrintHeader("Fig. 9 - latency timeline under CV=8 burst traffic",
+              "Fig. 9 (300 s, 15 s windows: arrival CV + per-system response time)");
+
+  constexpr TimeNs kDuration = 300 * kSecond;
+  auto specs = CvWorkload(8.0, kBaselineQps, kDuration);
+  std::vector<TimeNs> arrivals;
+  arrivals.reserve(specs.size());
+  for (const auto& s : specs) {
+    arrivals.push_back(s.arrival);
+  }
+
+  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
+                                         SystemKind::kMuxServe};
+  // Collect per-system completion series.
+  std::vector<std::unique_ptr<ServingSystemBase>> systems;
+  std::vector<std::unique_ptr<ExperimentEnv>> envs;
+  std::vector<std::vector<Request>> storages(kinds.size());
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    envs.push_back(std::make_unique<ExperimentEnv>(DefaultEnvConfig()));
+    systems.push_back(MakeSystem(kinds[i], *envs.back()));
+    RunWorkload(*envs.back(), *systems.back(), specs, storages[i],
+                RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  }
+
+  TextTable table({"Window", "ArrivalCV(15s)", "RT FlexPipe(s)", "RT AlpaServe(s)",
+                   "RT MuxServe(s)"});
+  RunningStats rt[3];
+  for (TimeNs w = 0; w < kDuration; w += 15 * kSecond) {
+    double arrival_cv = InterarrivalCv(arrivals, w, w + 15 * kSecond);
+    std::vector<std::string> row;
+    row.push_back(std::to_string(ToSeconds(w)) + "s");
+    row[0] = TextTable::Num(ToSeconds(w), 0) + "s";
+    row.push_back(TextTable::Num(arrival_cv, 2));
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      // Completions are timestamped after the warmup shift.
+      double mean = systems[i]->metrics().MeanLatencyInWindowSec(kWarmup + w,
+                                                                 kWarmup + w + 15 * kSecond);
+      rt[i].Add(mean);
+      row.push_back(TextTable::Num(mean, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nsummary over 300 s: FlexPipe mean %.2fs max %.2fs | AlpaServe mean %.2fs "
+              "max %.2fs | MuxServe mean %.2fs max %.2fs\n",
+              rt[0].mean(), rt[0].max(), rt[1].mean(), rt[1].max(), rt[2].mean(),
+              rt[2].max());
+  std::printf("(paper: FlexPipe low and stable; AlpaServe periodic spikes; MuxServe "
+              "frequently >10 s)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the hot control-plane components.
+//
+// The paper claims decision latency under 5 ms across 2-32 stage configurations (§6.3);
+// these benches verify our partitioner, scorer and consistency primitives sit well
+// inside that envelope, and measure the DES engine's event throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/core/cv_monitor.h"
+#include "src/core/granularity.h"
+#include "src/core/queueing.h"
+#include "src/model/profiler.h"
+#include "src/partition/partitioner.h"
+#include "src/runtime/kv_cache.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+namespace {
+
+ModelProfile Opt66BProfile() {
+  static CostModel cost;
+  Profiler profiler(&cost, Profiler::Config{});
+  ComputationGraph graph = ComputationGraph::Build(Opt66B());
+  return profiler.Profile(graph);
+}
+
+void BM_PartitionerDp(benchmark::State& state) {
+  ModelProfile profile = Opt66BProfile();
+  Partitioner partitioner;
+  int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PipelinePlan plan = partitioner.Partition(profile, stages);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PartitionerDp)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LadderBuild(benchmark::State& state) {
+  ModelProfile profile = Opt66BProfile();
+  Partitioner partitioner;
+  for (auto _ : state) {
+    GranularityLadder ladder = partitioner.BuildLadder(profile);
+    benchmark::DoNotOptimize(ladder);
+  }
+}
+BENCHMARK(BM_LadderBuild);
+
+void BM_GranularityDecision(benchmark::State& state) {
+  // Algorithm 1's per-tick decision: must be far below the 5 ms budget.
+  ModelProfile profile = Opt66BProfile();
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  Cluster cluster(EvalClusterConfig());
+  NetworkModel network(&cluster, NetworkConfig{});
+  CostModel cost;
+  GranularityController controller(&ladder, &cost, &network, WorkloadAssumptions{},
+                                   GranularityConfig{});
+  double cv = 0.3;
+  for (auto _ : state) {
+    cv = cv < 16.0 ? cv * 1.01 : 0.3;
+    benchmark::DoNotOptimize(controller.SelectStageCount(cv, 8));
+  }
+}
+BENCHMARK(BM_GranularityDecision);
+
+void BM_CvMonitorRecord(benchmark::State& state) {
+  CvMonitor monitor;
+  TimeNs t = 0;
+  for (auto _ : state) {
+    t += 50 * kMillisecond;
+    monitor.RecordArrival(t);
+    benchmark::DoNotOptimize(monitor.Cv());
+  }
+}
+BENCHMARK(BM_CvMonitorRecord);
+
+void BM_GgsLatencyModel(benchmark::State& state) {
+  GgsParams p;
+  p.lambda = 18.0;
+  p.mu = 3.0;
+  p.servers = 8;
+  p.cv_arrival = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GgsTotalLatency(p));
+  }
+}
+BENCHMARK(BM_GgsLatencyModel);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    int remaining = 10000;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) {
+        sim.Schedule(10, chain);
+      }
+    };
+    sim.Schedule(10, chain);
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_KvMaskDeltaScan(benchmark::State& state) {
+  KvValidityMask mask(static_cast<int>(state.range(0)));
+  mask.MarkValid(0, static_cast<int>(state.range(0)) * 3 / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask.invalid_in(0, mask.capacity()));
+  }
+}
+BENCHMARK(BM_KvMaskDeltaScan)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace flexpipe

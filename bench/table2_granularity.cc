@@ -1,0 +1,73 @@
+// Table 2: performance metrics for different pipeline granularities (OPT-66B, seq 4096).
+//
+// For each granularity in the ladder: parallel parameter-load time, per-stage compute,
+// per-iteration communication overhead, and maximum supported batch — next to the
+// paper's measured values, which are the calibration anchors.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "src/model/profiler.h"
+#include "src/partition/partitioner.h"
+
+int main() {
+  using namespace flexpipe;
+  bench::PrintHeader("Table 2 - pipeline granularity metrics",
+                     "Table 2 (OPT-66B, sequence length 4096)");
+
+  CostModel cost;
+  Profiler profiler(&cost, Profiler::Config{});
+  ComputationGraph graph = ComputationGraph::Build(Opt66B());
+  ModelProfile profile = profiler.Profile(graph);
+  PartitionerConfig pconfig;
+  pconfig.ladder = {4, 8, 16, 32};
+  Partitioner partitioner(pconfig);
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+
+  Cluster cluster(EvalClusterConfig());
+  NetworkModel network(&cluster, NetworkConfig{});
+
+  const std::map<int, std::tuple<double, double, double, int>> paper = {
+      {4, {47.14, 69.94, 6.3, 128}},
+      {8, {13.05, 36.63, 14.7, 256}},
+      {16, {9.19, 18.67, 31.5, 512}},
+      {32, {5.43, 9.67, 65.1, 1024}},
+  };
+
+  TextTable table({"Stages", "Load(s)", "[paper]", "Compute(ms)", "[paper]", "Comm(ms)",
+                   "[paper]", "MaxBatch", "[paper]"});
+  for (int stages : ladder.granularities) {
+    const PipelinePlan& plan = ladder.plan(stages);
+    // Stages load in parallel: wall time = slowest stage.
+    TimeNs load = 0;
+    for (const StagePlan& s : plan.stages) {
+      load = std::max(load, cost.ColdLoadTime(s.param_bytes));
+    }
+    // Per-stage compute at reference conditions = bottleneck stage of the DP plan.
+    TimeNs compute = plan.BottleneckCompute() +
+                     FromMillis(cost.config().per_stage_overhead_ms);
+    // Total per-iteration communication: (S-1) hops at profiling activation size over
+    // the intra-rack fabric.
+    TimeNs comm = 0;
+    for (int s = 0; s + 1 < plan.num_stages(); ++s) {
+      Bytes act = plan.stages[static_cast<size_t>(s)].output_activation_bytes;
+      comm += network.Latency(LinkTier::kIntraRack) +
+              TransferTime(act, network.Bandwidth(LinkTier::kIntraRack));
+    }
+    int max_batch = cost.MaxRequestsPerStage() * stages;
+
+    auto [p_load, p_comp, p_comm, p_batch] = paper.at(stages);
+    table.AddRow({std::to_string(stages), TextTable::Num(ToSeconds(load), 2),
+                  TextTable::Num(p_load, 2), TextTable::Num(ToMillis(compute), 2),
+                  TextTable::Num(p_comp, 2), TextTable::Num(ToMillis(comm), 1),
+                  TextTable::Num(p_comm, 1), std::to_string(max_batch),
+                  std::to_string(p_batch)});
+  }
+  table.Print();
+
+  std::printf("\nShape checks: load(4)/load(32) = %.1fx (paper 8.7x), "
+              "batch scales as 32*S exactly.\n",
+              ToSeconds(cost.ColdLoadTime(ladder.plan(4).MaxStageParams())) /
+                  ToSeconds(cost.ColdLoadTime(ladder.plan(32).MaxStageParams())));
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "src/baselines/alpaserve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+AlpaServeSystem::AlpaServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                                 const AlpaServeConfig& config)
+    : ServingSystemBase(ctx, "AlpaServe", config.default_slo),
+      ladder_(ladder),
+      config_(config),
+      analytics_(ladder, ctx.cost_model, ctx.network, config.workload, GranularityConfig{}) {
+  FLEXPIPE_CHECK(ladder != nullptr);
+}
+
+void AlpaServeSystem::Start() {
+  if (config_.replicas > 0) {
+    planned_replicas_ = config_.replicas;
+  } else {
+    const GranularityOption& opt = analytics_.OptionFor(config_.stages);
+    planned_replicas_ = std::max(
+        1, static_cast<int>(std::ceil(
+               config_.target_peak_rps * config_.provision_headroom /
+               std::max(opt.throughput_rps * config_.utilization_target, 1e-6))));
+  }
+  TryLaunch(/*remaining_attempts=*/20);
+}
+
+void AlpaServeSystem::TryLaunch(int remaining_attempts) {
+  while (launched_ < planned_replicas_) {
+    PipelineInstance* inst =
+        LaunchViaAllocator(ladder_->plan(config_.stages), config_.model_id,
+                           PlacementPolicy::kBestFit, /*distinct_servers=*/true);
+    if (inst == nullptr) {
+      break;
+    }
+    ++launched_;
+  }
+  if (launched_ < planned_replicas_ && remaining_attempts > 0) {
+    // Fragmentation blocked part of the fleet; retry as background churn frees memory.
+    ctx_.sim->Schedule(2 * kSecond,
+                       [this, remaining_attempts] { TryLaunch(remaining_attempts - 1); });
+  } else if (launched_ < planned_replicas_) {
+    FLEXPIPE_LOG_WARN("AlpaServe: deployed %d/%d replicas (fragmented cluster)", launched_,
+                      planned_replicas_);
+  }
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,48 @@
+// AlpaServe-like baseline (§9: "configures pipelines based on historical request
+// patterns").
+//
+// Statically optimized: it picks one pipeline granularity offline (from long-window
+// trace statistics), provisions a fixed replica fleet sized for peak demand, and never
+// adapts at runtime — the representative of sophisticated-but-static pipeline systems.
+#ifndef FLEXPIPE_SRC_BASELINES_ALPASERVE_H_
+#define FLEXPIPE_SRC_BASELINES_ALPASERVE_H_
+
+#include "src/core/granularity.h"
+#include "src/core/serving.h"
+#include "src/partition/plan.h"
+
+namespace flexpipe {
+
+struct AlpaServeConfig {
+  int model_id = 0;
+  int stages = 4;            // offline-chosen granularity
+  int replicas = 0;          // 0 = derive from target_peak_rps
+  double target_peak_rps = 20.0;
+  double provision_headroom = 1.0;  // multiply the derived fleet
+  double utilization_target = 0.55; // per-replica load target when deriving the fleet
+  TimeNs default_slo = 15 * kSecond;
+  WorkloadAssumptions workload;
+};
+
+class AlpaServeSystem : public ServingSystemBase {
+ public:
+  AlpaServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                  const AlpaServeConfig& config);
+
+  void Start() override;
+
+  int planned_replicas() const { return planned_replicas_; }
+
+ private:
+  void TryLaunch(int remaining_attempts);
+
+  const GranularityLadder* ladder_;
+  AlpaServeConfig config_;
+  GranularityController analytics_;
+  int planned_replicas_ = 0;
+  int launched_ = 0;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_BASELINES_ALPASERVE_H_

@@ -1,0 +1,50 @@
+#include "src/baselines/muxserve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+MuxServeSystem::MuxServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                               const MuxServeConfig& config)
+    : ServingSystemBase(ctx, "MuxServe", config.default_slo),
+      ladder_(ladder),
+      config_(config),
+      analytics_(ladder, ctx.cost_model, ctx.network, config.workload, GranularityConfig{}) {
+  FLEXPIPE_CHECK(ladder != nullptr);
+  instance_config_.compute_dilation = config.interference_dilation;
+}
+
+void MuxServeSystem::Start() {
+  const GranularityOption& opt = analytics_.OptionFor(config_.stages);
+  planned_replicas_ = std::max(
+      1, static_cast<int>(std::ceil(
+             config_.target_peak_rps * config_.fleet_fraction /
+             std::max(opt.throughput_rps * config_.utilization_target, 1e-6))));
+  TryLaunch(/*remaining_attempts=*/20);
+}
+
+void MuxServeSystem::TryLaunch(int remaining_attempts) {
+  while (launched_ < planned_replicas_) {
+    // Best-fit packing, co-location allowed: multiplexing trades isolation for density.
+    PipelineInstance* inst =
+        LaunchViaAllocator(ladder_->plan(config_.stages), config_.model_id,
+                           PlacementPolicy::kBestFit, /*distinct_servers=*/false);
+    if (inst == nullptr) {
+      break;
+    }
+    ++launched_;
+  }
+  if (launched_ < planned_replicas_ && remaining_attempts > 0) {
+    ctx_.sim->Schedule(2 * kSecond,
+                       [this, remaining_attempts] { TryLaunch(remaining_attempts - 1); });
+  } else if (launched_ < planned_replicas_) {
+    FLEXPIPE_LOG_WARN("MuxServe: deployed %d/%d replicas (fragmented cluster)", launched_,
+                      planned_replicas_);
+  }
+}
+
+}  // namespace flexpipe

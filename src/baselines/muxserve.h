@@ -1,0 +1,47 @@
+// MuxServe-like baseline (§9: "statistical multiplexing for multi-tenant serving").
+//
+// Packs replicas tightly onto shared GPUs to maximize utilization: best-fit placement
+// with no anti-affinity, a smaller fleet than peak-provisioned systems (sharing is the
+// efficiency claim), and an interference dilation on stage compute that models SM
+// contention from spatial/temporal multiplexing. No pipeline reconfiguration.
+#ifndef FLEXPIPE_SRC_BASELINES_MUXSERVE_H_
+#define FLEXPIPE_SRC_BASELINES_MUXSERVE_H_
+
+#include "src/core/granularity.h"
+#include "src/core/serving.h"
+
+namespace flexpipe {
+
+struct MuxServeConfig {
+  int model_id = 0;
+  int stages = 4;
+  double target_peak_rps = 20.0;
+  double fleet_fraction = 0.85;      // of the peak-derived fleet (sharing saves GPUs)
+  double utilization_target = 0.55;
+  double interference_dilation = 1.2;
+  TimeNs default_slo = 15 * kSecond;
+  WorkloadAssumptions workload;
+};
+
+class MuxServeSystem : public ServingSystemBase {
+ public:
+  MuxServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                 const MuxServeConfig& config);
+
+  void Start() override;
+
+  int planned_replicas() const { return planned_replicas_; }
+
+ private:
+  void TryLaunch(int remaining_attempts);
+
+  const GranularityLadder* ladder_;
+  MuxServeConfig config_;
+  GranularityController analytics_;
+  int planned_replicas_ = 0;
+  int launched_ = 0;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_BASELINES_MUXSERVE_H_

@@ -1,0 +1,105 @@
+#include "src/baselines/reactive.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+ReactiveScalingSystem::ReactiveScalingSystem(const SystemContext& ctx,
+                                             const GranularityLadder* ladder, std::string name,
+                                             const ReactiveConfig& config)
+    : ServingSystemBase(ctx, std::move(name), config.default_slo),
+      ladder_(ladder),
+      config_(config) {
+  FLEXPIPE_CHECK(ladder != nullptr);
+  FLEXPIPE_CHECK(config.min_replicas >= 1);
+}
+
+ReactiveScalingSystem::~ReactiveScalingSystem() = default;
+
+void ReactiveScalingSystem::Start() {
+  for (int i = 0; i < config_.min_replicas; ++i) {
+    LaunchReplica();
+  }
+  watchdog_ = std::make_unique<PeriodicTask>(ctx_.sim, config_.check_interval,
+                                             [this] { Tick(); });
+}
+
+void ReactiveScalingSystem::Finish() { watchdog_.reset(); }
+
+int ReactiveScalingSystem::ServingCount() const {
+  int n = 0;
+  for (const PipelineInstance* inst : router_.instances()) {
+    if (inst->state() == InstanceState::kActive || inst->state() == InstanceState::kLoading) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ReactiveScalingSystem::LaunchReplica() {
+  PipelineInstance* inst = LaunchViaAllocator(ladder_->plan(config_.stages), config_.model_id,
+                                              config_.placement, config_.distinct_servers);
+  if (inst == nullptr) {
+    FLEXPIPE_LOG_INFO("%s: replica launch failed (fragmentation)", name().c_str());
+    return;
+  }
+  ++scale_ups_;
+}
+
+void ReactiveScalingSystem::RetireOne() {
+  PipelineInstance* victim = nullptr;
+  double least = 2.0;
+  for (PipelineInstance* inst : router_.instances()) {
+    if (inst->state() != InstanceState::kActive) {
+      continue;
+    }
+    double load = inst->LoadFraction();
+    if (load < least) {
+      least = load;
+      victim = inst;
+    }
+  }
+  if (victim == nullptr) {
+    return;
+  }
+  router_.DeregisterInstance(victim->id());
+  victim->StartDraining([this, victim] { ReleaseInstance(victim); });
+  ++scale_downs_;
+}
+
+void ReactiveScalingSystem::Tick() {
+  int serving = ServingCount();
+  int queue = router_.queue_length();
+  TimeNs now = ctx_.sim->now();
+
+  if (serving < config_.min_replicas) {
+    LaunchReplica();
+    return;
+  }
+  if (queue > config_.scale_up_queue_per_replica * std::max(1, serving) &&
+      serving < config_.max_replicas) {
+    LaunchReplica();
+    idle_since_ = -1;
+    return;
+  }
+  // Reclaim path: queue empty and fleet lightly loaded.
+  bool idle = queue == 0;
+  for (const PipelineInstance* inst : router_.instances()) {
+    idle = idle && inst->LoadFraction() < 0.15;
+  }
+  if (idle && serving > config_.min_replicas) {
+    if (idle_since_ < 0) {
+      idle_since_ = now;
+    } else if (now - idle_since_ >= config_.idle_reclaim) {
+      RetireOne();
+      idle_since_ = -1;
+    }
+  } else {
+    idle_since_ = -1;
+  }
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,61 @@
+// Shared reactive autoscaling logic for the serverless baselines.
+//
+// A periodic watchdog launches replicas when the router queue backs up and reclaims
+// them after an idle window. This is the standard queue-threshold autoscaler both
+// ServerlessLLM and Tetris build on; they differ in loading speed, placement policy,
+// execution model and memory footprint, which subclasses set via the protected knobs.
+#ifndef FLEXPIPE_SRC_BASELINES_REACTIVE_H_
+#define FLEXPIPE_SRC_BASELINES_REACTIVE_H_
+
+#include <memory>
+
+#include "src/core/serving.h"
+#include "src/partition/plan.h"
+
+namespace flexpipe {
+
+struct ReactiveConfig {
+  int model_id = 0;
+  int stages = 8;
+  int min_replicas = 1;
+  int max_replicas = 24;
+  // Scale out when queued requests per active replica exceed this.
+  int scale_up_queue_per_replica = 12;
+  TimeNs idle_reclaim = 60 * kSecond;
+  TimeNs check_interval = 500 * kMillisecond;
+  PlacementPolicy placement = PlacementPolicy::kScatter;
+  bool distinct_servers = true;
+  TimeNs default_slo = 15 * kSecond;
+};
+
+class ReactiveScalingSystem : public ServingSystemBase {
+ public:
+  ReactiveScalingSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                        std::string name, const ReactiveConfig& config);
+  ~ReactiveScalingSystem() override;
+
+  void Start() override;
+  void Finish() override;
+
+  int64_t scale_ups() const { return scale_ups_; }
+  int64_t scale_downs() const { return scale_downs_; }
+
+ protected:
+  void Tick();
+  void LaunchReplica();
+  void RetireOne();
+  int ServingCount() const;
+
+  const GranularityLadder* ladder_;
+  ReactiveConfig config_;
+
+ private:
+  std::unique_ptr<PeriodicTask> watchdog_;
+  TimeNs idle_since_ = -1;
+  int64_t scale_ups_ = 0;
+  int64_t scale_downs_ = 0;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_BASELINES_REACTIVE_H_

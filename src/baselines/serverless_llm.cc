@@ -1,0 +1,12 @@
+#include "src/baselines/serverless_llm.h"
+
+namespace flexpipe {
+
+ServerlessLlmSystem::ServerlessLlmSystem(const SystemContext& ctx,
+                                         const GranularityLadder* ladder,
+                                         const ServerlessLlmConfig& config)
+    : ReactiveScalingSystem(ctx, ladder, "ServerlessLLM", config.reactive) {
+  load_speed_factor_ = config.load_speed_factor;
+}
+
+}  // namespace flexpipe

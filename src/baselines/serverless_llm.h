@@ -1,0 +1,27 @@
+// ServerlessLLM-like baseline (§9: "low-latency serverless inference", OSDI'24-style).
+//
+// Its contribution is fast checkpoint loading (multi-tier storage), so cold starts cost
+// a fraction of the naive loader. Parallelism is static (DeepSpeed-style fixed pipeline
+// degree), scaling is reactive on queue depth, and placement follows the serverless
+// scheduler's anti-affinity scatter. No inflight reconfiguration, no KV migration.
+#ifndef FLEXPIPE_SRC_BASELINES_SERVERLESS_LLM_H_
+#define FLEXPIPE_SRC_BASELINES_SERVERLESS_LLM_H_
+
+#include "src/baselines/reactive.h"
+
+namespace flexpipe {
+
+struct ServerlessLlmConfig {
+  ReactiveConfig reactive;
+  double load_speed_factor = 0.35;  // multi-tier loader vs naive storage fetch
+};
+
+class ServerlessLlmSystem : public ReactiveScalingSystem {
+ public:
+  ServerlessLlmSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                      const ServerlessLlmConfig& config);
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_BASELINES_SERVERLESS_LLM_H_

@@ -1,0 +1,14 @@
+#include "src/baselines/tetris.h"
+
+namespace flexpipe {
+
+TetrisSystem::TetrisSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                           const TetrisConfig& config)
+    : ReactiveScalingSystem(ctx, ladder, "Tetris", config.reactive) {
+  instance_config_.pipelined = false;  // no pipeline-parallel scheduling
+  instance_config_.per_group_capacity = config.batch_limit;
+  instance_config_.compute_dilation = config.sharing_dilation;
+  param_reservation_factor_ = config.tensor_sharing_factor;
+}
+
+}  // namespace flexpipe

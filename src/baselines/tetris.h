@@ -1,0 +1,30 @@
+// Tetris-like baseline (§9: "memory-efficient hosting without specialized pipeline
+// parallelism", ATC'22-style).
+//
+// Tensor sharing dedupes parameters across replicas (reduced per-GPU reservation,
+// best-fit packing), but execution is sequential: one wave occupies the whole stage
+// chain, so there is no pipelining across microbatches. High memory efficiency, low
+// compute efficiency — the paper's Fig. 12 shows it saturating GPUs for little goodput.
+#ifndef FLEXPIPE_SRC_BASELINES_TETRIS_H_
+#define FLEXPIPE_SRC_BASELINES_TETRIS_H_
+
+#include "src/baselines/reactive.h"
+
+namespace flexpipe {
+
+struct TetrisConfig {
+  ReactiveConfig reactive;
+  double tensor_sharing_factor = 0.6;  // fraction of parameter bytes actually reserved
+  int batch_limit = 12;                // no continuous-batching sophistication
+  double sharing_dilation = 1.35;      // dedup indirection on the compute path
+};
+
+class TetrisSystem : public ReactiveScalingSystem {
+ public:
+  TetrisSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+               const TetrisConfig& config);
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_BASELINES_TETRIS_H_

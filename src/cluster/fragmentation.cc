@@ -1,0 +1,93 @@
+#include "src/cluster/fragmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexpipe {
+
+FragmentationProfile ProfileClusterC1() {
+  // Targets: mem mean 43.5%, P50 28.8%, P95 99.1%; SM mean 16.9%, P50 9.2%, P95 80.5%.
+  FragmentationProfile p;
+  p.saturated_prob = 0.15;
+  p.idle_prob = 0.10;
+  p.body_median = 0.30;
+  p.body_sigma = 0.70;
+  p.sm_ratio_median = 0.30;
+  p.sm_ratio_sigma = 0.60;
+  p.mean_tenants = 2.16;
+  return p;
+}
+
+FragmentationProfile ProfileClusterC2() {
+  // Targets: mem mean 50.9%, P50 53.7%, P95 99.3%; SM mean 23.7%, P50 10.9%, P95 85.4%.
+  FragmentationProfile p;
+  p.saturated_prob = 0.17;
+  p.idle_prob = 0.07;
+  p.body_median = 0.46;
+  p.body_sigma = 0.52;
+  p.sm_ratio_median = 0.34;
+  p.sm_ratio_sigma = 0.72;
+  p.mean_tenants = 2.3;
+  return p;
+}
+
+FragmentationGenerator::FragmentationGenerator(Cluster* cluster,
+                                               const FragmentationProfile& profile, uint64_t seed)
+    : cluster_(cluster), profile_(profile), rng_(seed) {
+  FLEXPIPE_CHECK(cluster != nullptr);
+}
+
+void FragmentationGenerator::SampleGpu(Gpu& gpu) {
+  double mem_util;
+  double roll = rng_.Uniform();
+  if (roll < profile_.saturated_prob) {
+    mem_util = rng_.Uniform(0.93, 0.998);
+  } else if (roll < profile_.saturated_prob + profile_.idle_prob) {
+    mem_util = rng_.Uniform(0.0, 0.08);
+  } else {
+    mem_util = rng_.LogNormal(std::log(profile_.body_median), profile_.body_sigma);
+    mem_util = std::min(mem_util, profile_.body_cap);
+  }
+
+  double sm_ratio = rng_.LogNormal(std::log(profile_.sm_ratio_median), profile_.sm_ratio_sigma);
+  double sm_util = std::clamp(mem_util * sm_ratio, 0.0, 1.0);
+
+  // Tenant count: at least one when memory is occupied; 1 + Poisson with the rate set
+  // so that the cluster-wide mean (including idle GPUs) matches the target subscription.
+  int tenants = 0;
+  if (mem_util > 0.01) {
+    double occupied_mean = profile_.mean_tenants / std::max(1e-6, 1.0 - profile_.idle_prob);
+    double lambda = std::max(0.0, occupied_mean - 1.0);
+    std::poisson_distribution<int> poisson(lambda);
+    tenants = 1 + std::min(poisson(rng_.engine()), 7);
+  }
+
+  Bytes bg_bytes = static_cast<Bytes>(mem_util * static_cast<double>(gpu.memory_capacity()));
+  gpu.SetBackground(bg_bytes, sm_util, tenants);
+}
+
+void FragmentationGenerator::ApplySnapshot() {
+  for (GpuId id : cluster_->AllGpuIds()) {
+    SampleGpu(cluster_->gpu(id));
+  }
+}
+
+void FragmentationGenerator::ChurnStep(double fraction) {
+  for (GpuId id : cluster_->AllGpuIds()) {
+    if (rng_.Uniform() < fraction) {
+      SampleGpu(cluster_->gpu(id));
+    }
+  }
+}
+
+bool FragmentationGenerator::MaybeReoccupy(GpuId id) {
+  // §3.1: "Due to the immediate reallocation of released GPUs to competing workloads" —
+  // model a high grab probability once our reservation is gone.
+  if (rng_.Uniform() < 0.7) {
+    SampleGpu(cluster_->gpu(id));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,188 @@
+#include "src/cluster/topology.h"
+
+#include <algorithm>
+
+namespace flexpipe {
+
+void Gpu::Reserve(Bytes bytes, double sm_load) {
+  FLEXPIPE_CHECK_MSG(CanReserve(bytes), "GPU memory overcommit by serving system");
+  reserved_memory_ += bytes;
+  reserved_sm_ += sm_load;
+}
+
+void Gpu::Release(Bytes bytes, double sm_load) {
+  FLEXPIPE_CHECK(bytes <= reserved_memory_);
+  reserved_memory_ -= bytes;
+  reserved_sm_ = std::max(0.0, reserved_sm_ - sm_load);
+}
+
+void Gpu::SetBackground(Bytes memory, double sm_load, int tenants) {
+  // Background tenants never evict our reservations; clamp to what still fits.
+  Bytes max_bg = spec_.memory - reserved_memory_;
+  background_memory_ = std::clamp<Bytes>(memory, 0, max_bg);
+  background_sm_ = std::clamp(sm_load, 0.0, 1.0);
+  tenant_count_ = std::max(0, tenants);
+}
+
+Cluster::Cluster(const ClusterConfig& config) {
+  int rack_count = std::max(1, config.racks);
+  racks_.resize(static_cast<size_t>(rack_count));
+  for (int r = 0; r < rack_count; ++r) {
+    racks_[static_cast<size_t>(r)].id = r;
+  }
+
+  auto add_server = [&](int gpu_count) {
+    ServerId sid = static_cast<ServerId>(servers_.size());
+    Server server;
+    server.id = sid;
+    server.rack = static_cast<RackId>(sid % rack_count);
+    server.host_memory = config.host_memory;
+    for (int g = 0; g < gpu_count; ++g) {
+      GpuId gid = static_cast<GpuId>(gpus_.size());
+      gpus_.emplace_back(gid, sid, config.gpu_spec);
+      server.gpus.push_back(gid);
+    }
+    racks_[static_cast<size_t>(server.rack)].servers.push_back(sid);
+    servers_.push_back(std::move(server));
+  };
+
+  // Interleave server sizes across racks so no rack is all-large or all-small.
+  int remaining_1 = config.servers_1gpu;
+  int remaining_2 = config.servers_2gpu;
+  int remaining_4 = config.servers_4gpu;
+  int remaining_0 = config.cpu_only_servers;
+  while (remaining_1 + remaining_2 + remaining_4 + remaining_0 > 0) {
+    if (remaining_2 > 0) {
+      add_server(2);
+      --remaining_2;
+    }
+    if (remaining_1 > 0) {
+      add_server(1);
+      --remaining_1;
+    }
+    if (remaining_4 > 0) {
+      add_server(4);
+      --remaining_4;
+    }
+    if (remaining_0 > 0) {
+      add_server(0);
+      --remaining_0;
+    }
+  }
+}
+
+std::vector<GpuId> Cluster::AllGpuIds() const {
+  std::vector<GpuId> ids(gpus_.size());
+  for (size_t i = 0; i < gpus_.size(); ++i) {
+    ids[i] = static_cast<GpuId>(i);
+  }
+  return ids;
+}
+
+std::vector<GpuId> Cluster::GpusWithFreeMemory(Bytes bytes) const {
+  std::vector<GpuId> out;
+  for (const Gpu& g : gpus_) {
+    if (g.free_memory() >= bytes) {
+      out.push_back(g.id());
+    }
+  }
+  std::sort(out.begin(), out.end(), [this](GpuId a, GpuId b) {
+    Bytes fa = gpu(a).free_memory();
+    Bytes fb = gpu(b).free_memory();
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a < b;
+  });
+  return out;
+}
+
+std::vector<GpuId> Cluster::BestColocatedGroup(Bytes bytes_per_gpu) const {
+  std::vector<GpuId> best;
+  for (const Server& s : servers_) {
+    std::vector<GpuId> eligible;
+    for (GpuId g : s.gpus) {
+      if (gpu(g).free_memory() >= bytes_per_gpu) {
+        eligible.push_back(g);
+      }
+    }
+    if (eligible.size() > best.size()) {
+      best = std::move(eligible);
+    }
+  }
+  return best;
+}
+
+bool Cluster::TryReserveHostMemory(ServerId id, Bytes bytes) {
+  Server& s = server(id);
+  if (s.host_memory_used + bytes > s.host_memory) {
+    return false;
+  }
+  s.host_memory_used += bytes;
+  return true;
+}
+
+void Cluster::ReleaseHostMemory(ServerId id, Bytes bytes) {
+  Server& s = server(id);
+  FLEXPIPE_CHECK(bytes <= s.host_memory_used);
+  s.host_memory_used -= bytes;
+}
+
+double Cluster::MeanSmUtilization() const {
+  if (gpus_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Gpu& g : gpus_) {
+    sum += g.sm_utilization();
+  }
+  return sum / static_cast<double>(gpus_.size());
+}
+
+double Cluster::MeanMemoryUtilization() const {
+  if (gpus_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Gpu& g : gpus_) {
+    sum += g.memory_utilization();
+  }
+  return sum / static_cast<double>(gpus_.size());
+}
+
+double Cluster::MeanSubscriptionRate() const {
+  if (gpus_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Gpu& g : gpus_) {
+    sum += static_cast<double>(g.subscriber_count());
+  }
+  return sum / static_cast<double>(gpus_.size());
+}
+
+ClusterConfig EvalClusterConfig() { return ClusterConfig{}; }
+
+ClusterConfig MeasurementClusterC1() {
+  // 430 nodes / 468 GPUs: mostly 1-GPU nodes with a few 2-GPU ones.
+  ClusterConfig config;
+  config.servers_1gpu = 392;
+  config.servers_2gpu = 38;
+  config.servers_4gpu = 0;
+  config.cpu_only_servers = 0;
+  config.racks = 24;
+  return config;
+}
+
+ClusterConfig MeasurementClusterC2() {
+  // 927 nodes / 1175 GPUs: hybrid training-inference cluster with some 4-GPU nodes.
+  ClusterConfig config;
+  config.servers_1gpu = 755;
+  config.servers_2gpu = 140;
+  config.servers_4gpu = 35;
+  config.cpu_only_servers = 0;  // 755 + 280 + 140 = 1175 GPUs
+  config.racks = 48;
+  return config;
+}
+
+}  // namespace flexpipe

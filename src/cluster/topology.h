@@ -1,0 +1,167 @@
+// Cluster topology model: GPUs grouped into servers grouped into racks.
+//
+// This is the simulated stand-in for the paper's 42-server / 82-GPU Kubernetes testbed.
+// Each GPU tracks two kinds of occupancy: background tenants (the fragmentation the
+// paper measures in §3.1 — other teams' workloads that come and go) and reservations
+// made by the serving system under test. Control-plane code only sees free memory,
+// topology relations and link tiers, which is exactly the information a real scheduler
+// gets from the Kubernetes API + NVML.
+#ifndef FLEXPIPE_SRC_CLUSTER_TOPOLOGY_H_
+#define FLEXPIPE_SRC_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+using GpuId = int32_t;
+using ServerId = int32_t;
+using RackId = int32_t;
+
+inline constexpr GpuId kInvalidGpu = -1;
+inline constexpr ServerId kInvalidServer = -1;
+
+struct GpuSpec {
+  Bytes memory = GiB(40);   // A100-40GB class device
+  double sm_capacity = 1.0; // normalized streaming-multiprocessor capacity
+};
+
+// One background tenant occupying part of a GPU (another team's service).
+struct BackgroundTenant {
+  Bytes memory = 0;
+  double sm_load = 0.0;     // fraction of SM capacity consumed
+};
+
+class Gpu {
+ public:
+  Gpu(GpuId id, ServerId server, const GpuSpec& spec) : id_(id), server_(server), spec_(spec) {}
+
+  GpuId id() const { return id_; }
+  ServerId server() const { return server_; }
+  const GpuSpec& spec() const { return spec_; }
+
+  Bytes memory_capacity() const { return spec_.memory; }
+  Bytes background_memory() const { return background_memory_; }
+  Bytes reserved_memory() const { return reserved_memory_; }
+  Bytes used_memory() const { return background_memory_ + reserved_memory_; }
+  Bytes free_memory() const { return spec_.memory - used_memory(); }
+  double memory_utilization() const {
+    return static_cast<double>(used_memory()) / static_cast<double>(spec_.memory);
+  }
+
+  double background_sm() const { return background_sm_; }
+  double reserved_sm() const { return reserved_sm_; }
+  double sm_utilization() const { return background_sm_ + reserved_sm_; }
+
+  int tenant_count() const { return tenant_count_; }
+  // Our serving system counts as one more "subscriber" when it holds a reservation.
+  int subscriber_count() const { return tenant_count_ + (reserved_memory_ > 0 ? 1 : 0); }
+
+  bool CanReserve(Bytes bytes) const { return bytes <= free_memory(); }
+
+  void Reserve(Bytes bytes, double sm_load);
+  void Release(Bytes bytes, double sm_load);
+
+  // Fragmentation generator interface: replaces the entire background population.
+  void SetBackground(Bytes memory, double sm_load, int tenants);
+
+ private:
+  GpuId id_;
+  ServerId server_;
+  GpuSpec spec_;
+  Bytes background_memory_ = 0;
+  double background_sm_ = 0.0;
+  int tenant_count_ = 0;
+  Bytes reserved_memory_ = 0;
+  double reserved_sm_ = 0.0;
+};
+
+struct Server {
+  ServerId id = kInvalidServer;
+  RackId rack = -1;
+  std::vector<GpuId> gpus;
+  Bytes host_memory = GiB(256);   // paper: each server has >= 256 GB
+  Bytes host_memory_used = 0;
+};
+
+struct Rack {
+  RackId id = -1;
+  std::vector<ServerId> servers;
+};
+
+struct ClusterConfig {
+  // Number of servers with 1, 2 and 4 GPUs respectively; racks filled round-robin.
+  int servers_1gpu = 14;
+  int servers_2gpu = 20;
+  int servers_4gpu = 7;  // 14 + 40 + 28 = 82 GPUs on 41 servers (+1 CPU-only head)
+  int cpu_only_servers = 1;
+  int racks = 6;
+  GpuSpec gpu_spec;
+  Bytes host_memory = GiB(256);
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  int gpu_count() const { return static_cast<int>(gpus_.size()); }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  int rack_count() const { return static_cast<int>(racks_.size()); }
+
+  Gpu& gpu(GpuId id) {
+    FLEXPIPE_DCHECK(id >= 0 && id < gpu_count());
+    return gpus_[static_cast<size_t>(id)];
+  }
+  const Gpu& gpu(GpuId id) const {
+    FLEXPIPE_DCHECK(id >= 0 && id < gpu_count());
+    return gpus_[static_cast<size_t>(id)];
+  }
+  Server& server(ServerId id) { return servers_[static_cast<size_t>(id)]; }
+  const Server& server(ServerId id) const { return servers_[static_cast<size_t>(id)]; }
+  const Rack& rack(RackId id) const { return racks_[static_cast<size_t>(id)]; }
+
+  ServerId ServerOf(GpuId id) const { return gpu(id).server(); }
+  RackId RackOf(ServerId id) const { return server(id).rack; }
+  bool SameServer(GpuId a, GpuId b) const { return ServerOf(a) == ServerOf(b); }
+  bool SameRack(GpuId a, GpuId b) const {
+    return RackOf(ServerOf(a)) == RackOf(ServerOf(b));
+  }
+
+  std::vector<GpuId> AllGpuIds() const;
+
+  // GPUs with at least `bytes` free, sorted by descending free memory.
+  std::vector<GpuId> GpusWithFreeMemory(Bytes bytes) const;
+
+  // Largest set of same-server GPUs each having `bytes` free (for tensor-parallel
+  // feasibility measurements); returns the GPU ids of the best server.
+  std::vector<GpuId> BestColocatedGroup(Bytes bytes_per_gpu) const;
+
+  // Host-memory accounting used by the parameter cache.
+  bool TryReserveHostMemory(ServerId id, Bytes bytes);
+  void ReleaseHostMemory(ServerId id, Bytes bytes);
+
+  // Aggregate statistics (Table 1 / Fig. 2 reporting).
+  double MeanSmUtilization() const;
+  double MeanMemoryUtilization() const;
+  double MeanSubscriptionRate() const;  // subscribers per GPU, 1.0 == 100%
+
+ private:
+  std::vector<Gpu> gpus_;
+  std::vector<Server> servers_;
+  std::vector<Rack> racks_;
+};
+
+// The evaluation cluster from §9 (42 servers / 82 GPUs).
+ClusterConfig EvalClusterConfig();
+
+// The measurement clusters from Table 1 (C1: 430 nodes / 468 GPUs, C2: 927 / 1175).
+ClusterConfig MeasurementClusterC1();
+ClusterConfig MeasurementClusterC2();
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CLUSTER_TOPOLOGY_H_

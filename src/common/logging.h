@@ -1,0 +1,33 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded and benches parse nothing from stderr, so this stays
+// deliberately tiny: printf-style, level-filtered, optionally tagged with virtual time by
+// the caller. Default level is kWarn so experiment binaries emit clean tables.
+#ifndef FLEXPIPE_SRC_COMMON_LOGGING_H_
+#define FLEXPIPE_SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace flexpipe {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogImpl(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace flexpipe
+
+#define FLEXPIPE_LOG_DEBUG(...) ::flexpipe::LogImpl(::flexpipe::LogLevel::kDebug, __VA_ARGS__)
+#define FLEXPIPE_LOG_INFO(...) ::flexpipe::LogImpl(::flexpipe::LogLevel::kInfo, __VA_ARGS__)
+#define FLEXPIPE_LOG_WARN(...) ::flexpipe::LogImpl(::flexpipe::LogLevel::kWarn, __VA_ARGS__)
+#define FLEXPIPE_LOG_ERROR(...) ::flexpipe::LogImpl(::flexpipe::LogLevel::kError, __VA_ARGS__)
+
+#endif  // FLEXPIPE_SRC_COMMON_LOGGING_H_

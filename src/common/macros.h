@@ -1,0 +1,38 @@
+// Assertion macros used across FlexPipe.
+//
+// FLEXPIPE_CHECK is always on: it guards invariants whose violation means the simulation
+// state is corrupt and continuing would produce garbage results. FLEXPIPE_DCHECK compiles
+// out in NDEBUG builds and is for hot-path sanity checks.
+#ifndef FLEXPIPE_SRC_COMMON_MACROS_H_
+#define FLEXPIPE_SRC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FLEXPIPE_CHECK(cond)                                                              \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "FLEXPIPE_CHECK failed: %s at %s:%d\n", #cond, __FILE__,       \
+                   __LINE__);                                                             \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#define FLEXPIPE_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "FLEXPIPE_CHECK failed: %s (%s) at %s:%d\n", #cond, msg,       \
+                   __FILE__, __LINE__);                                                   \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLEXPIPE_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define FLEXPIPE_DCHECK(cond) FLEXPIPE_CHECK(cond)
+#endif
+
+#endif  // FLEXPIPE_SRC_COMMON_MACROS_H_

@@ -1,0 +1,67 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  FLEXPIPE_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  FLEXPIPE_CHECK_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace flexpipe

@@ -1,0 +1,35 @@
+// Aligned text tables for bench output.
+//
+// Every experiment binary regenerates a paper table/figure as rows of text; this helper
+// right-pads columns so the output diff-checks cleanly and reads like the paper's tables.
+#ifndef FLEXPIPE_SRC_COMMON_TABLE_H_
+#define FLEXPIPE_SRC_COMMON_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flexpipe {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);  // 0.25 -> "25.0%"
+
+  // Renders with a separator line under the header.
+  std::string Render() const;
+  void Print() const;  // Render() to stdout.
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_COMMON_TABLE_H_

@@ -1,0 +1,63 @@
+// Time and size units shared by the simulator and the control plane.
+//
+// Virtual time is an int64 nanosecond count: double seconds would accumulate rounding
+// error over multi-hour simulated lifecycles, and event ordering must be exact.
+// Sizes are int64 bytes. Rates are double bytes/second (rates are only ever multiplied
+// into durations, so they do not need exactness).
+#ifndef FLEXPIPE_SRC_COMMON_UNITS_H_
+#define FLEXPIPE_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace flexpipe {
+
+// Virtual simulation time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+inline constexpr TimeNs kHour = 60 * kMinute;
+
+constexpr TimeNs FromSeconds(double s) { return static_cast<TimeNs>(s * 1e9); }
+constexpr TimeNs FromMillis(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+constexpr TimeNs FromMicros(double us) { return static_cast<TimeNs>(us * 1e3); }
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) * 1e-6; }
+constexpr double ToMicros(TimeNs t) { return static_cast<double>(t) * 1e-3; }
+
+// Byte counts.
+using Bytes = int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr double ToGiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+constexpr double ToMiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+
+// Transfer rate in bytes per (virtual) second.
+using BytesPerSec = double;
+
+constexpr BytesPerSec GiBps(double n) { return n * static_cast<double>(kGiB); }
+constexpr BytesPerSec GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+// Time to move `size` bytes at `rate`; returns 0 for non-positive sizes and caps at a
+// large-but-finite value when rate is ~0 so that arithmetic downstream stays sane.
+constexpr TimeNs TransferTime(Bytes size, BytesPerSec rate) {
+  if (size <= 0) {
+    return 0;
+  }
+  if (rate <= 1.0) {
+    return kHour * 24;
+  }
+  return static_cast<TimeNs>(static_cast<double>(size) / rate * 1e9);
+}
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_COMMON_UNITS_H_

@@ -1,0 +1,116 @@
+#include "src/core/allocation.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+void ModelPlacementRegistry::Add(GpuId gpu, int model_id) { ++by_gpu_[gpu][model_id]; }
+
+void ModelPlacementRegistry::Remove(GpuId gpu, int model_id) {
+  auto it = by_gpu_.find(gpu);
+  FLEXPIPE_CHECK(it != by_gpu_.end());
+  auto mit = it->second.find(model_id);
+  FLEXPIPE_CHECK(mit != it->second.end());
+  if (--mit->second == 0) {
+    it->second.erase(mit);
+  }
+  if (it->second.empty()) {
+    by_gpu_.erase(it);
+  }
+}
+
+bool ModelPlacementRegistry::HostsModel(GpuId gpu, int model_id) const {
+  auto it = by_gpu_.find(gpu);
+  if (it == by_gpu_.end()) {
+    return false;
+  }
+  return it->second.count(model_id) > 0;
+}
+
+int ModelPlacementRegistry::ModelsOn(GpuId gpu) const {
+  auto it = by_gpu_.find(gpu);
+  return it == by_gpu_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+TopologyAwarePlacer::TopologyAwarePlacer(Cluster* cluster, const NetworkModel* network,
+                                         const ModelPlacementRegistry* registry,
+                                         const PlacementConfig& config)
+    : cluster_(cluster), network_(network), registry_(registry), config_(config) {
+  FLEXPIPE_CHECK(cluster != nullptr && network != nullptr && registry != nullptr);
+}
+
+double TopologyAwarePlacer::ScoreGpu(const Gpu& gpu, Bytes need, int /*model_id*/, double cv,
+                                     GpuId prev_gpu, const ServerScoreFn& hrg_penalty,
+                                     const ServerScoreFn& affinity_bonus) const {
+  // Throughput proxy: remaining SM headroom. Memory-efficiency term of Eq. 6: divide by
+  // the memory the stage would consume relative to what is free (tight fits score lower).
+  double headroom = std::max(0.0, 1.0 - gpu.sm_utilization());
+  double mem_slack =
+      static_cast<double>(gpu.free_memory() - need) / static_cast<double>(gpu.memory_capacity());
+  double score = headroom * 0.7 + mem_slack * 0.3;
+
+  // Eq. 9: multiplexing penalty if another model of ours already runs here.
+  if (registry_->ModelsOn(gpu.id()) > 0) {
+    double gamma = config_.gamma0 * (1.0 + config_.alpha_cv * cv * cv);
+    score -= gamma;
+  }
+
+  // Topology: keep consecutive stages close.
+  if (prev_gpu != kInvalidGpu) {
+    LinkTier tier = network_->TierBetween(prev_gpu, gpu.id());
+    if (tier == LinkTier::kIntraServer) {
+      score += config_.topo_bonus_server;
+    } else if (tier == LinkTier::kIntraRack) {
+      score += config_.topo_bonus_rack;
+    }
+  }
+
+  ServerId server = gpu.server();
+  if (hrg_penalty) {
+    score -= config_.hrg_weight * hrg_penalty(server);
+  }
+  if (affinity_bonus) {
+    score += config_.affinity_weight * affinity_bonus(server);
+  }
+  return score;
+}
+
+std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, int model_id,
+                                                    double cv, const ServerScoreFn& hrg_penalty,
+                                                    const ServerScoreFn& affinity_bonus) const {
+  std::vector<GpuId> chosen;
+  chosen.reserve(static_cast<size_t>(plan.num_stages()));
+  std::unordered_set<GpuId> used_here;
+
+  GpuId prev = kInvalidGpu;
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    Bytes need = plan.stages[static_cast<size_t>(s)].param_bytes;
+    GpuId best = kInvalidGpu;
+    double best_score = -1e18;
+    for (GpuId id : cluster_->AllGpuIds()) {
+      const Gpu& gpu = cluster_->gpu(id);
+      if (gpu.free_memory() < need) {
+        continue;  // Eq. 7
+      }
+      if (used_here.count(id) > 0 || registry_->HostsModel(id, model_id)) {
+        continue;  // same-model anti-colocation (hard rule, §6.2)
+      }
+      double score = ScoreGpu(gpu, need, model_id, cv, prev, hrg_penalty, affinity_bonus);
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+      }
+    }
+    if (best == kInvalidGpu) {
+      return {};
+    }
+    chosen.push_back(best);
+    used_here.insert(best);
+    prev = best;
+  }
+  return chosen;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,80 @@
+// Topology-aware GPU assignment for pipeline stages (§6.2, Eq. 6–9).
+//
+// Greedy solver for the constrained assignment problem: each stage of a pipeline
+// instance gets the GPU maximizing throughput-per-memory, discounted by
+//   * the multiplexing penalty γ(CV) = γ0 (1 + α CV²) when the GPU already hosts another
+//     model's stage (Eq. 9 — bursty workloads interfere quadratically),
+//   * HRG contention on servers with recent scaling activity,
+//   * topology distance from the previous stage's GPU (pipelines want short hops),
+// and boosted by affinity (Eq. 13) when the server holds warm parameters.
+// Hard constraints: per-GPU memory (Eq. 7) and the same-model anti-colocation rule —
+// two stages of one model never share a GPU, across all of that model's instances.
+#ifndef FLEXPIPE_SRC_CORE_ALLOCATION_H_
+#define FLEXPIPE_SRC_CORE_ALLOCATION_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/cluster/topology.h"
+#include "src/partition/plan.h"
+
+namespace flexpipe {
+
+struct PlacementConfig {
+  double gamma0 = 0.08;        // base multiplexing penalty (Eq. 9)
+  double alpha_cv = 0.5;       // CV² sensitivity (Eq. 9)
+  double topo_bonus_server = 0.30;  // next stage on the same server
+  double topo_bonus_rack = 0.15;    // next stage in the same rack
+  double affinity_weight = 0.25;
+  double hrg_weight = 0.35;
+  double sm_per_stage = 0.6;   // SM share a stage consumes
+};
+
+// Tracks which GPUs host which models' stages (for the anti-colocation rule and the
+// multiplexing penalty). The serving system updates it on placement and release.
+class ModelPlacementRegistry {
+ public:
+  void Add(GpuId gpu, int model_id);
+  void Remove(GpuId gpu, int model_id);
+  bool HostsModel(GpuId gpu, int model_id) const;
+  int ModelsOn(GpuId gpu) const;
+
+ private:
+  std::unordered_map<GpuId, std::unordered_map<int, int>> by_gpu_;
+};
+
+class TopologyAwarePlacer {
+ public:
+  // Optional scoring hooks supplied by the scaling layer:
+  //   hrg_penalty(server)    in [0, 1], 1 = heavily contended
+  //   affinity_bonus(server) in [0, 1], 1 = fully warm
+  using ServerScoreFn = std::function<double(ServerId)>;
+
+  TopologyAwarePlacer(Cluster* cluster, const NetworkModel* network,
+                      const ModelPlacementRegistry* registry, const PlacementConfig& config);
+
+  // Chooses one GPU per stage for `plan` (model `model_id`, workload CV `cv`).
+  // Does NOT reserve memory — the caller commits the placement. Returns empty when the
+  // memory or anti-colocation constraints cannot be met.
+  std::vector<GpuId> PlaceStages(const PipelinePlan& plan, int model_id, double cv,
+                                 const ServerScoreFn& hrg_penalty,
+                                 const ServerScoreFn& affinity_bonus) const;
+
+  const PlacementConfig& config() const { return config_; }
+
+ private:
+  double ScoreGpu(const Gpu& gpu, Bytes need, int model_id, double cv, GpuId prev_gpu,
+                  const ServerScoreFn& hrg_penalty, const ServerScoreFn& affinity_bonus) const;
+
+  Cluster* cluster_;
+  const NetworkModel* network_;
+  const ModelPlacementRegistry* registry_;
+  PlacementConfig config_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_ALLOCATION_H_

@@ -1,0 +1,46 @@
+#include "src/core/cv_monitor.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+CvMonitor::CvMonitor(const Config& config)
+    : config_(config), gaps_(config.window_arrivals) {
+  FLEXPIPE_CHECK(config.window_arrivals >= 2);
+  FLEXPIPE_CHECK(config.rate_window > 0);
+}
+
+void CvMonitor::RecordArrival(TimeNs now) {
+  if (last_arrival_ >= 0) {
+    gaps_.Add(ToSeconds(now - last_arrival_));
+  }
+  last_arrival_ = now;
+  recent_.push_back(now);
+  TimeNs horizon = now - 2 * config_.rate_window;
+  while (!recent_.empty() && recent_.front() < horizon) {
+    recent_.pop_front();
+  }
+}
+
+size_t CvMonitor::CountIn(TimeNs begin, TimeNs end) const {
+  auto lo = std::lower_bound(recent_.begin(), recent_.end(), begin);
+  auto hi = std::lower_bound(recent_.begin(), recent_.end(), end);
+  return static_cast<size_t>(hi - lo);
+}
+
+double CvMonitor::RatePerSec(TimeNs now) const {
+  double w = ToSeconds(config_.rate_window);
+  return static_cast<double>(CountIn(now - config_.rate_window, now + 1)) / w;
+}
+
+double CvMonitor::RateGradient(TimeNs now) const {
+  double w = ToSeconds(config_.rate_window);
+  double newer = static_cast<double>(CountIn(now - config_.rate_window, now + 1)) / w;
+  double older =
+      static_cast<double>(CountIn(now - 2 * config_.rate_window, now - config_.rate_window)) / w;
+  return (newer - older) / w;
+}
+
+}  // namespace flexpipe

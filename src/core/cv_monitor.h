@@ -1,0 +1,51 @@
+// Online request-pattern monitor (§6).
+//
+// Tracks the coefficient of variation ν_t of inter-arrival times over a sliding window,
+// the arrival intensity λ_t, and its gradient ∂λ/∂t (Algorithm 1 line 3 — the
+// "characteristic velocity" FlexPipe uses to anticipate traffic shifts before they
+// become queue growth).
+#ifndef FLEXPIPE_SRC_CORE_CV_MONITOR_H_
+#define FLEXPIPE_SRC_CORE_CV_MONITOR_H_
+
+#include <deque>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+class CvMonitor {
+ public:
+  struct Config {
+    size_t window_arrivals = 512;       // inter-arrival samples for ν_t (~17 s at 30 rps)
+    TimeNs rate_window = 5 * kSecond;   // λ_t measurement window
+  };
+
+  CvMonitor() : CvMonitor(Config{}) {}
+  explicit CvMonitor(const Config& config);
+
+  void RecordArrival(TimeNs now);
+
+  // ν_t: CV of recent inter-arrival gaps. Returns 0 until enough samples exist.
+  double Cv() const { return gaps_.cv(); }
+  size_t samples() const { return gaps_.size(); }
+
+  // λ_t over the last rate window.
+  double RatePerSec(TimeNs now) const;
+
+  // ∂λ/∂t: (rate in the newest window − rate in the previous window) / window.
+  // Positive values predict a building burst.
+  double RateGradient(TimeNs now) const;
+
+ private:
+  size_t CountIn(TimeNs begin, TimeNs end) const;
+
+  Config config_;
+  SlidingWindowStats gaps_;
+  TimeNs last_arrival_ = -1;
+  std::deque<TimeNs> recent_;  // arrival timestamps, pruned to 2 rate windows
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_CV_MONITOR_H_

@@ -1,0 +1,114 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+ExperimentEnv::ExperimentEnv(const ExperimentEnvConfig& config)
+    : config_(config),
+      cluster_(config.cluster),
+      network_(&cluster_, config.network),
+      transfer_(&sim_, &network_),
+      allocator_(&cluster_, config.allocator, Rng(config.seed).Child("allocator").seed()),
+      fragmentation_(&cluster_, config.fragmentation, Rng(config.seed).Child("frag").seed()),
+      cost_model_(config.cost) {
+  if (config.apply_fragmentation) {
+    fragmentation_.ApplySnapshot();
+  }
+  Profiler profiler(&cost_model_, Profiler::Config{});
+  Partitioner partitioner(config.partitioner);
+  for (const ModelSpec& spec : config.models) {
+    ComputationGraph graph = ComputationGraph::Build(spec);
+    ModelProfile profile = profiler.Profile(graph);
+    ladders_.emplace(spec.name, partitioner.BuildLadder(profile));
+    model_order_.push_back(spec.name);
+  }
+}
+
+const GranularityLadder& ExperimentEnv::ladder(const std::string& model_name) const {
+  auto it = ladders_.find(model_name);
+  FLEXPIPE_CHECK_MSG(it != ladders_.end(), "no ladder for model");
+  return it->second;
+}
+
+const GranularityLadder& ExperimentEnv::ladder(int model_index) const {
+  FLEXPIPE_CHECK(model_index >= 0 &&
+                 model_index < static_cast<int>(model_order_.size()));
+  return ladder(model_order_[static_cast<size_t>(model_index)]);
+}
+
+SystemContext ExperimentEnv::Context() {
+  SystemContext ctx;
+  ctx.sim = &sim_;
+  ctx.cluster = &cluster_;
+  ctx.network = &network_;
+  ctx.transfer = &transfer_;
+  ctx.allocator = &allocator_;
+  ctx.cost_model = &cost_model_;
+  ctx.fragmentation = &fragmentation_;
+  ctx.seed = config_.seed;
+  return ctx;
+}
+
+void ExperimentEnv::StartChurn() {
+  if (churn_task_ != nullptr || config_.churn_interval <= 0 || config_.churn_fraction <= 0) {
+    return;
+  }
+  churn_task_ = std::make_unique<PeriodicTask>(&sim_, config_.churn_interval, [this] {
+    fragmentation_.ChurnStep(config_.churn_fraction);
+  });
+}
+
+RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> systems_by_model,
+                      const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
+                      const RunOptions& options) {
+  FLEXPIPE_CHECK(!systems_by_model.empty());
+  storage.clear();
+  storage.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    storage[i].spec = specs[i];
+    storage[i].spec.arrival += options.warmup;
+  }
+
+  for (ServingSystemBase* system : systems_by_model) {
+    system->Start();
+  }
+  if (options.enable_churn) {
+    env.StartChurn();
+  }
+
+  Simulation& sim = env.sim();
+  for (size_t i = 0; i < storage.size(); ++i) {
+    Request* request = &storage[i];
+    int model = request->spec.model_index;
+    FLEXPIPE_CHECK(model >= 0 && model < static_cast<int>(systems_by_model.size()));
+    ServingSystemBase* system = systems_by_model[static_cast<size_t>(model)];
+    sim.ScheduleAt(request->spec.arrival, [system, request] { system->OnArrival(request); });
+  }
+
+  TimeNs horizon = options.horizon;
+  if (horizon == 0) {
+    TimeNs last = specs.empty() ? 0 : specs.back().arrival;
+    horizon = last + options.warmup + options.drain_grace;
+  }
+  sim.RunUntil(horizon);
+  for (ServingSystemBase* system : systems_by_model) {
+    system->Finish();
+  }
+
+  RunReport report;
+  report.submitted = static_cast<int64_t>(specs.size());
+  report.ran_until = sim.now();
+  report.warmup = options.warmup;
+  return report;
+}
+
+RunReport RunWorkload(ExperimentEnv& env, ServingSystemBase& system,
+                      const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
+                      const RunOptions& options) {
+  return RunWorkload(env, std::vector<ServingSystemBase*>{&system}, specs, storage, options);
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,110 @@
+// Experiment environment and workload runner.
+//
+// Benches, tests and examples all need the same scaffolding: a simulated cluster with
+// fragmentation applied, a network/transfer fabric, a calibrated cost model, granularity
+// ladders for the models under test, and a loop that feeds a workload into one or more
+// serving systems and runs the virtual clock. Each serving system mutates cluster state,
+// so comparative experiments construct a fresh ExperimentEnv per system.
+#ifndef FLEXPIPE_SRC_CORE_EXPERIMENT_H_
+#define FLEXPIPE_SRC_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/allocator.h"
+#include "src/cluster/fragmentation.h"
+#include "src/cluster/network.h"
+#include "src/cluster/topology.h"
+#include "src/core/serving.h"
+#include "src/model/cost_model.h"
+#include "src/model/profiler.h"
+#include "src/partition/partitioner.h"
+#include "src/runtime/transfer.h"
+#include "src/sim/simulation.h"
+#include "src/trace/workload.h"
+
+namespace flexpipe {
+
+struct ExperimentEnvConfig {
+  ClusterConfig cluster = EvalClusterConfig();
+  FragmentationProfile fragmentation = ProfileClusterC1();
+  bool apply_fragmentation = true;
+  // Periodic background churn: every `churn_interval`, re-sample this GPU fraction.
+  TimeNs churn_interval = 30 * kSecond;
+  double churn_fraction = 0.05;
+  NetworkConfig network;
+  AllocatorConfig allocator;
+  CostModelConfig cost;
+  PartitionerConfig partitioner;
+  std::vector<ModelSpec> models = {Opt66B()};
+  uint64_t seed = 42;
+};
+
+class ExperimentEnv {
+ public:
+  explicit ExperimentEnv(const ExperimentEnvConfig& config);
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+  Simulation& sim() { return sim_; }
+  Cluster& cluster() { return cluster_; }
+  NetworkModel& network() { return network_; }
+  TransferEngine& transfer() { return transfer_; }
+  ClusterAllocator& allocator() { return allocator_; }
+  FragmentationGenerator& fragmentation() { return fragmentation_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const GranularityLadder& ladder(const std::string& model_name) const;
+  const GranularityLadder& ladder(int model_index) const;
+  const ExperimentEnvConfig& config() const { return config_; }
+
+  SystemContext Context();
+
+  // Starts the periodic background-churn task (idempotent).
+  void StartChurn();
+
+ private:
+  ExperimentEnvConfig config_;
+  Simulation sim_;
+  Cluster cluster_;
+  NetworkModel network_;
+  TransferEngine transfer_;
+  ClusterAllocator allocator_;
+  FragmentationGenerator fragmentation_;
+  CostModel cost_model_;
+  std::vector<std::string> model_order_;
+  std::map<std::string, GranularityLadder> ladders_;
+  std::unique_ptr<PeriodicTask> churn_task_;
+};
+
+struct RunOptions {
+  TimeNs horizon = 0;            // 0 = last arrival + drain_grace
+  TimeNs drain_grace = 30 * kSecond;
+  // Deploy-then-measure: systems start at t=0 but arrivals shift by `warmup`, so
+  // initial parameter loading happens before traffic (the paper measures warm fleets).
+  TimeNs warmup = 0;
+  bool enable_churn = true;
+};
+
+struct RunReport {
+  int64_t submitted = 0;
+  TimeNs ran_until = 0;
+  TimeNs warmup = 0;
+  TimeNs measured_span() const { return ran_until - warmup; }
+};
+
+// Owns nothing: `storage` receives one Request per spec (stable addresses) and must
+// outlive the run. `systems_by_model[i]` serves requests whose spec.model_index == i.
+RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> systems_by_model,
+                      const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
+                      const RunOptions& options = RunOptions{});
+
+// Single-system convenience overload.
+RunReport RunWorkload(ExperimentEnv& env, ServingSystemBase& system,
+                      const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
+                      const RunOptions& options = RunOptions{});
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,399 @@
+#include "src/core/flexpipe_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+FlexPipeSystem::FlexPipeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                               const FlexPipeConfig& config)
+    : ServingSystemBase(ctx, "FlexPipe", config.default_slo),
+      ladder_(ladder),
+      config_(config),
+      rng_(Rng(ctx.seed).Child("flexpipe")),
+      cv_monitor_(),
+      granularity_(ladder, ctx.cost_model, ctx.network, config.workload, config.granularity),
+      hrg_(ctx.cluster, HierarchicalResourceGraph::Config{}),
+      host_cache_(ctx.cluster),
+      affinity_(ctx.cluster, &host_cache_, config.scaling),
+      placer_(ctx.cluster, ctx.network, &placement_registry_, config.placement) {
+  FLEXPIPE_CHECK(ladder != nullptr);
+  FLEXPIPE_CHECK(!ladder->granularities.empty());
+  current_stages_ = config.initial_stages;
+  // Fig. 7: elastic scale-outs use the finest granularity that loads quickly (stage
+  // parameters fetch in parallel), then consolidation merges them once traffic settles.
+  fast_scale_stages_ = ladder_->granularities.back();
+  for (int g : ladder_->granularities) {
+    TimeNs load = ctx.cost_model->ColdLoadTime(ladder_->plan(g).MaxStageParams());
+    if (load <= FromSeconds(12.0)) {
+      fast_scale_stages_ = g;
+      break;
+    }
+  }
+}
+
+FlexPipeSystem::~FlexPipeSystem() = default;
+
+void FlexPipeSystem::Start() {
+  int count = MinInstances(current_stages_);
+  for (int i = 0; i < count; ++i) {
+    LaunchWithRetry(current_stages_, /*cv=*/1.0, /*remaining_attempts=*/10, /*waited=*/0);
+  }
+  control_task_ = std::make_unique<PeriodicTask>(ctx_.sim, config_.control_interval,
+                                                 [this] { Tick(); });
+}
+
+void FlexPipeSystem::OnArrival(Request* request) {
+  cv_monitor_.RecordArrival(ctx_.sim->now());
+  router_.Submit(request);
+}
+
+void FlexPipeSystem::Finish() { control_task_.reset(); }
+
+double FlexPipeSystem::ObservedCv() const {
+  // Until the window fills, assume the Poisson default rather than over-reacting.
+  if (cv_monitor_.samples() < 16) {
+    return 1.0;
+  }
+  return cv_monitor_.Cv();
+}
+
+double FlexPipeSystem::ProjectedDemand() const {
+  TimeNs now = ctx_.sim->now();
+  double rate = cv_monitor_.RatePerSec(now);
+  double gradient = cv_monitor_.RateGradient(now);
+  // Proactive adaptation (Algorithm 1): project the intensity gradient forward.
+  return std::max(rate, rate + gradient * config_.demand_lead_s);
+}
+
+int FlexPipeSystem::MinInstances(int stages) const {
+  double reserve_rps = config_.reserve_fraction * config_.target_peak_rps;
+  return std::max(1, granularity_.InstancesFor(reserve_rps, stages));
+}
+
+int FlexPipeSystem::ActiveOrLoadingCount() const {
+  // Counts provisioning instances too (they only join the router once loading starts),
+  // so the controller does not double-launch while pods bind.
+  int n = 0;
+  for (const InstanceRecord& r : records_) {
+    if (r.released) {
+      continue;
+    }
+    InstanceState s = r.instance->state();
+    if (s == InstanceState::kActive || s == InstanceState::kLoading) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<bool> FlexPipeSystem::WarmFlags(const PipelinePlan& plan,
+                                            const std::vector<GpuId>& gpus) const {
+  std::vector<bool> warm(static_cast<size_t>(plan.num_stages()), false);
+  if (!config_.enable_host_cache) {
+    return warm;
+  }
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+    ServerId server = ctx_.cluster->ServerOf(gpus[static_cast<size_t>(s)]);
+    double coverage =
+        host_cache_.Coverage(server, config_.model_id, sp.fine_begin, sp.fine_end);
+    warm[static_cast<size_t>(s)] = coverage >= 0.99;
+  }
+  return warm;
+}
+
+PipelineInstance* FlexPipeSystem::LaunchAt(int stages, double cv) {
+  const PipelinePlan& plan = ladder_->plan(stages);
+  TimeNs now = ctx_.sim->now();
+
+  TopologyAwarePlacer::ServerScoreFn hrg_hook;
+  TopologyAwarePlacer::ServerScoreFn affinity_hook;
+  if (config_.enable_hrg) {
+    hrg_hook = [this, now](ServerId s) { return hrg_.PlacementPenalty(s, now); };
+  }
+  if (config_.enable_affinity) {
+    Bytes threshold = plan.MaxStageParams();
+    affinity_hook = [this, now, threshold](ServerId s) {
+      return affinity_.Score(s, config_.model_id, now, threshold);
+    };
+  }
+  std::vector<GpuId> gpus = placer_.PlaceStages(plan, config_.model_id, cv, hrg_hook,
+                                                affinity_hook);
+  if (gpus.empty()) {
+    return nullptr;
+  }
+
+  std::vector<bool> warm = WarmFlags(plan, gpus);
+  double slowdown = 1.0;
+  std::vector<ServerId> servers;
+  for (GpuId g : gpus) {
+    servers.push_back(ctx_.cluster->ServerOf(g));
+  }
+  for (ServerId s : servers) {
+    slowdown = std::max(slowdown, hrg_.LoadSlowdown(s));
+  }
+
+  // Provisioning: fine-grained single-GPU pods bind fast; the log-normal tail models
+  // the K8s admission path.
+  double delay_s = rng_.LogNormal(std::log(1.2), 0.4) +
+                   0.25 * static_cast<double>(plan.num_stages() - 1) / 8.0;
+  TimeNs delay = FromSeconds(delay_s);
+
+  PipelineInstance* inst = LaunchInstance(plan, config_.model_id, gpus, warm, slowdown, delay);
+
+  // HRG bookkeeping: scaling events + load streams for the duration of the load.
+  for (ServerId s : servers) {
+    hrg_.RecordScalingEvent(s, now);
+    hrg_.AddLoadStream(s);
+  }
+  // Streams retire when loading is expected to finish (estimate: delay + worst stage).
+  TimeNs worst_load = 0;
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    Bytes params = plan.stages[static_cast<size_t>(s)].param_bytes;
+    TimeNs t = warm[static_cast<size_t>(s)]
+                   ? ctx_.cost_model->WarmLoadTime(params, ctx_.network->config().pcie_bandwidth)
+                   : ctx_.cost_model->ColdLoadTime(params);
+    worst_load = std::max(worst_load, static_cast<TimeNs>(static_cast<double>(t) * slowdown));
+  }
+  ctx_.sim->Schedule(delay + worst_load, [this, servers] {
+    for (ServerId s : servers) {
+      hrg_.RemoveLoadStream(s);
+    }
+  });
+  // Keep affinity timestamps fresh on servers we now occupy.
+  if (config_.enable_host_cache) {
+    for (ServerId s : servers) {
+      host_cache_.Touch(s, config_.model_id, now);
+    }
+  }
+  return inst;
+}
+
+void FlexPipeSystem::LaunchWithRetry(int stages, double cv, int remaining_attempts,
+                                     TimeNs waited) {
+  PipelineInstance* inst = LaunchAt(stages, cv);
+  if (inst != nullptr) {
+    return;
+  }
+  if (remaining_attempts <= 0) {
+    FLEXPIPE_LOG_INFO("FlexPipe: giving up on launch at %d stages after retries", stages);
+    return;
+  }
+  ctx_.sim->Schedule(config_.retry_backoff, [this, stages, cv, remaining_attempts, waited] {
+    LaunchWithRetry(stages, cv, remaining_attempts - 1, waited + config_.retry_backoff);
+  });
+}
+
+void FlexPipeSystem::RetireOne() {
+  // Pick the least-loaded active instance beyond the floor and drain it.
+  PipelineInstance* victim = nullptr;
+  double least = 2.0;
+  for (PipelineInstance* inst : router_.instances()) {
+    if (inst->state() != InstanceState::kActive) {
+      continue;
+    }
+    double load = inst->LoadFraction();
+    if (load < least) {
+      least = load;
+      victim = inst;
+    }
+  }
+  if (victim == nullptr || migration_pinned_.count(victim->id()) > 0) {
+    return;
+  }
+  router_.DeregisterInstance(victim->id());
+  victim->StartDraining([this, victim] {
+    CacheInstanceParams(victim);
+    ReleaseInstance(victim);
+  });
+}
+
+void FlexPipeSystem::CacheInstanceParams(PipelineInstance* instance) {
+  if (!config_.enable_host_cache) {
+    return;
+  }
+  TimeNs now = ctx_.sim->now();
+  const PipelinePlan& plan = instance->plan();
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+    ServerId server = ctx_.cluster->ServerOf(instance->gpus()[static_cast<size_t>(s)]);
+    host_cache_.Put(server, config_.model_id, sp.fine_begin, sp.fine_end, sp.param_bytes, now);
+  }
+}
+
+void FlexPipeSystem::BeginRefactor(std::vector<PipelineInstance*> old_instances, int new_stages,
+                                   double cv) {
+  if (old_instances.empty()) {
+    return;
+  }
+  // Capacity-preserving target fleet: the migrated instances' total stage count maps
+  // onto new_stages-deep pipelines.
+  int total_old_stages = 0;
+  for (const PipelineInstance* inst : old_instances) {
+    total_old_stages += inst->num_stages();
+  }
+  int target_count = std::max(1, (total_old_stages + new_stages - 1) / new_stages);
+
+  std::vector<PipelineInstance*> targets;
+  for (int i = 0; i < target_count; ++i) {
+    PipelineInstance* t = LaunchAt(new_stages, cv);
+    if (t != nullptr) {
+      targets.push_back(t);
+    }
+  }
+  if (targets.empty()) {
+    // Fragmentation prevents the transition; stay at the current granularity.
+    FLEXPIPE_LOG_INFO("FlexPipe: refactor to %d stages aborted (no placement)", new_stages);
+    return;
+  }
+  current_stages_ = new_stages;
+
+  // Sessions grouped by target: a session must not halt its source before the target
+  // can serve, so sessions wait for the target's activation. The old pipelines keep
+  // serving (admissions open) until their session's snapshot phase begins.
+  std::map<int, std::vector<MigrationSession*>> by_target;
+  std::map<int, PipelineInstance*> target_by_id;
+  for (size_t i = 0; i < old_instances.size(); ++i) {
+    PipelineInstance* from = old_instances[i];
+    PipelineInstance* to = targets[i % targets.size()];
+    auto session = std::make_unique<MigrationSession>(
+        ctx_.sim, ctx_.transfer, from, to, &router_,
+        [this](PipelineInstance* old_inst, const MigrationResult& result) {
+          OnMigrationDone(old_inst, result);
+        });
+    ++refactors_in_progress_;
+    migration_pinned_.insert(from->id());
+    migration_pinned_.insert(to->id());
+    by_target[to->id()].push_back(session.get());
+    target_by_id[to->id()] = to;
+    sessions_.push_back(std::move(session));
+  }
+  for (auto& [target_id, session_list] : by_target) {
+    PipelineInstance* target = target_by_id[target_id];
+    auto start_all = [session_list] {
+      for (MigrationSession* s : session_list) {
+        if (!s->started()) {
+          s->Start();
+        }
+      }
+    };
+    if (target->state() == InstanceState::kActive) {
+      start_all();
+    } else {
+      target->set_activation_callback(start_all);
+    }
+  }
+}
+
+void FlexPipeSystem::OnMigrationDone(PipelineInstance* old_instance,
+                                     const MigrationResult& result) {
+  last_pause_ = result.pause_duration;
+  total_pause_ += result.pause_duration;
+  kv_migrated_bytes_ += result.snapshot_bytes + result.delta_bytes;
+  ++refactor_count_;
+  --refactors_in_progress_;
+  migration_pinned_.erase(old_instance->id());
+  if (refactors_in_progress_ == 0) {
+    migration_pinned_.clear();  // targets unpin once the wave completes
+  }
+  CacheInstanceParams(old_instance);
+  ReleaseInstance(old_instance);
+  router_.Pump();
+}
+
+void FlexPipeSystem::Tick() {
+  double cv = ObservedCv();
+  double demand = ProjectedDemand();
+  TimeNs now = ctx_.sim->now();
+  double qnorm = std::min(
+      1.0, static_cast<double>(router_.queue_length()) / config_.scaling.q_max);
+
+  // Granularity adaptation (Algorithm 1, lines 5-16), damped by the cooldown and
+  // directional: consolidation (merge toward coarse) runs only while traffic is calm —
+  // it trades capacity for per-request latency; refinement of too-coarse instances runs
+  // only under queue pressure, when their buffering is the bottleneck. Fine-grained
+  // burst capacity normally arrives through the scaling path below (Fig. 7), so merges
+  // are the common refactor.
+  if (config_.enable_refactoring && refactors_in_progress_ == 0 &&
+      now - last_refactor_time_ >= config_.refactor_cooldown) {
+    int desired = granularity_.SelectStageCount(cv, current_stages_);
+    bool calm = qnorm < 0.05;
+    std::vector<PipelineInstance*> to_migrate;
+    for (PipelineInstance* inst : router_.instances()) {
+      if (inst->state() != InstanceState::kActive) {
+        continue;
+      }
+      if (inst->num_stages() > desired && calm) {
+        to_migrate.push_back(inst);  // merge: fewer hops once stable
+      } else if (inst->num_stages() < desired && qnorm > 0.5) {
+        to_migrate.push_back(inst);  // split: distributed buffering for bursts
+      }
+    }
+    current_stages_ = desired;
+    if (!to_migrate.empty()) {
+      last_refactor_time_ = now;
+      BeginRefactor(std::move(to_migrate), desired, cv);
+      return;
+    }
+  }
+
+  // Fleet sizing (Eq. 5) with queue-pressure escalation (Eq. 11/12).
+  int needed = std::max(MinInstances(current_stages_),
+                        granularity_.InstancesFor(demand, current_stages_));
+  int loading = 0;
+  for (const PipelineInstance* inst : router_.instances()) {
+    if (inst->state() == InstanceState::kLoading) {
+      ++loading;
+    }
+  }
+  // Queue-pressure escalation only when no capacity is already on the way — otherwise
+  // every control tick during a (multi-second) load would ratchet the fleet up.
+  // §7 / Eq. 11: the *scaling granularity* m_j escalates with cv * q̂ — urgent capacity
+  // is added as fine-grained stages because they load ~8.7x faster (Table 2), turning
+  // a ~48 s coarse cold start into a few seconds of ramp. Demand-driven scale-outs use
+  // the precomputed fast granularity for the same reason; consolidation merges later.
+  int scale_stages = std::max(current_stages_, fast_scale_stages_);
+  if (qnorm > 0.0 && loading == 0) {
+    int m = ScalingGranularity(cv, qnorm, config_.scaling);
+    // Snap Eq. 11's granularity to the ladder: the smallest stage count >= m_j.
+    for (int g : ladder_->granularities) {
+      scale_stages = std::max(scale_stages, g);
+      if (g >= m) {
+        break;
+      }
+    }
+    const GranularityOption& opt = granularity_.OptionFor(current_stages_);
+    bool feasible = SloFeasible(config_.default_slo, FromSeconds(3.0), opt.throughput_rps,
+                                ActiveOrLoadingCount(), router_.queue_length(),
+                                router_.queue_length());
+    if (!feasible || qnorm > 0.25) {
+      needed = std::max(needed, ActiveOrLoadingCount() + (qnorm > 0.6 ? 2 : 1));
+    }
+  }
+
+  int have = ActiveOrLoadingCount();
+  if (have < needed) {
+    int launches = std::min(config_.max_launches_per_tick, needed - have);
+    for (int i = 0; i < launches; ++i) {
+      LaunchWithRetry(scale_stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
+    }
+    overcapacity_since_ = -1;
+  } else if (have > needed) {
+    // Reclaim only after the idle window (§9.4: 5-minute reclamation).
+    if (overcapacity_since_ < 0) {
+      overcapacity_since_ = now;
+    } else if (now - overcapacity_since_ >= config_.scaling.reclaim_idle) {
+      RetireOne();
+      overcapacity_since_ = -1;
+    }
+  } else {
+    overcapacity_since_ = -1;
+  }
+}
+
+}  // namespace flexpipe

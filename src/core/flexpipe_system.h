@@ -1,0 +1,122 @@
+// FlexPipeSystem: the complete adaptive serving system (§4 architecture, Algorithm 1).
+//
+// A periodic controller observes the request pattern through the CvMonitor and drives
+// three mechanisms:
+//   * inflight pipeline refactoring — when Eq. 4 prefers a different granularity, new
+//     instances are brought up at the target stage count and live state migrates via
+//     MigrationSessions (no service interruption);
+//   * adaptive scaling — Eq. 5 sizes the data-parallel fleet for current demand (with
+//     the intensity gradient as lead), Eq. 11/12 escalate under queue pressure, and
+//     instances are reclaimed after the idle window during calm periods;
+//   * topology-aware allocation — placements go through the Eq. 6–9 placer with HRG
+//     contention penalties and Eq. 13 affinity bonuses; released parameters persist in
+//     the host cache so later scale-ups warm-start.
+//
+// Ablation switches (enable_refactoring / enable_hrg / enable_affinity /
+// enable_host_cache) exist for the ablation benches.
+#ifndef FLEXPIPE_SRC_CORE_FLEXPIPE_SYSTEM_H_
+#define FLEXPIPE_SRC_CORE_FLEXPIPE_SYSTEM_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/allocation.h"
+#include "src/core/cv_monitor.h"
+#include "src/core/granularity.h"
+#include "src/core/refactoring.h"
+#include "src/core/scaling.h"
+#include "src/core/serving.h"
+
+namespace flexpipe {
+
+struct FlexPipeConfig {
+  int model_id = 0;
+  int initial_stages = 4;
+  double reserve_fraction = 0.30;  // always-on share of peak capacity (§9.6)
+  double target_peak_rps = 20.0;
+  TimeNs control_interval = 500 * kMillisecond;
+  TimeNs default_slo = 15 * kSecond;
+  int max_launches_per_tick = 4;
+  TimeNs retry_backoff = 1 * kSecond;
+  // Damping: minimum spacing between granularity transitions (noisy ν_t estimates at
+  // high CV would otherwise cause 8<->16 flapping, each costing a migration).
+  TimeNs refactor_cooldown = 45 * kSecond;
+  double demand_lead_s = 2.0;  // how far the intensity gradient projects demand
+
+  GranularityConfig granularity;
+  ScalingConfig scaling;
+  PlacementConfig placement;
+  WorkloadAssumptions workload;
+
+  bool enable_refactoring = true;
+  bool enable_hrg = true;
+  bool enable_affinity = true;
+  bool enable_host_cache = true;
+};
+
+class FlexPipeSystem : public ServingSystemBase {
+ public:
+  FlexPipeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                 const FlexPipeConfig& config);
+  ~FlexPipeSystem() override;
+
+  void Start() override;
+  void OnArrival(Request* request) override;
+  void Finish() override;
+
+  // -- Introspection for benches --------------------------------------------------------
+  int current_stages() const { return current_stages_; }
+  int64_t refactor_count() const { return refactor_count_; }
+  TimeNs last_refactor_pause() const { return last_pause_; }
+  TimeNs total_refactor_pause() const { return total_pause_; }
+  Bytes kv_migrated_bytes() const { return kv_migrated_bytes_; }
+  const CvMonitor& cv_monitor() const { return cv_monitor_; }
+  const HostParamCache& host_cache() const { return host_cache_; }
+  const GranularityController& granularity_controller() const { return granularity_; }
+
+ private:
+  void Tick();
+  double ObservedCv() const;
+  double ProjectedDemand() const;
+  int MinInstances(int stages) const;
+  int ActiveOrLoadingCount() const;
+
+  PipelineInstance* LaunchAt(int stages, double cv);
+  void LaunchWithRetry(int stages, double cv, int remaining_attempts, TimeNs waited);
+  void RetireOne();
+  void BeginRefactor(std::vector<PipelineInstance*> old_instances, int new_stages, double cv);
+  void OnMigrationDone(PipelineInstance* old_instance, const MigrationResult& result);
+  void CacheInstanceParams(PipelineInstance* instance);
+  std::vector<bool> WarmFlags(const PipelinePlan& plan, const std::vector<GpuId>& gpus) const;
+
+  const GranularityLadder* ladder_;
+  FlexPipeConfig config_;
+  Rng rng_;
+  CvMonitor cv_monitor_;
+  GranularityController granularity_;
+  HierarchicalResourceGraph hrg_;
+  HostParamCache host_cache_;
+  AffinityScheduler affinity_;
+  TopologyAwarePlacer placer_;
+  std::unique_ptr<PeriodicTask> control_task_;
+
+  int current_stages_ = 0;
+  int refactors_in_progress_ = 0;
+  int64_t refactor_count_ = 0;
+  TimeNs last_pause_ = 0;
+  TimeNs total_pause_ = 0;
+  Bytes kv_migrated_bytes_ = 0;
+  TimeNs overcapacity_since_ = -1;
+  TimeNs last_refactor_time_ = 0;
+  int fast_scale_stages_ = 0;
+  std::vector<std::unique_ptr<MigrationSession>> sessions_;
+  // Instances pinned by an in-flight migration (sources and targets): exempt from
+  // scale-in until the session completes.
+  std::set<int> migration_pinned_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_FLEXPIPE_SYSTEM_H_

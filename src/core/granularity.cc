@@ -1,0 +1,144 @@
+#include "src/core/granularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+GranularityController::GranularityController(const GranularityLadder* ladder,
+                                             const CostModel* cost_model,
+                                             const NetworkModel* network,
+                                             const WorkloadAssumptions& workload,
+                                             const GranularityConfig& config)
+    : ladder_(ladder),
+      cost_model_(cost_model),
+      network_(network),
+      workload_(workload),
+      config_(config) {
+  FLEXPIPE_CHECK(ladder != nullptr && cost_model != nullptr && network != nullptr);
+  options_.reserve(ladder_->granularities.size());
+  for (int g : ladder_->granularities) {
+    options_.push_back(BuildOption(ladder_->plan(g)));
+  }
+}
+
+GranularityOption GranularityController::BuildOption(const PipelinePlan& plan) const {
+  GranularityOption opt;
+  opt.stages = plan.num_stages();
+  opt.max_batch = cost_model_->MaxRequestsPerStage() * plan.num_stages();
+  opt.cv_opt = config_.cv_anchor_per_stage * plan.num_stages();
+
+  const ModelSpec& spec = plan.spec;
+  int group_batch = cost_model_->MaxRequestsPerStage();
+  // Assume intra-rack links between consecutive stages (the common placement).
+  TimeNs hop_latency = network_->Latency(LinkTier::kIntraRack);
+  BytesPerSec hop_bw = network_->Bandwidth(LinkTier::kIntraRack);
+  TimeNs decode_full = cost_model_->FullModelComputeTime(spec, Phase::kDecode, 1, 1);
+  TimeNs overhead = FromMillis(cost_model_->config().per_stage_overhead_ms);
+  double slope = cost_model_->config().decode_batch_slope;
+  Bytes act_per_req = cost_model_->DecodeActivationBytes(spec, 1);
+
+  TimeNs total_compute = plan.TotalCompute();
+  // Steady-state throughput is bound by the busiest stage's per-request service demand:
+  // prompt processing (prefill shares the stage with decode, Sarathi-style), the
+  // request's share of batched decode iterations, and amortized iteration overhead.
+  double bottleneck_demand_s = 0.0;
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+    double share = total_compute > 0
+                       ? static_cast<double>(sp.compute_time) / static_cast<double>(total_compute)
+                       : 1.0 / plan.num_stages();
+    double prefill_per_token_s =
+        ToSeconds(sp.compute_time) / std::max(1, spec.context_window);
+    double stage_decode_s = ToSeconds(decode_full) * share *
+                            (1.0 + slope * static_cast<double>(group_batch - 1));
+    double demand = workload_.mean_prompt_tokens * prefill_per_token_s +
+                    workload_.mean_output_tokens * (stage_decode_s / group_batch) +
+                    workload_.mean_output_tokens * ToSeconds(overhead) / group_batch;
+    bottleneck_demand_s = std::max(bottleneck_demand_s, demand);
+  }
+  opt.throughput_rps = 1.0 / std::max(bottleneck_demand_s, 1e-9);
+
+  // Unloaded latency: prefill traversal + output_tokens token intervals.
+  TimeNs prefill_full = cost_model_->FullModelComputeTime(spec, Phase::kPrefill,
+                                                          workload_.mean_prompt_tokens, 1);
+  TimeNs prefill_traversal =
+      prefill_full + plan.num_stages() * overhead +
+      (plan.num_stages() - 1) *
+          (hop_latency + TransferTime(act_per_req * 8, hop_bw));  // light batch
+  TimeNs decode_traversal_light = 0;
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+    double share = total_compute > 0
+                       ? static_cast<double>(sp.compute_time) / static_cast<double>(total_compute)
+                       : 1.0 / plan.num_stages();
+    decode_traversal_light +=
+        overhead + static_cast<TimeNs>(static_cast<double>(decode_full) * share);
+    if (s + 1 < plan.num_stages()) {
+      decode_traversal_light += hop_latency + TransferTime(act_per_req, hop_bw);
+    }
+  }
+  opt.latency_s = ToSeconds(prefill_traversal) +
+                  ToSeconds(decode_traversal_light) * workload_.mean_output_tokens;
+  return opt;
+}
+
+const GranularityOption& GranularityController::OptionFor(int stages) const {
+  for (const auto& opt : options_) {
+    if (opt.stages == stages) {
+      return opt;
+    }
+  }
+  FLEXPIPE_CHECK_MSG(false, "unknown granularity");
+  return options_.front();  // unreachable
+}
+
+double GranularityController::Score(int stages, double cv_now) const {
+  const GranularityOption& opt = OptionFor(stages);
+  double t_max = 0.0;
+  double l_min = std::numeric_limits<double>::infinity();
+  for (const auto& o : options_) {
+    t_max = std::max(t_max, o.throughput_rps);
+    l_min = std::min(l_min, o.latency_s);
+  }
+  double base = config_.alpha * (opt.throughput_rps / t_max) +
+                (1.0 - config_.alpha) * (l_min / opt.latency_s);
+  double cv = std::max(cv_now, 0.05);
+  double dist = std::abs(std::log(cv) - std::log(opt.cv_opt));
+  return base * std::exp(-dist / config_.sigma);
+}
+
+int GranularityController::SelectStageCount(double cv_now, int current_stages) const {
+  int best = options_.front().stages;
+  double best_score = -1.0;
+  for (const auto& opt : options_) {
+    double s = Score(opt.stages, cv_now);
+    if (s > best_score) {
+      best_score = s;
+      best = opt.stages;
+    }
+  }
+  if (current_stages > 0 && best != current_stages) {
+    // Hysteresis: keep the incumbent unless the challenger clearly wins.
+    double incumbent = Score(current_stages, cv_now);
+    if (best_score < incumbent * config_.hysteresis) {
+      return current_stages;
+    }
+  }
+  return best;
+}
+
+int GranularityController::InstancesFor(double demand_rps, int stages) const {
+  const GranularityOption& opt = OptionFor(stages);
+  double mu_k = opt.throughput_rps /
+                (config_.beta1 + config_.beta2 * static_cast<double>(opt.stages));
+  if (mu_k <= 0.0) {
+    return 1;
+  }
+  return std::max(1, static_cast<int>(std::ceil(demand_rps / mu_k)));
+}
+
+}  // namespace flexpipe

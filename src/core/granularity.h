@@ -1,0 +1,78 @@
+// Granularity adaptation (§6.1, Eq. 4 and Eq. 5).
+//
+// For each candidate granularity g_k = (η_k stages, b_k batch) the controller keeps an
+// analytic performance profile (T_k throughput, L_k latency) derived from the pipeline
+// plan and cost model, plus its preferred operating CV ν_k. Selection maximizes
+//   S_k = [α T_k/T_max + (1-α) L_min/L_k] · exp(-|log ν_t - log ν_k| / σ)
+// (distance taken in log space — CV is a scale quantity), with hysteresis so scores must
+// beat the incumbent by a margin before triggering a refactor. Eq. 5 sizes the
+// data-parallel fleet for a target demand.
+#ifndef FLEXPIPE_SRC_CORE_GRANULARITY_H_
+#define FLEXPIPE_SRC_CORE_GRANULARITY_H_
+
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/model/cost_model.h"
+#include "src/partition/plan.h"
+
+namespace flexpipe {
+
+struct WorkloadAssumptions {
+  // Means of the Splitwise-like length distributions (log-normal: mean = median*e^{s^2/2}).
+  int mean_prompt_tokens = 768;
+  int mean_output_tokens = 30;
+};
+
+struct GranularityOption {
+  int stages = 0;
+  int max_batch = 0;          // b_k = 32 η_k
+  double throughput_rps = 0;  // T_k: request/s per instance at full batch
+  double latency_s = 0;       // L_k: unloaded per-request latency
+  double cv_opt = 0;          // ν_k
+};
+
+struct GranularityConfig {
+  double alpha = 0.45;          // throughput-latency trade-off weight in Eq. 4
+  double sigma = 0.9;           // adaptation sensitivity (log-CV units)
+  double hysteresis = 1.25;     // new score must exceed incumbent's by this factor
+  double cv_anchor_per_stage = 0.5;   // ν_k = anchor · η_k (4 stages ≡ CV 2)
+  // Eq. 5 coordination overhead coefficients: μ_k = T_k / (β1 + β2 η_k). β1 > 1 keeps
+  // per-instance target utilization below saturation (latency headroom), β2 charges
+  // coordination per stage.
+  double beta1 = 1.25;
+  double beta2 = 0.02;
+};
+
+class GranularityController {
+ public:
+  GranularityController(const GranularityLadder* ladder, const CostModel* cost_model,
+                        const NetworkModel* network, const WorkloadAssumptions& workload,
+                        const GranularityConfig& config);
+
+  const std::vector<GranularityOption>& options() const { return options_; }
+  const GranularityOption& OptionFor(int stages) const;
+
+  // Eq. 4 score of granularity `stages` at observed CV ν_t.
+  double Score(int stages, double cv_now) const;
+
+  // argmax of Eq. 4; with hysteresis relative to `current_stages` (pass 0 for none).
+  int SelectStageCount(double cv_now, int current_stages) const;
+
+  // Eq. 5: M(g_k) = ceil(μ_total / μ_k) with μ_k = T_k / (β1 + β2 η_k).
+  int InstancesFor(double demand_rps, int stages) const;
+
+ private:
+  GranularityOption BuildOption(const PipelinePlan& plan) const;
+
+  const GranularityLadder* ladder_;
+  const CostModel* cost_model_;
+  const NetworkModel* network_;
+  WorkloadAssumptions workload_;
+  GranularityConfig config_;
+  std::vector<GranularityOption> options_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_GRANULARITY_H_

@@ -1,0 +1,42 @@
+// Extended G/G/S queueing model (Eq. 1, §3.3).
+//
+//   T_total = ρ^S / (S! (1-ρ)) * (CV_a² + CV_s²)/2  * (1/μ)   [queue latency]
+//           + Σ_i λ_i / (μ_i (μ_i - λ_i))                      [stage congestion delay]
+//
+// The paper uses this model to explain why deeper pipelines absorb bursts (S ∝ √CV_a is
+// optimal once CV_a > 3). We implement it for controller-side predictions and verify the
+// qualitative claims in tests; it is analytic scaffolding, not the simulator.
+#ifndef FLEXPIPE_SRC_CORE_QUEUEING_H_
+#define FLEXPIPE_SRC_CORE_QUEUEING_H_
+
+#include <vector>
+
+namespace flexpipe {
+
+struct GgsParams {
+  double lambda = 1.0;  // arrival rate (req/s)
+  double mu = 2.0;      // per-server service rate (req/s)
+  int servers = 1;      // S
+  double cv_arrival = 1.0;
+  double cv_service = 0.5;
+};
+
+// First term of Eq. 1 in seconds. Returns +inf when the system is unstable (ρ >= 1).
+double GgsQueueLatency(const GgsParams& params);
+
+// Second term: Σ λ_i / (μ_i (μ_i - λ_i)), seconds; +inf if any stage is overloaded.
+double StageCongestionDelay(const std::vector<double>& stage_lambda,
+                            const std::vector<double>& stage_mu);
+
+// Full Eq. 1 with S identical stages, each seeing the full arrival stream (a pipeline:
+// every request visits every stage) and service rate mu_stage.
+double GgsTotalLatency(const GgsParams& params);
+
+// Sweep S in [s_min, s_max] for the lowest predicted latency; `service_rate_of_s` gives
+// the per-stage service rate at depth S (finer stages are individually faster).
+int OptimalStageCount(double lambda, double cv_arrival, double cv_service, int s_min, int s_max,
+                      double (*service_rate_of_s)(int));
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_QUEUEING_H_

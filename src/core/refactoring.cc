@@ -1,0 +1,136 @@
+#include "src/core/refactoring.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+MigrationSession::MigrationSession(Simulation* sim, TransferEngine* transfer,
+                                   PipelineInstance* from, PipelineInstance* to, Router* router,
+                                   DoneCallback on_done)
+    : sim_(sim),
+      transfer_(transfer),
+      from_(from),
+      to_(to),
+      router_(router),
+      on_done_(std::move(on_done)) {
+  FLEXPIPE_CHECK(sim != nullptr && transfer != nullptr && from != nullptr && to != nullptr &&
+                 router != nullptr);
+  FLEXPIPE_CHECK(on_done_ != nullptr);
+}
+
+void MigrationSession::Start() {
+  FLEXPIPE_CHECK(!started_);
+  started_ = true;
+  from_->CloseAdmissions();
+
+  // Snapshot phase: record validity masks for every decoding request and ship their KV
+  // while the old pipeline keeps producing tokens.
+  Bytes snapshot_bytes = 0;
+  for (Request* r : from_->CurrentDecoding()) {
+    int capacity = r->spec.prompt_tokens + r->spec.output_tokens;
+    auto mask = std::make_unique<KvValidityMask>(capacity);
+    mask->MarkValid(0, r->context_tokens());
+    snapshot_tokens_[r->spec.id] = r->tokens_generated;
+    snapshot_bytes += from_->kv_tracker().BytesForTokens(r->context_tokens());
+    masks_[r->spec.id] = std::move(mask);
+  }
+  result_.snapshot_bytes = snapshot_bytes;
+
+  GpuId src = from_->gpus().front();
+  GpuId dst = to_->gpus().front();
+  if (snapshot_bytes == 0) {
+    OnSnapshotDone(0);
+    return;
+  }
+  transfer_->Transfer(src, dst, snapshot_bytes, transfer_->PreferredProtocol(src, dst),
+                      [this](TimeNs duration) { OnSnapshotDone(duration); });
+}
+
+void MigrationSession::OnSnapshotDone(TimeNs duration) {
+  result_.snapshot_duration = duration;
+  from_->HaltAndExtract([this](std::vector<Request*> extracted) {
+    OnHalted(std::move(extracted));
+  });
+}
+
+void MigrationSession::OnHalted(std::vector<Request*> extracted) {
+  std::vector<Request*> decoding;
+  std::vector<Request*> queued;
+  for (Request* r : extracted) {
+    if (r->phase == RequestPhase::kDecoding) {
+      decoding.push_back(r);
+    } else {
+      queued.push_back(r);
+    }
+  }
+
+  // Delta phase (Eq. 10): only tokens generated after the snapshot are invalid and need
+  // synchronization before decode can resume on the new topology.
+  Bytes delta_bytes = 0;
+  for (Request* r : decoding) {
+    auto it = snapshot_tokens_.find(r->spec.id);
+    int snap_tokens = it != snapshot_tokens_.end() ? it->second : 0;
+    int delta = std::max(0, r->tokens_generated - snap_tokens);
+    delta_bytes += from_->kv_tracker().BytesForTokens(delta);
+    auto mit = masks_.find(r->spec.id);
+    if (mit != masks_.end()) {
+      // Validate the freshly shipped tail.
+      mit->second->MarkValid(0, std::min(r->context_tokens(), mit->second->capacity()));
+    }
+  }
+  result_.delta_bytes = delta_bytes;
+
+  TimeNs halt_time = sim_->now();
+  if (delta_bytes == 0) {
+    FinishAt(halt_time, std::move(decoding), std::move(queued));
+    return;
+  }
+  GpuId src = from_->gpus().front();
+  GpuId dst = to_->gpus().front();
+  transfer_->Transfer(src, dst, delta_bytes, transfer_->PreferredProtocol(src, dst),
+                      [this, halt_time, decoding = std::move(decoding),
+                       queued = std::move(queued)](TimeNs /*duration*/) mutable {
+                        FinishAt(halt_time, std::move(decoding), std::move(queued));
+                      });
+}
+
+void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
+                                std::vector<Request*> queued) {
+  result_.pause_duration = sim_->now() - halt_time;
+
+  for (Request* r : decoding) {
+    // Verify Eq. 10 consistency: every token of context must be valid before resuming.
+    auto mit = masks_.find(r->spec.id);
+    if (mit != masks_.end()) {
+      FLEXPIPE_CHECK_MSG(mit->second->invalid_in(0, std::min(r->context_tokens(),
+                                                             mit->second->capacity())) == 0,
+                         "KV consistency violated at resume");
+    }
+    bool target_usable = to_->state() == InstanceState::kLoading ||
+                         to_->state() == InstanceState::kActive;
+    if (target_usable &&
+        to_->kv_tracker().Fits(r->spec.prompt_tokens + r->spec.output_tokens) &&
+        to_->inflight() + to_->pending() < to_->capacity()) {
+      to_->InjectDecoding(r);
+      ++result_.migrated_decoding;
+      continue;
+    }
+    // No room on the target: restart from scratch through the router (KV discarded).
+    r->phase = RequestPhase::kQueued;
+    r->tokens_generated = 0;
+    r->first_token_time = -1;
+    queued.push_back(r);
+    ++result_.restarted;
+  }
+  result_.requeued = static_cast<int>(queued.size());
+  if (!queued.empty()) {
+    router_->RequeueFront(std::move(queued));
+  }
+  DoneCallback cb = std::move(on_done_);
+  cb(from_, result_);
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,77 @@
+// Inflight migration with consistent KV transitions (§6.3, Fig. 6(b)).
+//
+// A MigrationSession moves one old instance's live state to a new instance (of any
+// granularity) without stopping service:
+//
+//   1. snapshot  — admissions close on the old instance; the KV cache of every decoding
+//                  request is shipped asynchronously while the old pipeline KEEPS
+//                  SERVING. Validity masks (Eq. 10) record which tokens the snapshot
+//                  covers; tokens generated during the transfer are invalid by
+//                  construction.
+//   2. cutover   — the old instance halts at an iteration boundary and hands over its
+//                  requests. Only the mask-invalid delta (a few tokens per request) must
+//                  now move; this short delta transfer is the only service pause — the
+//                  "µs/ms-level inflight reconstruction" the paper reports.
+//   3. resume    — decoding requests are injected into the new instance with their
+//                  token counts intact; never-prefilled requests go back to the router.
+#ifndef FLEXPIPE_SRC_CORE_REFACTORING_H_
+#define FLEXPIPE_SRC_CORE_REFACTORING_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/instance.h"
+#include "src/runtime/kv_cache.h"
+#include "src/runtime/router.h"
+#include "src/runtime/transfer.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+
+struct MigrationResult {
+  int migrated_decoding = 0;   // resumed on the new instance with KV intact
+  int restarted = 0;           // did not fit on the target; re-queued from scratch
+  int requeued = 0;            // never started; returned to the router
+  Bytes snapshot_bytes = 0;
+  Bytes delta_bytes = 0;
+  TimeNs snapshot_duration = 0;
+  TimeNs pause_duration = 0;   // service gap: halt -> resume (the delta phase)
+};
+
+class MigrationSession {
+ public:
+  // `on_done(old_instance, result)` fires after resume; the owner releases the old
+  // instance's GPUs there.
+  using DoneCallback = std::function<void(PipelineInstance*, const MigrationResult&)>;
+
+  MigrationSession(Simulation* sim, TransferEngine* transfer, PipelineInstance* from,
+                   PipelineInstance* to, Router* router, DoneCallback on_done);
+
+  void Start();
+  bool started() const { return started_; }
+
+ private:
+  void OnSnapshotDone(TimeNs duration);
+  void OnHalted(std::vector<Request*> extracted);
+  void FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
+                std::vector<Request*> queued);
+
+  Simulation* sim_;
+  TransferEngine* transfer_;
+  PipelineInstance* from_;
+  PipelineInstance* to_;
+  Router* router_;
+  DoneCallback on_done_;
+
+  bool started_ = false;
+  MigrationResult result_;
+  // Eq. 10 bookkeeping: per-request validity masks plus token counts at snapshot time.
+  std::unordered_map<RequestId, std::unique_ptr<KvValidityMask>> masks_;
+  std::unordered_map<RequestId, int> snapshot_tokens_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_REFACTORING_H_

@@ -1,0 +1,239 @@
+#include "src/core/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+int ScalingGranularity(double cv, double queue_normalized, const ScalingConfig& config) {
+  double q = std::clamp(queue_normalized, 0.0, 1.0);
+  double pressure = std::max(cv, 0.0) * q;
+  double m = static_cast<double>(config.g_max) /
+             (1.0 + config.beta * std::exp(-config.gamma * pressure));
+  return std::max(1, static_cast<int>(std::ceil(m)));
+}
+
+bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, int m,
+                 int queue_length, int required) {
+  if (required <= 0) {
+    return true;
+  }
+  double usable_s = ToSeconds(slo_deadline - init_time);
+  if (usable_s <= 0.0) {
+    return false;
+  }
+  double capacity = usable_s * per_stage_rps * static_cast<double>(m);
+  double backlog = std::max(1.0, static_cast<double>(queue_length));
+  return capacity / backlog >= static_cast<double>(required) / backlog;
+}
+
+HierarchicalResourceGraph::HierarchicalResourceGraph(const Cluster* cluster,
+                                                     const Config& config)
+    : cluster_(cluster), config_(config) {
+  FLEXPIPE_CHECK(cluster != nullptr);
+}
+
+double HierarchicalResourceGraph::Read(const DecayedCounter& counter, TimeNs now) const {
+  double age = ToSeconds(now - counter.last);
+  double decay = std::exp(-age / std::max(ToSeconds(config_.event_decay), 1e-9));
+  return counter.value * decay;
+}
+
+void HierarchicalResourceGraph::Bump(DecayedCounter& counter, TimeNs now) {
+  counter.value = Read(counter, now) + 1.0;
+  counter.last = now;
+}
+
+void HierarchicalResourceGraph::RecordScalingEvent(ServerId server, TimeNs now) {
+  Bump(server_events_[server], now);
+  Bump(rack_events_[cluster_->RackOf(server)], now);
+}
+
+double HierarchicalResourceGraph::ServerContention(ServerId server, TimeNs now) const {
+  auto it = server_events_.find(server);
+  if (it == server_events_.end()) {
+    return 0.0;
+  }
+  double v = Read(it->second, now);
+  return v / (v + 1.0);  // squash to [0, 1)
+}
+
+double HierarchicalResourceGraph::RackContention(RackId rack, TimeNs now) const {
+  auto it = rack_events_.find(rack);
+  if (it == rack_events_.end()) {
+    return 0.0;
+  }
+  double v = Read(it->second, now);
+  return v / (v + 3.0);  // racks tolerate more concurrency before contending
+}
+
+double HierarchicalResourceGraph::PlacementPenalty(ServerId server, TimeNs now) const {
+  return std::min(1.0, ServerContention(server, now) +
+                           0.5 * RackContention(cluster_->RackOf(server), now));
+}
+
+void HierarchicalResourceGraph::AddLoadStream(ServerId server) {
+  ++server_streams_[server];
+  ++rack_streams_[cluster_->RackOf(server)];
+  ++cluster_streams_;
+}
+
+void HierarchicalResourceGraph::RemoveLoadStream(ServerId server) {
+  auto sit = server_streams_.find(server);
+  FLEXPIPE_CHECK(sit != server_streams_.end() && sit->second > 0);
+  --sit->second;
+  auto rit = rack_streams_.find(cluster_->RackOf(server));
+  FLEXPIPE_CHECK(rit != rack_streams_.end() && rit->second > 0);
+  --rit->second;
+  FLEXPIPE_CHECK(cluster_streams_ > 0);
+  --cluster_streams_;
+}
+
+double HierarchicalResourceGraph::LoadSlowdown(ServerId server) const {
+  auto level = [](int streams, int capacity) {
+    return std::max(1.0, static_cast<double>(streams + 1) / capacity);
+  };
+  auto sit = server_streams_.find(server);
+  int s_streams = sit == server_streams_.end() ? 0 : sit->second;
+  auto rit = rack_streams_.find(cluster_->RackOf(server));
+  int r_streams = rit == rack_streams_.end() ? 0 : rit->second;
+  double worst = level(s_streams, config_.server_stream_capacity);
+  worst = std::max(worst, level(r_streams, config_.rack_stream_capacity));
+  worst = std::max(worst, level(cluster_streams_, config_.cluster_stream_capacity));
+  return worst;
+}
+
+HostParamCache::HostParamCache(Cluster* cluster, double host_fraction)
+    : cluster_(cluster), host_fraction_(host_fraction) {
+  FLEXPIPE_CHECK(cluster != nullptr);
+  FLEXPIPE_CHECK(host_fraction > 0.0 && host_fraction <= 1.0);
+}
+
+Bytes HostParamCache::BudgetOn(ServerId server) const {
+  return static_cast<Bytes>(static_cast<double>(cluster_->server(server).host_memory) *
+                            host_fraction_);
+}
+
+Bytes HostParamCache::UsedOn(ServerId server) const {
+  auto it = entries_.find(server);
+  if (it == entries_.end()) {
+    return 0;
+  }
+  Bytes used = 0;
+  for (const Entry& e : it->second) {
+    used += e.bytes;
+  }
+  return used;
+}
+
+void HostParamCache::EvictLru(ServerId server, Bytes needed) {
+  auto it = entries_.find(server);
+  if (it == entries_.end()) {
+    return;
+  }
+  auto& list = it->second;
+  while (UsedOn(server) + needed > BudgetOn(server) && !list.empty()) {
+    size_t oldest = 0;
+    for (size_t i = 1; i < list.size(); ++i) {
+      if (list[i].last_used < list[oldest].last_used) {
+        oldest = i;
+      }
+    }
+    cluster_->ReleaseHostMemory(server, list[oldest].bytes);
+    list.erase(list.begin() + static_cast<long>(oldest));
+    ++evictions_;
+  }
+}
+
+void HostParamCache::Put(ServerId server, int model_id, int fine_begin, int fine_end,
+                         Bytes bytes, TimeNs now) {
+  FLEXPIPE_CHECK(fine_end > fine_begin && bytes > 0);
+  if (bytes > BudgetOn(server)) {
+    return;  // cannot ever fit
+  }
+  // Replace an identical range if present.
+  auto& list = entries_[server];
+  for (Entry& e : list) {
+    if (e.model_id == model_id && e.fine_begin == fine_begin && e.fine_end == fine_end) {
+      e.last_used = now;
+      last_hosted_[server][model_id] = now;
+      return;
+    }
+  }
+  EvictLru(server, bytes);
+  if (!cluster_->TryReserveHostMemory(server, bytes)) {
+    return;  // host memory pressured by other consumers
+  }
+  list.push_back(Entry{model_id, fine_begin, fine_end, bytes, now});
+  last_hosted_[server][model_id] = now;
+}
+
+double HostParamCache::Coverage(ServerId server, int model_id, int fine_begin,
+                                int fine_end) const {
+  FLEXPIPE_CHECK(fine_end > fine_begin);
+  auto it = entries_.find(server);
+  if (it == entries_.end()) {
+    return 0.0;
+  }
+  int covered = 0;
+  for (int f = fine_begin; f < fine_end; ++f) {
+    for (const Entry& e : it->second) {
+      if (e.model_id == model_id && f >= e.fine_begin && f < e.fine_end) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(fine_end - fine_begin);
+}
+
+void HostParamCache::Touch(ServerId server, int model_id, TimeNs now) {
+  auto it = entries_.find(server);
+  if (it == entries_.end()) {
+    return;
+  }
+  for (Entry& e : it->second) {
+    if (e.model_id == model_id) {
+      e.last_used = now;
+    }
+  }
+  last_hosted_[server][model_id] = now;
+}
+
+TimeNs HostParamCache::LastHosted(ServerId server, int model_id) const {
+  auto it = last_hosted_.find(server);
+  if (it == last_hosted_.end()) {
+    return -1;
+  }
+  auto mit = it->second.find(model_id);
+  return mit == it->second.end() ? -1 : mit->second;
+}
+
+AffinityScheduler::AffinityScheduler(const Cluster* cluster, const HostParamCache* cache,
+                                     const ScalingConfig& config)
+    : cluster_(cluster), cache_(cache), config_(config) {
+  FLEXPIPE_CHECK(cluster != nullptr && cache != nullptr);
+}
+
+double AffinityScheduler::Score(ServerId server, int model_id, TimeNs now,
+                                Bytes free_gpu_threshold) const {
+  double temporal = 0.0;
+  TimeNs last = cache_->LastHosted(server, model_id);
+  if (last >= 0) {
+    temporal = std::exp(-config_.affinity_decay * ToSeconds(now - last));
+  }
+  const Server& s = cluster_->server(server);
+  int avail = 0;
+  for (GpuId g : s.gpus) {
+    if (cluster_->gpu(g).free_memory() >= free_gpu_threshold) {
+      ++avail;
+    }
+  }
+  double gpu_term =
+      s.gpus.empty() ? 0.0 : static_cast<double>(avail) / static_cast<double>(s.gpus.size());
+  return config_.affinity_w_t * temporal + config_.affinity_w_g * gpu_term;
+}
+
+}  // namespace flexpipe

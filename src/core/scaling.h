@@ -1,0 +1,138 @@
+// Adaptive pipeline scaling (§7): scaling-granularity decision (Eq. 11), SLO feasibility
+// (Eq. 12), the Hierarchical Resource Graph, the affinity scheduler (Eq. 13), and the
+// host-memory parameter cache that turns cold starts into warm starts.
+#ifndef FLEXPIPE_SRC_CORE_SCALING_H_
+#define FLEXPIPE_SRC_CORE_SCALING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+struct ScalingConfig {
+  int g_max = 32;        // finest scaling granularity (stage count)
+  double beta = 8.0;     // Eq. 11 sigmoid calibration
+  double gamma = 6.0;
+  int q_max = 256;       // queue-length normalization
+  // Eq. 13 weights and temporal decay (per second).
+  double affinity_w_t = 0.6;
+  double affinity_w_g = 0.4;
+  double affinity_decay = 1.0 / 120.0;  // warm memory ages out over ~2 minutes
+  TimeNs reclaim_idle = 5 * kMinute;    // §9.4: elastic reclamation window
+};
+
+// Eq. 11: m_j = ceil(G_max / (1 + β e^{-γ cv_j q̂_j})); smooth (sigmoid) escalation from
+// coarse to fine scaling as burstiness times backlog grows.
+int ScalingGranularity(double cv, double queue_normalized, const ScalingConfig& config);
+
+// Eq. 12: (T_j - S_j) Σ μ_jk / Q_j >= r_j — can `m` expanded stages, each with
+// throughput `per_stage_rps`, work off `required` requests before the SLO deadline,
+// accounting for initialization time?
+bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, int m,
+                 int queue_length, int required);
+
+// Hierarchical Resource Graph (§7): tracks scaling events and parameter-load streams at
+// server, rack and cluster levels so concurrent scale-ups spread across the fabric
+// instead of stampeding one path.
+class HierarchicalResourceGraph {
+ public:
+  struct Config {
+    TimeNs event_decay = 10 * kSecond;  // scaling-event memory
+    int server_stream_capacity = 2;     // parallel loads per server at full speed
+    int rack_stream_capacity = 8;
+    int cluster_stream_capacity = 24;
+  };
+
+  HierarchicalResourceGraph(const Cluster* cluster, const Config& config);
+
+  void RecordScalingEvent(ServerId server, TimeNs now);
+  // Exponentially-decayed scaling activity, squashed to [0, 1].
+  double ServerContention(ServerId server, TimeNs now) const;
+  double RackContention(RackId rack, TimeNs now) const;
+  // Combined penalty for the placer hook (server + its rack).
+  double PlacementPenalty(ServerId server, TimeNs now) const;
+
+  void AddLoadStream(ServerId server);
+  void RemoveLoadStream(ServerId server);
+  int cluster_streams() const { return cluster_streams_; }
+
+  // Multiplier (>= 1) applied to a new load's duration if started on `server` now.
+  double LoadSlowdown(ServerId server) const;
+
+ private:
+  struct DecayedCounter {
+    double value = 0.0;
+    TimeNs last = 0;
+  };
+  double Read(const DecayedCounter& counter, TimeNs now) const;
+  void Bump(DecayedCounter& counter, TimeNs now);
+
+  const Cluster* cluster_;
+  Config config_;
+  std::unordered_map<ServerId, DecayedCounter> server_events_;
+  std::unordered_map<RackId, DecayedCounter> rack_events_;
+  std::unordered_map<ServerId, int> server_streams_;
+  std::unordered_map<RackId, int> rack_streams_;
+  int cluster_streams_ = 0;
+};
+
+// Host-memory parameter cache (§7, memory-aware elastic scaling). Entries are
+// (model, fine-stage range) parameter images kept in a server's host RAM after GPU
+// eviction; budget is enforced through the cluster's host-memory accounting with LRU
+// eviction.
+class HostParamCache {
+ public:
+  explicit HostParamCache(Cluster* cluster, double host_fraction = 0.5);
+
+  void Put(ServerId server, int model_id, int fine_begin, int fine_end, Bytes bytes,
+           TimeNs now);
+  // Fraction of [fine_begin, fine_end) covered by cached ranges for this model.
+  double Coverage(ServerId server, int model_id, int fine_begin, int fine_end) const;
+  // Refreshes LRU timestamps for ranges about to be reused.
+  void Touch(ServerId server, int model_id, TimeNs now);
+  // Last time this server hosted (or cached) the model; -1 if never.
+  TimeNs LastHosted(ServerId server, int model_id) const;
+
+  Bytes UsedOn(ServerId server) const;
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    int model_id = 0;
+    int fine_begin = 0;
+    int fine_end = 0;
+    Bytes bytes = 0;
+    TimeNs last_used = 0;
+  };
+
+  Bytes BudgetOn(ServerId server) const;
+  void EvictLru(ServerId server, Bytes needed);
+
+  Cluster* cluster_;
+  double host_fraction_;
+  std::unordered_map<ServerId, std::vector<Entry>> entries_;
+  std::unordered_map<ServerId, std::unordered_map<int, TimeNs>> last_hosted_;
+  int64_t evictions_ = 0;
+};
+
+// Eq. 13 affinity scoring over candidate servers.
+class AffinityScheduler {
+ public:
+  AffinityScheduler(const Cluster* cluster, const HostParamCache* cache,
+                    const ScalingConfig& config);
+
+  // s* = argmax [ w_t e^{-λ(t_now - t_s)} + w_g |g_s ∩ G_avail| / |g_s| ].
+  double Score(ServerId server, int model_id, TimeNs now, Bytes free_gpu_threshold) const;
+
+ private:
+  const Cluster* cluster_;
+  const HostParamCache* cache_;
+  ScalingConfig config_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_SCALING_H_

@@ -1,0 +1,138 @@
+// ServingSystem base: everything FlexPipe and the baseline systems share.
+//
+// A serving system owns a router, a metrics collector, and a fleet of pipeline
+// instances on the simulated cluster. The base class centralizes instance lifecycle
+// (GPU reservation -> provisioning delay -> parameter loading -> activation ->
+// release), GPU-time accounting for the resource-efficiency figures, and the
+// same-model anti-colocation registry. Subclasses add policy: when to create which
+// instances at which granularity, and whether/how to adapt at runtime.
+#ifndef FLEXPIPE_SRC_CORE_SERVING_H_
+#define FLEXPIPE_SRC_CORE_SERVING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/allocator.h"
+#include "src/cluster/fragmentation.h"
+#include "src/cluster/network.h"
+#include "src/core/allocation.h"
+#include "src/metrics/collector.h"
+#include "src/model/cost_model.h"
+#include "src/runtime/instance.h"
+#include "src/runtime/router.h"
+#include "src/runtime/transfer.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+
+struct SystemContext {
+  Simulation* sim = nullptr;
+  Cluster* cluster = nullptr;
+  NetworkModel* network = nullptr;
+  TransferEngine* transfer = nullptr;
+  ClusterAllocator* allocator = nullptr;
+  const CostModel* cost_model = nullptr;
+  FragmentationGenerator* fragmentation = nullptr;  // optional serverless churn
+  uint64_t seed = 1;
+};
+
+class ServingSystemBase {
+ public:
+  ServingSystemBase(const SystemContext& ctx, std::string name, TimeNs default_slo);
+  virtual ~ServingSystemBase() = default;
+  ServingSystemBase(const ServingSystemBase&) = delete;
+  ServingSystemBase& operator=(const ServingSystemBase&) = delete;
+
+  // Deploys the initial fleet. Called once before arrivals start.
+  virtual void Start() = 0;
+
+  // A request arrived at the gateway.
+  virtual void OnArrival(Request* request) { router_.Submit(request); }
+
+  // End-of-run hook (cancel controllers etc.).
+  virtual void Finish() {}
+
+  const std::string& name() const { return name_; }
+  Router& router() { return router_; }
+  MetricsCollector& metrics() { return metrics_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+
+  // -- Fleet/resource statistics (Fig. 12, §9.6) ---------------------------------------
+  int reserved_gpu_count() const { return reserved_gpus_; }
+  int peak_reserved_gpus() const { return peak_reserved_gpus_; }
+  // ∫ reserved-GPU dt in GPU-seconds up to `now`.
+  double GpuSecondsReserved(TimeNs now) const;
+  // Total stage-busy time across live and retired instances.
+  TimeNs TotalBusyAll() const;
+  TimeNs TotalStallAll() const;
+  // busy / reserved — the paper's "GPU utilization" axis.
+  double MeanGpuUtilization(TimeNs now) const;
+  int64_t cold_loads() const { return cold_loads_; }
+  int64_t warm_loads() const { return warm_loads_; }
+  double MeanAllocationWaitSec() const { return alloc_wait_s_.mean(); }
+  int live_instances() const;
+
+ protected:
+  struct InstanceRecord {
+    std::unique_ptr<PipelineInstance> instance;
+    std::vector<GpuId> gpus;
+    std::vector<Bytes> reserved_bytes;
+    double sm_share = 0.6;
+    int model_id = 0;
+    bool released = false;
+  };
+
+  // Subclass hook invoked after metrics collection for each completed request.
+  virtual void OnRequestComplete(Request* /*request*/) {}
+
+  // Reserves the given GPUs, pays `provisioning_delay`, then loads and activates. The
+  // instance registers with the router when loading begins.
+  PipelineInstance* LaunchInstance(const PipelinePlan& plan, int model_id,
+                                   std::vector<GpuId> gpus, std::vector<bool> warm_stages,
+                                   double load_slowdown, TimeNs provisioning_delay);
+
+  // Allocates GPUs through the substrate allocator (baseline path) and launches.
+  // Returns nullptr when the cluster cannot satisfy the request.
+  PipelineInstance* LaunchViaAllocator(const PipelinePlan& plan, int model_id,
+                                       PlacementPolicy policy, bool distinct_servers,
+                                       double load_slowdown = 1.0);
+
+  // Releases GPUs; the instance must be drained/halted already.
+  void ReleaseInstance(PipelineInstance* instance);
+
+  InstanceRecord* FindRecord(int instance_id);
+
+  SystemContext ctx_;
+  std::string name_;
+  Router router_;
+  MetricsCollector metrics_;
+  ModelPlacementRegistry placement_registry_;
+  InstanceConfig instance_config_;
+  std::vector<InstanceRecord> records_;
+  int next_instance_id_ = 1;
+
+  // Applied multiplicatively to loading durations (baselines with faster checkpoint
+  // loaders — e.g. ServerlessLLM — set < 1).
+  double load_speed_factor_ = 1.0;
+  // Fraction of stage parameter bytes actually reserved on GPUs (< 1 models tensor
+  // sharing across replicas, e.g. the Tetris baseline).
+  double param_reservation_factor_ = 1.0;
+
+ private:
+  void NoteGpuDelta(int delta);
+
+  int reserved_gpus_ = 0;
+  int peak_reserved_gpus_ = 0;
+  double gpu_seconds_integral_ = 0.0;
+  TimeNs last_gpu_change_ = 0;
+  TimeNs retired_busy_ = 0;
+  TimeNs retired_stall_ = 0;
+  int64_t cold_loads_ = 0;
+  int64_t warm_loads_ = 0;
+  RunningStats alloc_wait_s_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_CORE_SERVING_H_

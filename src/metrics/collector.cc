@@ -1,0 +1,62 @@
+#include "src/metrics/collector.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+MetricsCollector::MetricsCollector(TimeNs default_slo) : default_slo_(default_slo) {}
+
+void MetricsCollector::OnComplete(const Request& request) {
+  FLEXPIPE_CHECK(request.done());
+  TimeNs latency = request.TotalLatency();
+  FLEXPIPE_CHECK(latency >= 0);
+  ++completed_;
+  if (request.MetSlo(default_slo_)) {
+    ++within_slo_;
+  }
+  latency_.Add(ToSeconds(latency));
+  if (request.PrefillLatency() >= 0) {
+    prefill_.Add(ToSeconds(request.PrefillLatency()));
+  }
+  queue_s_.Add(ToSeconds(request.QueueTime()));
+  exec_s_.Add(ToSeconds(request.exec_ns));
+  comm_s_.Add(ToSeconds(request.comm_ns));
+  completions_.push_back(CompletionSample{request.done_time, latency});
+}
+
+double MetricsCollector::GoodputRate(int64_t submitted) const {
+  if (submitted <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(within_slo_) / static_cast<double>(submitted);
+}
+
+double MetricsCollector::GoodputPerSec(TimeNs horizon) const {
+  if (horizon <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(within_slo_) / ToSeconds(horizon);
+}
+
+LatencyBreakdown MetricsCollector::MeanBreakdown() const {
+  LatencyBreakdown b;
+  b.queue_s = queue_s_.mean();
+  b.exec_s = exec_s_.mean();
+  b.comm_s = comm_s_.mean();
+  b.total_s = b.queue_s + b.exec_s + b.comm_s;
+  return b;
+}
+
+double MetricsCollector::MeanLatencyInWindowSec(TimeNs begin, TimeNs end) const {
+  auto lo = std::lower_bound(completions_.begin(), completions_.end(), begin,
+                             [](const CompletionSample& s, TimeNs t) { return s.done_time < t; });
+  RunningStats stats;
+  for (auto it = lo; it != completions_.end() && it->done_time < end; ++it) {
+    stats.Add(ToSeconds(it->latency));
+  }
+  return stats.mean();
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,77 @@
+// Experiment metrics collection.
+//
+// One collector per serving-system run. It ingests completed requests and produces the
+// quantities the paper's figures report: goodput (completions within SLO), end-to-end
+// latency percentiles, the queue/execution/communication breakdown (Fig. 8), prefill
+// latency (Fig. 13), and a completion-time series for burst/recovery analysis
+// (Fig. 9, Fig. 11).
+#ifndef FLEXPIPE_SRC_METRICS_COLLECTOR_H_
+#define FLEXPIPE_SRC_METRICS_COLLECTOR_H_
+
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/runtime/request.h"
+
+namespace flexpipe {
+
+struct CompletionSample {
+  TimeNs done_time = 0;
+  TimeNs latency = 0;
+};
+
+struct LatencyBreakdown {
+  double queue_s = 0.0;
+  double exec_s = 0.0;
+  double comm_s = 0.0;
+  double total_s = 0.0;
+};
+
+class MetricsCollector {
+ public:
+  // `default_slo` classifies goodput when a request carries no SLO of its own;
+  // 0 = every completion counts.
+  explicit MetricsCollector(TimeNs default_slo = 0);
+
+  void OnComplete(const Request& request);
+
+  int64_t completed() const { return completed_; }
+  int64_t completed_within_slo() const { return within_slo_; }
+  double GoodputRate(int64_t submitted) const;
+  // Completions within SLO per second over [0, horizon].
+  double GoodputPerSec(TimeNs horizon) const;
+
+  // Mean component breakdown over all completions (seconds).
+  LatencyBreakdown MeanBreakdown() const;
+
+  double LatencyPercentileSec(double q) const { return latency_.Percentile(q); }
+  double MeanLatencySec() const { return latency_.mean(); }
+  double PrefillPercentileSec(double q) const { return prefill_.Percentile(q); }
+  double MeanPrefillSec() const { return prefill_.mean(); }
+
+  const Histogram& latency_histogram() const { return latency_; }
+  const Histogram& prefill_histogram() const { return prefill_; }
+
+  // Completion series ordered by done_time (completions arrive in time order in a DES).
+  const std::vector<CompletionSample>& completions() const { return completions_; }
+
+  // Mean response time of completions inside [begin, end) — Fig. 9 timeline points.
+  double MeanLatencyInWindowSec(TimeNs begin, TimeNs end) const;
+
+ private:
+  TimeNs default_slo_;
+  int64_t completed_ = 0;
+  int64_t within_slo_ = 0;
+  Histogram latency_{1e-4, 1.03};
+  Histogram prefill_{1e-4, 1.03};
+  RunningStats queue_s_;
+  RunningStats exec_s_;
+  RunningStats comm_s_;
+  std::vector<CompletionSample> completions_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_METRICS_COLLECTOR_H_

@@ -1,0 +1,91 @@
+#include "src/metrics/recovery.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace flexpipe {
+
+RecoveryReport AnalyzeRecovery(const std::vector<CompletionSample>& completions,
+                               const RecoveryConfig& config) {
+  RecoveryReport report;
+  if (completions.size() < 8) {
+    return report;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(completions.size());
+  for (const auto& c : completions) {
+    latencies.push_back(ToSeconds(c.latency));
+  }
+  double baseline = Percentile(latencies, config.baseline_percentile);
+  report.baseline_latency_s = baseline;
+  if (baseline <= 0.0) {
+    return report;
+  }
+  const double stall_at = baseline * config.stall_factor;
+  const double recover_at = baseline * config.recover_factor;
+
+  // Optional smoothing: collapse completions into per-window mean-latency samples.
+  std::vector<CompletionSample> series;
+  if (config.smoothing_window > 0) {
+    TimeNs window = config.smoothing_window;
+    TimeNs bucket_start = completions.front().done_time;
+    double sum = 0.0;
+    int64_t count = 0;
+    for (const auto& c : completions) {
+      while (c.done_time >= bucket_start + window) {
+        if (count > 0) {
+          series.push_back({bucket_start + window,
+                            static_cast<TimeNs>(sum / static_cast<double>(count))});
+        }
+        bucket_start += window;
+        sum = 0.0;
+        count = 0;
+      }
+      sum += static_cast<double>(c.latency);
+      ++count;
+    }
+    if (count > 0) {
+      series.push_back({bucket_start + window,
+                        static_cast<TimeNs>(sum / static_cast<double>(count))});
+    }
+  } else {
+    series = completions;
+  }
+
+  std::vector<double> durations;
+  bool in_stall = false;
+  TimeNs stall_start = 0;
+  int64_t stalled_completions = 0;
+  for (const auto& c : series) {
+    double lat = ToSeconds(c.latency);
+    if (!in_stall) {
+      if (lat > stall_at) {
+        in_stall = true;
+        stall_start = c.done_time;
+        ++stalled_completions;
+      }
+    } else {
+      ++stalled_completions;
+      if (lat <= recover_at) {
+        durations.push_back(ToSeconds(c.done_time - stall_start));
+        in_stall = false;
+      }
+    }
+  }
+  report.stall_events = static_cast<int>(durations.size());
+  report.stalled_fraction =
+      static_cast<double>(stalled_completions) / static_cast<double>(series.size());
+  if (!durations.empty()) {
+    RunningStats stats;
+    for (double d : durations) {
+      stats.Add(d);
+    }
+    report.mean_recovery_s = stats.mean();
+    report.max_recovery_s = stats.max();
+    report.median_recovery_s = Percentile(durations, 50.0);
+  }
+  return report;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,42 @@
+// Pipeline-stall recovery measurement (§9.3).
+//
+// The paper's rule: a stall begins when response latency exceeds 1.5x the baseline
+// (P25 latency under normal operation) and ends when latency returns to within 1.2x.
+// The elapsed time between those two events is one recovery duration. We walk the
+// completion series event-by-event, which matches how the paper's monitor observes
+// latency (per response, not per fixed bin).
+#ifndef FLEXPIPE_SRC_METRICS_RECOVERY_H_
+#define FLEXPIPE_SRC_METRICS_RECOVERY_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/metrics/collector.h"
+
+namespace flexpipe {
+
+struct RecoveryConfig {
+  double stall_factor = 1.5;
+  double recover_factor = 1.2;
+  double baseline_percentile = 25.0;
+  // Latency is smoothed into fixed windows before thresholding (single completions are
+  // too noisy to define an episode); 0 = event-by-event.
+  TimeNs smoothing_window = 500 * kMillisecond;
+};
+
+struct RecoveryReport {
+  int stall_events = 0;
+  double baseline_latency_s = 0.0;
+  double median_recovery_s = 0.0;
+  double mean_recovery_s = 0.0;
+  double max_recovery_s = 0.0;
+  // Fraction of completions emitted while a stall was in progress.
+  double stalled_fraction = 0.0;
+};
+
+RecoveryReport AnalyzeRecovery(const std::vector<CompletionSample>& completions,
+                               const RecoveryConfig& config = RecoveryConfig{});
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_METRICS_RECOVERY_H_

@@ -1,0 +1,41 @@
+// Model specifications for the four evaluation models (§9: WHISPER-9B, LLAMA2-7B,
+// BERT-21B, OPT-66B).
+//
+// Whisper and BERT are not decoder-only LLMs, but the paper only reports serving-level
+// metrics (prefill latency, goodput) for them, so all four are modeled as generic
+// transformer stacks with their published parameter counts (documented deviation in
+// DESIGN.md §5).
+#ifndef FLEXPIPE_SRC_MODEL_MODEL_SPEC_H_
+#define FLEXPIPE_SRC_MODEL_MODEL_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+struct ModelSpec {
+  std::string name;
+  int num_layers = 0;
+  int hidden_dim = 0;
+  int num_heads = 0;
+  int vocab_size = 50272;
+  int context_window = 4096;
+  Bytes param_bytes = 0;         // total weights (fp16)
+  Bytes kv_bytes_per_token = 0;  // effective paged-KV footprint per token, whole model
+
+  Bytes ParamBytesPerLayer() const;
+};
+
+// The model zoo used across the evaluation.
+ModelSpec Opt66B();     // 120 GB of weights (paper Table 2)
+ModelSpec Llama2_7B();
+ModelSpec Bert21B();
+ModelSpec Whisper9B();
+
+std::vector<ModelSpec> EvaluationModels();  // the four above, ordered as in Fig. 13
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,195 @@
+#include "src/partition/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+namespace {
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+}
+
+Partitioner::Partitioner(const PartitionerConfig& config) : config_(config) {
+  FLEXPIPE_CHECK(!config_.ladder.empty());
+  FLEXPIPE_CHECK(std::is_sorted(config_.ladder.begin(), config_.ladder.end()));
+}
+
+double Partitioner::GroupCost(const std::vector<Item>& items, int begin, int end,
+                              double mean_cost) const {
+  // Callers guarantee begin < end. Costs are in nanoseconds.
+  TimeNs compute = 0;
+  Bytes params = 0;
+  for (int i = begin; i < end; ++i) {
+    compute += items[static_cast<size_t>(i)].compute;
+    params += items[static_cast<size_t>(i)].params;
+  }
+  if (params > config_.gpu_memory) {
+    return kInfeasible;
+  }
+  const Item& last = items[static_cast<size_t>(end - 1)];
+  double cost = static_cast<double>(compute);
+  // Communication of the stage's output activation to its successor.
+  cost += static_cast<double>(TransferTime(last.activation_out, config_.interstage_bandwidth));
+  // (s_p / B - C)+ : parameter (re)load cost beyond what overlaps with compute.
+  double load_ns = static_cast<double>(params) / config_.interstage_bandwidth * 1e9;
+  double overlap_ns = static_cast<double>(config_.overlap_target);
+  cost += config_.load_weight * std::max(0.0, load_ns - overlap_ns);
+  // λ R(S_k): penalise cuts that land inside a transformer block.
+  if (!last.clean_boundary) {
+    cost += config_.lambda_refactor * mean_cost;
+  }
+  return cost;
+}
+
+std::vector<std::pair<int, int>> Partitioner::SolveChain(const std::vector<Item>& items,
+                                                         int groups) const {
+  const int n = static_cast<int>(items.size());
+  FLEXPIPE_CHECK(groups >= 1);
+  FLEXPIPE_CHECK_MSG(groups <= n, "more stages than partitionable units");
+
+  TimeNs total_compute = 0;
+  for (const Item& it : items) {
+    total_compute += it.compute;
+  }
+  double mean_cost = static_cast<double>(total_compute) / groups;
+
+  // dp[k][i]: minimal max-group-cost splitting items [0, i) into k groups.
+  std::vector<std::vector<double>> dp(static_cast<size_t>(groups + 1),
+                                      std::vector<double>(static_cast<size_t>(n + 1), kInfeasible));
+  std::vector<std::vector<int>> parent(static_cast<size_t>(groups + 1),
+                                       std::vector<int>(static_cast<size_t>(n + 1), -1));
+  dp[0][0] = 0.0;
+  for (int k = 1; k <= groups; ++k) {
+    for (int i = k; i <= n - (groups - k); ++i) {
+      for (int j = k - 1; j < i; ++j) {
+        if (dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)] == kInfeasible) {
+          continue;
+        }
+        double gc = GroupCost(items, j, i, mean_cost);
+        if (gc == kInfeasible) {
+          continue;
+        }
+        double candidate = std::max(dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)], gc);
+        if (candidate < dp[static_cast<size_t>(k)][static_cast<size_t>(i)]) {
+          dp[static_cast<size_t>(k)][static_cast<size_t>(i)] = candidate;
+          parent[static_cast<size_t>(k)][static_cast<size_t>(i)] = j;
+        }
+      }
+    }
+  }
+  if (dp[static_cast<size_t>(groups)][static_cast<size_t>(n)] == kInfeasible) {
+    return {};  // no feasible partition under the GPU memory cap
+  }
+
+  std::vector<std::pair<int, int>> result(static_cast<size_t>(groups));
+  int i = n;
+  for (int k = groups; k >= 1; --k) {
+    int j = parent[static_cast<size_t>(k)][static_cast<size_t>(i)];
+    FLEXPIPE_CHECK(j >= 0);
+    result[static_cast<size_t>(k - 1)] = {j, i};
+    i = j;
+  }
+  return result;
+}
+
+PipelinePlan Partitioner::PlanFromGroups(const ModelProfile& profile,
+                                         const std::vector<Item>& items,
+                                         const std::vector<std::pair<int, int>>& groups,
+                                         const std::vector<int>* item_fine_index) const {
+  PipelinePlan plan;
+  plan.spec = profile.spec;
+  plan.stages.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    auto [begin, end] = groups[g];
+    StagePlan stage;
+    stage.op_begin = items[static_cast<size_t>(begin)].op_begin;
+    stage.op_end = items[static_cast<size_t>(end - 1)].op_end;
+    for (int i = begin; i < end; ++i) {
+      stage.param_bytes += items[static_cast<size_t>(i)].params;
+      stage.compute_time += items[static_cast<size_t>(i)].compute;
+    }
+    const Item& last = items[static_cast<size_t>(end - 1)];
+    stage.output_activation_bytes = (g + 1 < groups.size()) ? last.activation_out : 0;
+    stage.clean_boundary = last.clean_boundary;
+    if (item_fine_index != nullptr) {
+      stage.fine_begin = (*item_fine_index)[static_cast<size_t>(begin)];
+      stage.fine_end = (*item_fine_index)[static_cast<size_t>(end - 1)] + 1;
+    } else {
+      stage.fine_begin = static_cast<int>(g);
+      stage.fine_end = static_cast<int>(g) + 1;
+    }
+    plan.stages.push_back(stage);
+  }
+  return plan;
+}
+
+PipelinePlan Partitioner::Partition(const ModelProfile& profile, int num_stages) const {
+  FLEXPIPE_CHECK(!profile.ops.empty());
+  ComputationGraph graph = ComputationGraph::Build(profile.spec);
+  FLEXPIPE_CHECK(graph.op_count() == static_cast<int>(profile.ops.size()));
+
+  std::vector<Item> items;
+  items.reserve(profile.ops.size());
+  for (size_t i = 0; i < profile.ops.size(); ++i) {
+    Item item;
+    item.compute = profile.ops[i].compute_time;
+    item.params = profile.ops[i].param_bytes;
+    item.activation_out = profile.ops[i].activation_bytes;
+    item.clean_boundary = graph.ops()[i].block_boundary_after;
+    item.op_begin = static_cast<int>(i);
+    item.op_end = static_cast<int>(i) + 1;
+    items.push_back(item);
+  }
+  auto groups = SolveChain(items, num_stages);
+  FLEXPIPE_CHECK_MSG(!groups.empty(), "no feasible partition under GPU memory cap");
+  return PlanFromGroups(profile, items, groups, nullptr);
+}
+
+GranularityLadder Partitioner::BuildLadder(const ModelProfile& profile) const {
+  GranularityLadder ladder;
+  ladder.spec = profile.spec;
+
+  int finest = config_.ladder.back();
+  PipelinePlan finest_plan = Partition(profile, finest);
+  ladder.plans[finest] = finest_plan;
+
+  // Coarser plans merge contiguous finest stages — nesting by construction.
+  std::vector<Item> items;
+  std::vector<int> fine_index;
+  items.reserve(finest_plan.stages.size());
+  for (size_t i = 0; i < finest_plan.stages.size(); ++i) {
+    const StagePlan& s = finest_plan.stages[i];
+    Item item;
+    item.compute = s.compute_time;
+    item.params = s.param_bytes;
+    item.activation_out = s.output_activation_bytes;
+    item.clean_boundary = s.clean_boundary;
+    item.op_begin = s.op_begin;
+    item.op_end = s.op_end;
+    items.push_back(item);
+    fine_index.push_back(static_cast<int>(i));
+  }
+  for (int g : config_.ladder) {
+    if (g == finest) {
+      ladder.granularities.push_back(g);
+      continue;
+    }
+    auto groups = SolveChain(items, g);
+    if (groups.empty()) {
+      // Granularity infeasible for this model on these GPUs (e.g. OPT-66B needs at
+      // least 4 stages on 40 GB devices); the ladder simply starts finer.
+      continue;
+    }
+    ladder.granularities.push_back(g);
+    ladder.plans[g] = PlanFromGroups(profile, items, groups, &fine_index);
+  }
+  std::sort(ladder.granularities.begin(), ladder.granularities.end());
+  FLEXPIPE_CHECK(!ladder.granularities.empty());
+  FLEXPIPE_CHECK(ladder.IsNested());
+  return ladder;
+}
+
+}  // namespace flexpipe

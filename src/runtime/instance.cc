@@ -1,0 +1,444 @@
+#include "src/runtime/instance.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+PipelineInstance::PipelineInstance(Simulation* sim, int id, const PipelinePlan& plan,
+                                   std::vector<GpuId> gpus, const CostModel* cost_model,
+                                   const NetworkModel* network, const InstanceConfig& config)
+    : sim_(sim),
+      id_(id),
+      plan_(plan),
+      gpus_(std::move(gpus)),
+      cost_model_(cost_model),
+      network_(network),
+      config_(config),
+      kv_(plan.num_stages(),
+          /*per_stage_budget=*/
+          static_cast<Bytes>(
+              static_cast<double>(config.gpu_memory - plan.MaxStageParams()) *
+              cost_model->config().kv_memory_fraction),
+          /*kv_bytes_per_token_per_stage=*/
+          cost_model->KvBytesPerToken(plan.spec, 1.0 / std::max(1, plan.num_stages()))) {
+  FLEXPIPE_CHECK(sim_ != nullptr && cost_model_ != nullptr && network_ != nullptr);
+  FLEXPIPE_CHECK(plan_.num_stages() >= 1);
+  FLEXPIPE_CHECK_MSG(static_cast<int>(gpus_.size()) == plan_.num_stages(),
+                     "one GPU per pipeline stage");
+  FLEXPIPE_CHECK_MSG(plan_.MaxStageParams() <= config_.gpu_memory,
+                     "stage parameters exceed GPU memory");
+
+  const ModelSpec& spec = plan_.spec;
+  TimeNs decode_full = cost_model_->FullModelComputeTime(spec, Phase::kDecode, 1, 1);
+  TimeNs total_compute = plan_.TotalCompute();
+  TimeNs overhead = FromMillis(cost_model_->config().per_stage_overhead_ms);
+
+  stages_.resize(static_cast<size_t>(plan_.num_stages()));
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    const StagePlan& sp = plan_.stages[static_cast<size_t>(s)];
+    StageRuntime& rt = stages_[static_cast<size_t>(s)];
+    rt.gpu = gpus_[static_cast<size_t>(s)];
+    rt.overhead = overhead;
+    rt.prefill_per_token = sp.compute_time / std::max(1, spec.context_window);
+    double share = total_compute > 0
+                       ? static_cast<double>(sp.compute_time) / static_cast<double>(total_compute)
+                       : 1.0 / plan_.num_stages();
+    rt.decode_base = static_cast<TimeNs>(static_cast<double>(decode_full) * share);
+    rt.prefill_act_per_token = sp.output_activation_bytes / std::max(1, spec.context_window);
+    rt.decode_act_per_req = cost_model_->DecodeActivationBytes(spec, 1);
+    if (s + 1 < plan_.num_stages()) {
+      LinkTier tier = network_->TierBetween(rt.gpu, gpus_[static_cast<size_t>(s + 1)]);
+      rt.comm_latency = network_->Latency(tier);
+      rt.comm_bandwidth = network_->Bandwidth(tier);
+    }
+  }
+  groups_.resize(config_.pipelined ? static_cast<size_t>(plan_.num_stages()) : 1);
+}
+
+void PipelineInstance::BeginLoading(const std::vector<bool>& warm_stages, double load_slowdown) {
+  FLEXPIPE_CHECK(state_ == InstanceState::kLoading);
+  FLEXPIPE_CHECK(warm_stages.empty() ||
+                 warm_stages.size() == static_cast<size_t>(plan_.num_stages()));
+  FLEXPIPE_CHECK(load_slowdown > 0.0);  // > 1 = contention, < 1 = accelerated loader
+  TimeNs worst = 0;
+  for (int s = 0; s < plan_.num_stages(); ++s) {
+    Bytes params = plan_.stages[static_cast<size_t>(s)].param_bytes;
+    bool warm = !warm_stages.empty() && warm_stages[static_cast<size_t>(s)];
+    TimeNs t = warm ? cost_model_->WarmLoadTime(params, network_->config().pcie_bandwidth)
+                    : cost_model_->ColdLoadTime(params);
+    worst = std::max(worst, static_cast<TimeNs>(static_cast<double>(t) * load_slowdown));
+  }
+  load_finish_time_ = sim_->now() + worst;
+  sim_->Schedule(worst, [this] {
+    if (state_ == InstanceState::kLoading) {
+      ActivateNow();
+    }
+  });
+}
+
+void PipelineInstance::ActivateNow() {
+  FLEXPIPE_CHECK(state_ == InstanceState::kLoading);
+  state_ = InstanceState::kActive;
+  activated_at_ = sim_->now();
+  last_all_idle_ = sim_->now();
+  for (StageRuntime& s : stages_) {
+    s.busy_until = sim_->now();
+  }
+  if (on_activate_) {
+    on_activate_();
+  }
+  PumpGroups();
+}
+
+std::vector<Request*> PipelineInstance::CurrentDecoding() const {
+  std::vector<Request*> out;
+  for (const Group& g : groups_) {
+    for (Request* r : g.decoding) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+bool PipelineInstance::CanAdmit(const Request& request) const {
+  if (admissions_closed_) {
+    return false;
+  }
+  if (state_ != InstanceState::kLoading && state_ != InstanceState::kActive) {
+    return false;
+  }
+  if (inflight_ + pending() >= capacity()) {
+    return false;
+  }
+  return kv_.Fits(request.spec.prompt_tokens + request.spec.output_tokens);
+}
+
+void PipelineInstance::Admit(Request* request) {
+  FLEXPIPE_CHECK(request != nullptr);
+  FLEXPIPE_CHECK_MSG(CanAdmit(*request), "Admit called without CanAdmit");
+  kv_.Admit(request->spec.id, request->spec.prompt_tokens + request->spec.output_tokens);
+  request->phase = RequestPhase::kQueued;
+  pending_.push_back(request);
+  if (state_ == InstanceState::kActive) {
+    PumpGroups();
+  }
+}
+
+void PipelineInstance::InjectDecoding(Request* request) {
+  FLEXPIPE_CHECK(request != nullptr);
+  FLEXPIPE_CHECK(request->phase == RequestPhase::kDecoding);
+  FLEXPIPE_CHECK(state_ == InstanceState::kLoading || state_ == InstanceState::kActive);
+  kv_.Admit(request->spec.id, request->spec.prompt_tokens + request->spec.output_tokens);
+  // Join the lightest group.
+  size_t best = 0;
+  for (size_t g = 1; g < groups_.size(); ++g) {
+    if (groups_[g].decoding.size() + groups_[g].prefilling.size() <
+        groups_[best].decoding.size() + groups_[best].prefilling.size()) {
+      best = g;
+    }
+  }
+  groups_[best].decoding.push_back(request);
+  ++inflight_;
+  if (state_ == InstanceState::kActive) {
+    PumpGroups();
+  }
+}
+
+double PipelineInstance::LoadFraction() const {
+  return static_cast<double>(inflight_ + pending()) / std::max(1, capacity());
+}
+
+void PipelineInstance::StartDraining(std::function<void()> on_drained) {
+  FLEXPIPE_CHECK(state_ == InstanceState::kActive || state_ == InstanceState::kLoading);
+  state_ = InstanceState::kDraining;
+  on_drained_ = std::move(on_drained);
+  CheckHaltAndDrain();
+}
+
+void PipelineInstance::HaltAndExtract(HaltCallback cb) {
+  FLEXPIPE_CHECK(state_ != InstanceState::kReleased);
+  state_ = InstanceState::kHalting;
+  on_halt_ = std::move(cb);
+  CheckHaltAndDrain();
+}
+
+bool PipelineInstance::AnyGroupBusy() const {
+  for (const Group& g : groups_) {
+    if (g.busy) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PipelineInstance::CheckHaltAndDrain() {
+  if (state_ == InstanceState::kHalting && !AnyGroupBusy() && on_halt_) {
+    std::vector<Request*> extracted;
+    for (Request* r : pending_) {
+      r->phase = RequestPhase::kQueued;
+      extracted.push_back(r);
+    }
+    pending_.clear();
+    for (Group& g : groups_) {
+      for (Request* r : g.prefilling) {
+        // Prompt pass never ran (or its KV dies with this instance); redo elsewhere.
+        r->phase = RequestPhase::kQueued;
+        extracted.push_back(r);
+      }
+      for (Request* r : g.decoding) {
+        extracted.push_back(r);  // keeps kDecoding + generated tokens; KV migrates
+      }
+      g.prefilling.clear();
+      g.decoding.clear();
+    }
+    kv_.Clear();
+    inflight_ = 0;
+    HaltCallback cb = std::move(on_halt_);
+    on_halt_ = nullptr;
+    cb(std::move(extracted));
+    return;
+  }
+  if (state_ == InstanceState::kDraining && inflight_ == 0 && pending_.empty() && on_drained_) {
+    std::function<void()> cb = std::move(on_drained_);
+    on_drained_ = nullptr;
+    cb();
+  }
+}
+
+TimeNs PipelineInstance::StageIterationTime(const StageRuntime& stage, int prefill_tokens,
+                                            int decode_batch) const {
+  TimeNs t = stage.overhead;
+  if (prefill_tokens > 0) {
+    t += stage.prefill_per_token * prefill_tokens;
+  }
+  if (decode_batch > 0) {
+    double slope = cost_model_->config().decode_batch_slope;
+    t += static_cast<TimeNs>(static_cast<double>(stage.decode_base) *
+                             (1.0 + slope * static_cast<double>(decode_batch - 1)));
+  }
+  return static_cast<TimeNs>(static_cast<double>(t) * config_.compute_dilation);
+}
+
+TimeNs PipelineInstance::StageCommTime(const StageRuntime& stage, int prefill_tokens,
+                                       int decode_batch) const {
+  Bytes bytes = stage.prefill_act_per_token * prefill_tokens +
+                stage.decode_act_per_req * decode_batch;
+  return stage.comm_latency + TransferTime(bytes, stage.comm_bandwidth);
+}
+
+void PipelineInstance::AdmitFromPending(Group& group) {
+  int budget_requests = config_.max_prefill_requests_per_iteration;
+  int budget_tokens = config_.prefill_token_budget_per_iteration;
+  size_t group_cap = static_cast<size_t>(config_.per_group_capacity);
+  bool admitted_any = false;
+  while (!pending_.empty() && budget_requests > 0 &&
+         group.decoding.size() + group.prefilling.size() < group_cap) {
+    Request* r = pending_.front();
+    // The budget caps prompt work per iteration, but one request always gets through so
+    // prompts longer than the budget cannot be starved.
+    if (admitted_any && r->spec.prompt_tokens > budget_tokens) {
+      break;
+    }
+    pending_.pop_front();
+    budget_tokens -= r->spec.prompt_tokens;
+    --budget_requests;
+    r->phase = RequestPhase::kPrefilling;
+    group.prefilling.push_back(r);
+    ++inflight_;
+    admitted_any = true;
+  }
+}
+
+void PipelineInstance::PumpGroups() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    TryStart(g);
+  }
+}
+
+void PipelineInstance::TryStart(size_t group_index) {
+  if (state_ != InstanceState::kActive && state_ != InstanceState::kDraining) {
+    return;
+  }
+  Group& group = groups_[group_index];
+  if (group.busy) {
+    return;
+  }
+  AdmitFromPending(group);
+  if (group.decoding.empty() && group.prefilling.empty()) {
+    return;
+  }
+  group.busy = true;
+
+  std::vector<Request*> prefilled = std::move(group.prefilling);
+  group.prefilling.clear();
+  std::vector<Request*> decoded = group.decoding;
+
+  int prefill_tokens = 0;
+  for (const Request* r : prefilled) {
+    prefill_tokens += r->spec.prompt_tokens;
+  }
+  int decode_batch = static_cast<int>(decoded.size());
+
+  TimeNs t = sim_->now();
+  TimeNs start0 = -1;
+  TimeNs exec_total = 0;
+  TimeNs comm_total = 0;
+  // Stall cycles (§3.3): stage idle gaps count as stalls only while a backlog exists —
+  // bubbles with work waiting are lost capacity; bubbles without backlog are just the
+  // pipeline's natural fill/drain behaviour.
+  const bool backlog = !pending_.empty();
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    StageRuntime& stage = stages_[s];
+    TimeNs start = std::max(t, stage.busy_until);
+    if (s == 0) {
+      start0 = start;
+    }
+    if (backlog && start > stage.busy_until && stage.busy_until >= last_all_idle_) {
+      stage.stall_accum += start - stage.busy_until;
+    }
+    TimeNs st = StageIterationTime(stage, prefill_tokens, decode_batch);
+    stage.busy_until = start + st;
+    stage.busy_accum += st;
+    exec_total += st;
+    t = stage.busy_until;
+    if (s + 1 < stages_.size()) {
+      TimeNs c = StageCommTime(stage, prefill_tokens, decode_batch);
+      t += c;
+      comm_total += c;
+    }
+  }
+
+  for (Request* r : prefilled) {
+    if (r->first_exec_start < 0) {
+      r->first_exec_start = start0;
+    }
+    r->exec_ns += exec_total;
+    r->comm_ns += comm_total;
+  }
+  for (Request* r : decoded) {
+    r->exec_ns += exec_total;
+    r->comm_ns += comm_total;
+  }
+  ++stats_.iterations;
+
+  sim_->Schedule(t - sim_->now(), [this, group_index, prefilled = std::move(prefilled),
+                                   decoded = std::move(decoded)]() mutable {
+    FinishIteration(group_index, std::move(prefilled), std::move(decoded));
+  });
+}
+
+void PipelineInstance::CompleteRequest(Request* request) {
+  request->phase = RequestPhase::kDone;
+  request->done_time = sim_->now();
+  kv_.Remove(request->spec.id);
+  ++stats_.requests_completed;
+  --inflight_;
+  if (on_complete_) {
+    on_complete_(request);
+  }
+}
+
+void PipelineInstance::FinishIteration(size_t group_index, std::vector<Request*> prefilled,
+                                       std::vector<Request*> decoded) {
+  Group& group = groups_[group_index];
+  group.busy = false;
+  TimeNs now = sim_->now();
+
+  for (Request* r : prefilled) {
+    r->phase = RequestPhase::kDecoding;
+    r->first_token_time = now;
+    r->tokens_generated = 1;
+    ++stats_.prefills_completed;
+    ++stats_.tokens_generated;
+    if (r->remaining_tokens() <= 0) {
+      CompleteRequest(r);
+    } else {
+      group.decoding.push_back(r);
+    }
+  }
+  std::vector<Request*> still_decoding;
+  still_decoding.reserve(group.decoding.size());
+  for (Request* r : group.decoding) {
+    bool advanced = false;
+    for (Request* d : decoded) {
+      if (d == r) {
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) {
+      ++r->tokens_generated;
+      ++stats_.tokens_generated;
+      if (r->remaining_tokens() <= 0) {
+        CompleteRequest(r);
+        continue;
+      }
+    }
+    still_decoding.push_back(r);
+  }
+  group.decoding = std::move(still_decoding);
+
+  NoteMaybeIdle();
+  if (on_pump_) {
+    on_pump_();
+  }
+  CheckHaltAndDrain();
+  if (state_ == InstanceState::kActive || state_ == InstanceState::kDraining) {
+    TryStart(group_index);
+  }
+  NoteMaybeIdle();
+}
+
+void PipelineInstance::NoteMaybeIdle() {
+  if (inflight_ == 0 && pending_.empty()) {
+    last_all_idle_ = sim_->now();
+  }
+}
+
+TimeNs PipelineInstance::EstimateTraversal(int group_batch) const {
+  TimeNs total = 0;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    total += StageIterationTime(stages_[s], 0, group_batch);
+    if (s + 1 < stages_.size()) {
+      total += StageCommTime(stages_[s], 0, group_batch);
+    }
+  }
+  return total;
+}
+
+TimeNs PipelineInstance::EstimateCadence(int group_batch) const {
+  TimeNs worst = 0;
+  for (const StageRuntime& s : stages_) {
+    worst = std::max(worst, StageIterationTime(s, 0, group_batch));
+  }
+  return worst;
+}
+
+TimeNs PipelineInstance::TotalStall() const {
+  TimeNs total = 0;
+  for (const StageRuntime& s : stages_) {
+    total += s.stall_accum;
+  }
+  return total;
+}
+
+TimeNs PipelineInstance::TotalBusy() const {
+  TimeNs total = 0;
+  for (const StageRuntime& s : stages_) {
+    total += s.busy_accum;
+  }
+  return total;
+}
+
+double PipelineInstance::MeanStageUtilization() const {
+  if (activated_at_ < 0 || sim_->now() <= activated_at_) {
+    return 0.0;
+  }
+  double window = static_cast<double>(sim_->now() - activated_at_);
+  return static_cast<double>(TotalBusy()) / (window * static_cast<double>(stages_.size()));
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,213 @@
+// Pipeline instance: one model replica executing as a chain of stages on GPUs.
+//
+// Execution model (iteration-level continuous batching, Orca-style):
+//   * In-flight requests are spread over S microbatch groups (S = stage count). Each
+//     group cycles through the stages as a wave; stage busy-until times serialize
+//     competing waves, so pipelining across groups emerges naturally. This is also
+//     where Table 2's "max batch = 32 * S" comes from: 32 requests per group buffer.
+//   * A group iteration advances every decoding request in the group by one token and
+//     runs the prompt pass for newly admitted requests (mixed batching).
+//   * A request's next token depends on its previous one, so a group re-enters the
+//     pipeline only after its wave exits the last stage — the classic pipeline-parallel
+//     decode constraint.
+//
+// The instance also implements the lifecycle pieces refactoring needs: parallel
+// parameter loading (cold from storage / warm from host cache), draining, and
+// halt-at-iteration-boundary extraction of in-flight requests with their KV state.
+#ifndef FLEXPIPE_SRC_RUNTIME_INSTANCE_H_
+#define FLEXPIPE_SRC_RUNTIME_INSTANCE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/model/cost_model.h"
+#include "src/partition/plan.h"
+#include "src/runtime/kv_cache.h"
+#include "src/runtime/request.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+
+enum class InstanceState : int {
+  kLoading = 0,
+  kActive = 1,
+  kDraining = 2,  // no new admissions; in-flight work continues
+  kHalting = 3,   // finishing current iterations, then extracting state
+  kReleased = 4,
+};
+
+struct InstanceConfig {
+  int per_group_capacity = 32;  // Table 2 anchor
+  // Sarathi-style chunked admission: prompt work mixed into a decode iteration is
+  // bounded so prefill cannot starve token production. At least one pending request is
+  // admitted per iteration regardless, so long prompts cannot be starved either.
+  int max_prefill_requests_per_iteration = 4;
+  int prefill_token_budget_per_iteration = 1024;
+  Bytes gpu_memory = GiB(40);
+  // false = sequential execution: a single wave occupies the whole chain (systems
+  // without pipeline-parallel scheduling, e.g. the Tetris baseline).
+  bool pipelined = true;
+  // Multiplier on stage compute (> 1 models interference from GPU multiplexing).
+  double compute_dilation = 1.0;
+};
+
+struct InstanceStats {
+  int64_t iterations = 0;
+  int64_t tokens_generated = 0;
+  int64_t prefills_completed = 0;
+  int64_t requests_completed = 0;
+};
+
+class PipelineInstance {
+ public:
+  using CompletionCallback = std::function<void(Request*)>;
+  using PumpCallback = std::function<void()>;
+  using HaltCallback = std::function<void(std::vector<Request*> in_flight)>;
+
+  PipelineInstance(Simulation* sim, int id, const PipelinePlan& plan, std::vector<GpuId> gpus,
+                   const CostModel* cost_model, const NetworkModel* network,
+                   const InstanceConfig& config);
+
+  int id() const { return id_; }
+  const PipelinePlan& plan() const { return plan_; }
+  const std::vector<GpuId>& gpus() const { return gpus_; }
+  int num_stages() const { return plan_.num_stages(); }
+  InstanceState state() const { return state_; }
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_pump_callback(PumpCallback cb) { on_pump_ = std::move(cb); }
+  void set_activation_callback(std::function<void()> cb) { on_activate_ = std::move(cb); }
+
+  // -- Lifecycle ---------------------------------------------------------------------
+  // Starts loading all stage parameters in parallel; `warm_stages[s]` selects host-cache
+  // warm start per stage (empty = all cold). `load_slowdown` (>= 1) models storage/PCIe
+  // contention from concurrent scale-ups (supplied by the HRG). The instance
+  // self-activates when the slowest stage finishes.
+  void BeginLoading(const std::vector<bool>& warm_stages, double load_slowdown = 1.0);
+  TimeNs load_finish_time() const { return load_finish_time_; }
+
+  // Immediate activation for handover paths where parameters are already resident.
+  void ActivateNow();
+
+  // Refuses further admissions while continuing to serve (used while a migration
+  // snapshot is in flight).
+  void CloseAdmissions() { admissions_closed_ = true; }
+
+  // Stops admissions; in-flight requests run to completion.
+  void StartDraining(std::function<void()> on_drained);
+
+  // Refactoring cutover: stop admissions, finish in-flight iterations, then hand every
+  // admitted request (decoding and not-yet-prefilled) to `cb`. KV is cleared.
+  void HaltAndExtract(HaltCallback cb);
+
+  void MarkReleased() { state_ = InstanceState::kReleased; }
+
+  // -- Serving -----------------------------------------------------------------------
+  bool CanAdmit(const Request& request) const;
+  void Admit(Request* request);
+
+  // Re-inserts a mid-decode request after KV migration (tokens already generated are
+  // preserved; decode resumes on this instance).
+  void InjectDecoding(Request* request);
+
+  int inflight() const { return inflight_; }
+  int pending() const { return static_cast<int>(pending_.size()); }
+  int capacity() const {
+    return config_.per_group_capacity * (config_.pipelined ? num_stages() : 1);
+  }
+  double LoadFraction() const;
+
+  // -- KV / refactoring support --------------------------------------------------------
+  // Requests currently decoding on this instance (snapshot; pointers stay valid).
+  std::vector<Request*> CurrentDecoding() const;
+  Bytes KvBytesTotal() const { return kv_.TotalBytes(); }
+  Bytes KvBytesForRequest(RequestId id) const { return kv_.RequestBytes(id); }
+  const KvTracker& kv_tracker() const { return kv_; }
+
+  // -- Planning estimates (used by controllers) ----------------------------------------
+  // One full traversal (token latency) at the given per-group decode batch.
+  TimeNs EstimateTraversal(int group_batch) const;
+  // Steady-state token-production cadence of one group at the given batch.
+  TimeNs EstimateCadence(int group_batch) const;
+
+  // -- Metrics -------------------------------------------------------------------------
+  const InstanceStats& stats() const { return stats_; }
+  TimeNs TotalStall() const;
+  TimeNs TotalBusy() const;
+  // Mean busy fraction across stages since activation.
+  double MeanStageUtilization() const;
+  TimeNs activated_at() const { return activated_at_; }
+
+ private:
+  struct StageRuntime {
+    GpuId gpu = kInvalidGpu;
+    TimeNs prefill_per_token = 0;  // compute per prompt token
+    TimeNs decode_base = 0;        // batch-1 decode compute
+    TimeNs overhead = 0;           // fixed per iteration
+    Bytes prefill_act_per_token = 0;
+    Bytes decode_act_per_req = 0;
+    TimeNs comm_latency = 0;       // to the next stage (unused on the last)
+    BytesPerSec comm_bandwidth = 0.0;
+    TimeNs busy_until = 0;
+    TimeNs busy_accum = 0;
+    TimeNs stall_accum = 0;
+  };
+
+  struct Group {
+    std::vector<Request*> decoding;
+    std::vector<Request*> prefilling;
+    bool busy = false;
+  };
+
+  TimeNs StageIterationTime(const StageRuntime& stage, int prefill_tokens,
+                            int decode_batch) const;
+  TimeNs StageCommTime(const StageRuntime& stage, int prefill_tokens, int decode_batch) const;
+
+  void PumpGroups();
+  void TryStart(size_t group_index);
+  void FinishIteration(size_t group_index, std::vector<Request*> prefilled,
+                       std::vector<Request*> decoded);
+  void AdmitFromPending(Group& group);
+  void CompleteRequest(Request* request);
+  void CheckHaltAndDrain();
+  bool AnyGroupBusy() const;
+  void NoteMaybeIdle();
+
+  Simulation* sim_;
+  int id_;
+  PipelinePlan plan_;
+  std::vector<GpuId> gpus_;
+  const CostModel* cost_model_;
+  const NetworkModel* network_;
+  InstanceConfig config_;
+
+  InstanceState state_ = InstanceState::kLoading;
+  bool admissions_closed_ = false;
+  TimeNs load_finish_time_ = -1;
+  TimeNs activated_at_ = -1;
+
+  std::vector<StageRuntime> stages_;
+  std::vector<Group> groups_;
+  std::deque<Request*> pending_;
+  KvTracker kv_;
+  int inflight_ = 0;  // prefilling + decoding across groups
+
+  // Timestamp after which the instance has been continuously non-idle; used to tell
+  // pipeline bubbles (stall with work present) from plain idleness.
+  TimeNs last_all_idle_ = 0;
+
+  CompletionCallback on_complete_;
+  PumpCallback on_pump_;
+  std::function<void()> on_activate_;
+  std::function<void()> on_drained_;
+  HaltCallback on_halt_;
+
+  InstanceStats stats_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_RUNTIME_INSTANCE_H_

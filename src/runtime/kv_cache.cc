@@ -1,0 +1,114 @@
+#include "src/runtime/kv_cache.h"
+
+namespace flexpipe {
+
+KvValidityMask::KvValidityMask(int capacity_tokens) : capacity_(capacity_tokens) {
+  FLEXPIPE_CHECK(capacity_tokens >= 0);
+  bits_.resize(static_cast<size_t>((capacity_tokens + 63) / 64), 0);
+}
+
+bool KvValidityMask::IsValid(int token) const {
+  FLEXPIPE_DCHECK(token >= 0 && token < capacity_);
+  return (bits_[static_cast<size_t>(token) / 64] >> (static_cast<unsigned>(token) % 64)) & 1ULL;
+}
+
+void KvValidityMask::Set(int token, bool valid) {
+  uint64_t& word = bits_[static_cast<size_t>(token) / 64];
+  uint64_t bit = 1ULL << (static_cast<unsigned>(token) % 64);
+  bool was = (word & bit) != 0;
+  if (valid && !was) {
+    word |= bit;
+    ++valid_count_;
+  } else if (!valid && was) {
+    word &= ~bit;
+    --valid_count_;
+  }
+}
+
+void KvValidityMask::MarkValid(int begin, int end) {
+  FLEXPIPE_CHECK(begin >= 0 && end <= capacity_ && begin <= end);
+  for (int t = begin; t < end; ++t) {
+    Set(t, true);
+  }
+}
+
+void KvValidityMask::MarkInvalid(int begin, int end) {
+  FLEXPIPE_CHECK(begin >= 0 && end <= capacity_ && begin <= end);
+  for (int t = begin; t < end; ++t) {
+    Set(t, false);
+  }
+}
+
+void KvValidityMask::Grow(int new_capacity) {
+  FLEXPIPE_CHECK(new_capacity >= capacity_);
+  capacity_ = new_capacity;
+  bits_.resize(static_cast<size_t>((new_capacity + 63) / 64), 0);
+}
+
+int KvValidityMask::invalid_in(int begin, int end) const {
+  FLEXPIPE_CHECK(begin >= 0 && end <= capacity_ && begin <= end);
+  int invalid = 0;
+  for (int t = begin; t < end; ++t) {
+    if (!IsValid(t)) {
+      ++invalid;
+    }
+  }
+  return invalid;
+}
+
+std::vector<int> KvValidityMask::InvalidTokens(int upto) const {
+  FLEXPIPE_CHECK(upto >= 0 && upto <= capacity_);
+  std::vector<int> out;
+  for (int t = 0; t < upto; ++t) {
+    if (!IsValid(t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+KvTracker::KvTracker(int num_stages, Bytes per_stage_budget, Bytes kv_bytes_per_token_per_stage)
+    : num_stages_(num_stages),
+      budget_per_stage_(per_stage_budget),
+      kv_per_token_per_stage_(kv_bytes_per_token_per_stage) {
+  FLEXPIPE_CHECK(num_stages >= 1);
+  FLEXPIPE_CHECK(per_stage_budget >= 0);
+  FLEXPIPE_CHECK(kv_bytes_per_token_per_stage >= 0);
+}
+
+bool KvTracker::Fits(int total_tokens) const {
+  Bytes need = static_cast<Bytes>(total_tokens) * kv_per_token_per_stage_;
+  return used_per_stage_ + need <= budget_per_stage_;
+}
+
+void KvTracker::Admit(RequestId id, int total_tokens) {
+  FLEXPIPE_CHECK_MSG(Fits(total_tokens), "KV admission over budget");
+  FLEXPIPE_CHECK(tokens_.find(id) == tokens_.end());
+  tokens_[id] = total_tokens;
+  used_per_stage_ += static_cast<Bytes>(total_tokens) * kv_per_token_per_stage_;
+}
+
+void KvTracker::Remove(RequestId id) {
+  auto it = tokens_.find(id);
+  FLEXPIPE_CHECK(it != tokens_.end());
+  used_per_stage_ -= static_cast<Bytes>(it->second) * kv_per_token_per_stage_;
+  FLEXPIPE_CHECK(used_per_stage_ >= 0);
+  tokens_.erase(it);
+}
+
+void KvTracker::Clear() {
+  tokens_.clear();
+  used_per_stage_ = 0;
+}
+
+Bytes KvTracker::RequestBytes(RequestId id) const {
+  auto it = tokens_.find(id);
+  if (it == tokens_.end()) {
+    return 0;
+  }
+  return static_cast<Bytes>(it->second) * kv_per_token_per_stage_ * num_stages_;
+}
+
+Bytes KvTracker::TotalBytes() const { return used_per_stage_ * num_stages_; }
+
+}  // namespace flexpipe

@@ -1,0 +1,80 @@
+// KV-cache bookkeeping and the token-level validity mask of Eq. 10.
+//
+// During inflight refactoring the consistent cache state is
+//     C(t) = ∪_i KV_i(t) ⊗ M_valid
+// i.e. per-token validity masks decide what must still be synchronized. We implement the
+// mask as a real bitmap: the refactoring engine snapshots a request's KV, keeps serving
+// on the old pipeline (newly generated tokens invalidate mask bits), then ships the
+// delta at cutover. Tests exercise the mask algebra directly.
+#ifndef FLEXPIPE_SRC_RUNTIME_KV_CACHE_H_
+#define FLEXPIPE_SRC_RUNTIME_KV_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/units.h"
+#include "src/trace/workload.h"
+
+namespace flexpipe {
+
+class KvValidityMask {
+ public:
+  explicit KvValidityMask(int capacity_tokens);
+
+  int capacity() const { return capacity_; }
+  int valid_count() const { return valid_count_; }
+  int invalid_in(int begin, int end) const;  // invalid tokens in [begin, end)
+
+  bool IsValid(int token) const;
+  void MarkValid(int begin, int end);
+  void MarkInvalid(int begin, int end);
+  void Grow(int new_capacity);  // new tokens start invalid
+
+  // Tokens in [0, upto) that still need synchronization.
+  std::vector<int> InvalidTokens(int upto) const;
+
+ private:
+  void Set(int token, bool valid);
+
+  int capacity_;
+  int valid_count_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+// Per-instance KV accounting: bytes per stage, per request. The instance enforces its
+// per-stage KV budget through this tracker; the refactoring engine reads per-request
+// footprints when costing migrations.
+class KvTracker {
+ public:
+  KvTracker(int num_stages, Bytes per_stage_budget, Bytes kv_bytes_per_token_per_stage);
+
+  // Whether a request with `total_tokens` (prompt + max output) fits in every stage.
+  bool Fits(int total_tokens) const;
+  void Admit(RequestId id, int total_tokens);
+  void Remove(RequestId id);
+  void Clear();
+
+  Bytes used_per_stage() const { return used_per_stage_; }
+  Bytes budget_per_stage() const { return budget_per_stage_; }
+  int resident_requests() const { return static_cast<int>(tokens_.size()); }
+
+  // Total KV bytes across all stages for one request / for everything resident.
+  Bytes RequestBytes(RequestId id) const;
+  Bytes TotalBytes() const;
+  Bytes BytesForTokens(int tokens) const {
+    return static_cast<Bytes>(tokens) * kv_per_token_per_stage_ * num_stages_;
+  }
+
+ private:
+  int num_stages_;
+  Bytes budget_per_stage_;
+  Bytes kv_per_token_per_stage_;
+  Bytes used_per_stage_ = 0;
+  std::unordered_map<RequestId, int> tokens_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_RUNTIME_KV_CACHE_H_

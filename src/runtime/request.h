@@ -1,0 +1,63 @@
+// Runtime request state.
+//
+// A Request wraps the workload's RequestSpec with lifecycle timestamps and the
+// queue/execution/communication decomposition the paper's latency-breakdown figures
+// report. Requests are owned by the serving harness; instances and routers hold
+// non-owning pointers.
+#ifndef FLEXPIPE_SRC_RUNTIME_REQUEST_H_
+#define FLEXPIPE_SRC_RUNTIME_REQUEST_H_
+
+#include "src/common/units.h"
+#include "src/trace/workload.h"
+
+namespace flexpipe {
+
+enum class RequestPhase : int {
+  kQueued = 0,     // waiting in router or instance pending queue
+  kPrefilling = 1, // admitted; prompt pass scheduled or in flight
+  kDecoding = 2,   // generating tokens
+  kDone = 3,
+};
+
+struct Request {
+  RequestSpec spec;
+  RequestPhase phase = RequestPhase::kQueued;
+
+  int tokens_generated = 0;  // includes the token produced by the prefill pass
+
+  TimeNs first_exec_start = -1;  // first time any stage computed for this request
+  TimeNs first_token_time = -1;  // prefill pass exit (TTFT)
+  TimeNs done_time = -1;
+
+  // Accumulated per-request time decomposition (the Fig. 8 breakdown):
+  TimeNs exec_ns = 0;   // stage compute the request participated in
+  TimeNs comm_ns = 0;   // inter-stage hops the request traversed
+  // queue_ns is derived: total - exec - comm (covers router queue, admission wait, and
+  // in-pipeline blocking on busy stages).
+
+  bool done() const { return phase == RequestPhase::kDone; }
+  int remaining_tokens() const { return spec.output_tokens - tokens_generated; }
+  int context_tokens() const { return spec.prompt_tokens + tokens_generated; }
+
+  TimeNs TotalLatency() const { return done_time >= 0 ? done_time - spec.arrival : -1; }
+  TimeNs QueueTime() const {
+    TimeNs total = TotalLatency();
+    if (total < 0) {
+      return -1;
+    }
+    TimeNs q = total - exec_ns - comm_ns;
+    return q > 0 ? q : 0;
+  }
+  TimeNs PrefillLatency() const {
+    return first_token_time >= 0 ? first_token_time - spec.arrival : -1;
+  }
+  bool MetSlo(TimeNs default_slo) const {
+    TimeNs slo = spec.slo > 0 ? spec.slo : default_slo;
+    TimeNs total = TotalLatency();
+    return total >= 0 && (slo <= 0 || total <= slo);
+  }
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_RUNTIME_REQUEST_H_

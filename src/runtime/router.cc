@@ -1,0 +1,92 @@
+#include "src/runtime/router.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+Router::Router(Simulation* sim) : sim_(sim) { FLEXPIPE_CHECK(sim != nullptr); }
+
+void Router::RegisterInstance(PipelineInstance* instance) {
+  FLEXPIPE_CHECK(instance != nullptr);
+  instances_.push_back(instance);
+  Pump();
+}
+
+void Router::DeregisterInstance(int instance_id) {
+  instances_.erase(std::remove_if(instances_.begin(), instances_.end(),
+                                  [instance_id](const PipelineInstance* i) {
+                                    return i->id() == instance_id;
+                                  }),
+                   instances_.end());
+}
+
+void Router::Submit(Request* request) {
+  FLEXPIPE_CHECK(request != nullptr);
+  ++total_submitted_;
+  queue_.push_back(request);
+  max_queue_length_ = std::max(max_queue_length_, static_cast<int64_t>(queue_.size()));
+  Pump();
+}
+
+void Router::RequeueFront(std::vector<Request*> requests) {
+  // Preserve relative order: insert in reverse at the front.
+  for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
+    queue_.push_front(*it);
+  }
+  max_queue_length_ = std::max(max_queue_length_, static_cast<int64_t>(queue_.size()));
+  Pump();
+}
+
+PipelineInstance* Router::PickInstance(const Request& request) const {
+  // Prefer active instances by load; fall back to the loading instance that will
+  // activate soonest (its queue drains the moment it comes up).
+  PipelineInstance* best_active = nullptr;
+  double best_load = 2.0;
+  PipelineInstance* best_loading = nullptr;
+  TimeNs best_finish = 0;
+  for (PipelineInstance* inst : instances_) {
+    if (!inst->CanAdmit(request)) {
+      continue;
+    }
+    if (inst->state() == InstanceState::kActive) {
+      double load = inst->LoadFraction();
+      if (load < best_load) {
+        best_load = load;
+        best_active = inst;
+      }
+    } else if (inst->state() == InstanceState::kLoading) {
+      if (best_loading == nullptr || inst->load_finish_time() < best_finish) {
+        best_loading = inst;
+        best_finish = inst->load_finish_time();
+      }
+    }
+  }
+  if (best_active != nullptr) {
+    return best_active;
+  }
+  return best_loading;
+}
+
+void Router::Pump() {
+  while (!queue_.empty()) {
+    Request* request = queue_.front();
+    PipelineInstance* target = PickInstance(*request);
+    if (target == nullptr) {
+      break;
+    }
+    queue_.pop_front();
+    target->Admit(request);
+  }
+}
+
+int Router::TotalOutstanding() const {
+  int total = queue_length();
+  for (const PipelineInstance* inst : instances_) {
+    total += inst->inflight() + inst->pending();
+  }
+  return total;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,58 @@
+// Request router / gateway for one model's instances.
+//
+// Arriving requests are dispatched to the least-loaded instance that can admit them;
+// when every instance is full they wait in the router queue (this queue is what grows
+// 4x in Fig. 3b as CV rises). Refactoring updates routing by registering the new
+// instance and re-queueing whatever the old instance hands back ("update gateway" in
+// Fig. 6's sequence).
+#ifndef FLEXPIPE_SRC_RUNTIME_ROUTER_H_
+#define FLEXPIPE_SRC_RUNTIME_ROUTER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/runtime/instance.h"
+#include "src/runtime/request.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+
+class Router {
+ public:
+  explicit Router(Simulation* sim);
+
+  void RegisterInstance(PipelineInstance* instance);
+  void DeregisterInstance(int instance_id);
+
+  // New arrival from the workload.
+  void Submit(Request* request);
+
+  // Returns requests (e.g. from a halted instance) to the head of the queue so they are
+  // not penalised twice.
+  void RequeueFront(std::vector<Request*> requests);
+
+  // Dispatches as much of the queue as instances will admit. Instances call this via
+  // their pump callback whenever capacity frees up.
+  void Pump();
+
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  int64_t total_submitted() const { return total_submitted_; }
+  int64_t max_queue_length() const { return max_queue_length_; }
+  const std::vector<PipelineInstance*>& instances() const { return instances_; }
+
+  // Aggregate in-flight + queued work across the fleet (used by scaling controllers).
+  int TotalOutstanding() const;
+
+ private:
+  PipelineInstance* PickInstance(const Request& request) const;
+
+  Simulation* sim_;
+  std::vector<PipelineInstance*> instances_;
+  std::deque<Request*> queue_;
+  int64_t total_submitted_ = 0;
+  int64_t max_queue_length_ = 0;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_RUNTIME_ROUTER_H_

@@ -1,0 +1,60 @@
+#include "src/runtime/transfer.h"
+
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+TransferEngine::TransferEngine(Simulation* sim, NetworkModel* network)
+    : sim_(sim), network_(network) {
+  FLEXPIPE_CHECK(sim != nullptr && network != nullptr);
+}
+
+TransferProtocol TransferEngine::PreferredProtocol(GpuId src, GpuId dst) const {
+  double fraction = network_->config().rdma_fraction;
+  if (fraction >= 1.0) {
+    return TransferProtocol::kRdma;
+  }
+  if (fraction <= 0.0) {
+    return TransferProtocol::kSendfile;
+  }
+  // Stable hash on the endpoint pair decides which links are RDMA-capable.
+  uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+               static_cast<uint32_t>(dst);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  double u = static_cast<double>(h % 10000) / 10000.0;
+  return u < fraction ? TransferProtocol::kRdma : TransferProtocol::kSendfile;
+}
+
+TimeNs TransferEngine::Estimate(GpuId src, GpuId dst, Bytes bytes,
+                                TransferProtocol protocol) const {
+  LinkTier tier = network_->TierBetween(src, dst);
+  if (tier == LinkTier::kSameGpu) {
+    return 0;
+  }
+  return network_->SetupTime(protocol) + network_->Latency(tier) +
+         TransferTime(bytes, network_->EffectiveBandwidth(tier));
+}
+
+void TransferEngine::Transfer(GpuId src, GpuId dst, Bytes bytes, TransferProtocol protocol,
+                              std::function<void(TimeNs duration)> done) {
+  FLEXPIPE_CHECK(done != nullptr);
+  LinkTier tier = network_->TierBetween(src, dst);
+  TimeNs duration = Estimate(src, dst, bytes, protocol);
+  if (tier != LinkTier::kSameGpu) {
+    network_->AddFlow(tier);
+  }
+  bytes_moved_ += bytes;
+  sim_->Schedule(duration, [this, tier, duration, done = std::move(done)] {
+    if (tier != LinkTier::kSameGpu) {
+      network_->RemoveFlow(tier);
+    }
+    ++completed_;
+    done(duration);
+  });
+}
+
+}  // namespace flexpipe

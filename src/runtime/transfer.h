@@ -1,0 +1,45 @@
+// Asynchronous data transfers over the simulated fabric.
+//
+// Used for KV-cache migration during refactoring and parameter movement during scaling.
+// Implements §8's protocol hierarchy: RDMA where available (microsecond setup), sendfile
+// fallback otherwise, and an NCCL-style path kept for the ablation that shows why the
+// paper avoided it (multi-second connection establishment). Flows register on their
+// link tier for the duration so concurrent migrations contend realistically.
+#ifndef FLEXPIPE_SRC_RUNTIME_TRANSFER_H_
+#define FLEXPIPE_SRC_RUNTIME_TRANSFER_H_
+
+#include <functional>
+
+#include "src/cluster/network.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+
+class TransferEngine {
+ public:
+  TransferEngine(Simulation* sim, NetworkModel* network);
+
+  // Picks RDMA when both endpoints' servers have it, else sendfile (§8).
+  TransferProtocol PreferredProtocol(GpuId src, GpuId dst) const;
+
+  // Starts an async transfer; `done` fires at completion with the elapsed duration.
+  // The flow occupies its link tier until completion.
+  void Transfer(GpuId src, GpuId dst, Bytes bytes, TransferProtocol protocol,
+                std::function<void(TimeNs duration)> done);
+
+  // Synchronous estimate without starting a flow (planning queries).
+  TimeNs Estimate(GpuId src, GpuId dst, Bytes bytes, TransferProtocol protocol) const;
+
+  int64_t completed_transfers() const { return completed_; }
+  Bytes bytes_moved() const { return bytes_moved_; }
+
+ private:
+  Simulation* sim_;
+  NetworkModel* network_;
+  int64_t completed_ = 0;
+  Bytes bytes_moved_ = 0;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_RUNTIME_TRANSFER_H_

@@ -1,0 +1,110 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+EventId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
+  FLEXPIPE_CHECK_MSG(delay >= 0, "cannot schedule into the past");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  FLEXPIPE_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  FLEXPIPE_CHECK(fn != nullptr);
+  EventId id = next_seq_++;
+  heap_.push(Entry{when, id, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped when popped.
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulation::PopAndRun() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // canceled tombstone
+      continue;
+    }
+    FLEXPIPE_DCHECK(top.when >= now_);
+    now_ = top.when;
+    // Move the callback out before popping: the callback may schedule/cancel events.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    heap_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::Step() { return PopAndRun(); }
+
+void Simulation::RunUntilIdle() {
+  stopped_ = false;
+  while (!stopped_ && PopAndRun()) {
+  }
+}
+
+void Simulation::RunUntil(TimeNs end) {
+  FLEXPIPE_CHECK(end >= now_);
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    Entry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.when > end) {
+      break;
+    }
+    PopAndRun();
+  }
+  if (!stopped_ && now_ < end) {
+    now_ = end;
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulation* sim, TimeNs interval, std::function<void()> fn)
+    : sim_(sim), interval_(interval), fn_(std::move(fn)) {
+  FLEXPIPE_CHECK(sim_ != nullptr);
+  FLEXPIPE_CHECK(interval_ > 0);
+  FLEXPIPE_CHECK(fn_ != nullptr);
+  Arm();
+}
+
+PeriodicTask::~PeriodicTask() { Cancel(); }
+
+void PeriodicTask::Arm() {
+  pending_ = sim_->Schedule(interval_, [this] {
+    if (!active_) {
+      return;
+    }
+    fn_();
+    if (active_) {  // fn_ may have canceled us
+      Arm();
+    }
+  });
+}
+
+void PeriodicTask::Cancel() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  if (pending_ != 0) {
+    sim_->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,111 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the substrate on which the whole reproduction runs: the 82-GPU cluster, the
+// network fabric, and the serving systems are all entities that schedule callbacks on
+// one virtual clock. The engine is single-threaded by design — determinism matters more
+// than parallel simulation speed for reproducing the paper's experiments, and every
+// bench finishes in seconds.
+//
+// Ordering guarantee: events fire in (time, scheduling order) — two events scheduled for
+// the same instant run in the order they were scheduled, so runs are bit-reproducible.
+#ifndef FLEXPIPE_SRC_SIM_SIMULATION_H_
+#define FLEXPIPE_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+// Identifies a scheduled event so it can be canceled. Zero is never a valid id.
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after the current virtual time (delay >= 0).
+  EventId Schedule(TimeNs delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute virtual time `when` (>= now()).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  // Cancels a pending event. Canceling an already-fired or unknown id is a no-op and
+  // returns false.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue empties or `Stop()` is called.
+  void RunUntilIdle();
+
+  // Runs events with time <= `end`; the clock lands exactly on `end` afterwards even if
+  // the queue drained earlier.
+  void RunUntil(TimeNs end);
+
+  // Runs exactly one event if available; returns false when the queue is empty.
+  bool Step();
+
+  // Makes Run* return after the current event completes.
+  void Stop() { stopped_ = true; }
+  void ClearStop() { stopped_ = false; }
+
+  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    EventId id;
+    // Ordering for std::priority_queue (max-heap): invert so earliest fires first.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops entries until one with a live callback is found and runs it.
+  bool PopAndRun();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  bool stopped_ = false;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry> heap_;
+  // Live (uncanceled, unfired) callbacks; heap entries without a map entry are skipped.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+// Repeating task helper: runs `fn` every `interval` starting at now+interval until
+// canceled. Used for controller loops and metric samplers.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulation* sim, TimeNs interval, std::function<void()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Cancel();
+  bool active() const { return active_; }
+
+ private:
+  void Arm();
+
+  Simulation* sim_;
+  TimeNs interval_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool active_ = true;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,125 @@
+#include "src/trace/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+namespace {
+// Gaps below 1ns would stall the virtual clock; clamp (affects only CV >> 10 regimes).
+constexpr TimeNs kMinGap = 1;
+}  // namespace
+
+std::vector<TimeNs> ArrivalProcess::GenerateArrivals(Rng& rng, size_t n, TimeNs start) {
+  std::vector<TimeNs> out;
+  out.reserve(n);
+  TimeNs t = start;
+  for (size_t i = 0; i < n; ++i) {
+    t += NextGap(rng);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TimeNs> ArrivalProcess::GenerateUntil(Rng& rng, TimeNs end, TimeNs start) {
+  std::vector<TimeNs> out;
+  TimeNs t = start;
+  while (true) {
+    t += NextGap(rng);
+    if (t >= end) {
+      break;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+PoissonArrivals::PoissonArrivals(double rate_per_sec) : rate_(rate_per_sec) {
+  FLEXPIPE_CHECK(rate_per_sec > 0.0);
+}
+
+TimeNs PoissonArrivals::NextGap(Rng& rng) {
+  return std::max<TimeNs>(kMinGap, FromSeconds(rng.ExponentialMean(1.0 / rate_)));
+}
+
+GammaArrivals::GammaArrivals(double rate_per_sec, double cv) : rate_(rate_per_sec), cv_(cv) {
+  FLEXPIPE_CHECK(rate_per_sec > 0.0);
+  FLEXPIPE_CHECK(cv > 0.0);
+  // For Gamma(shape k, scale theta): mean = k*theta, CV = 1/sqrt(k).
+  shape_ = 1.0 / (cv * cv);
+  scale_ = (1.0 / rate_per_sec) / shape_;
+}
+
+TimeNs GammaArrivals::NextGap(Rng& rng) {
+  return std::max<TimeNs>(kMinGap, FromSeconds(rng.Gamma(shape_, scale_)));
+}
+
+MmppArrivals::MmppArrivals(const Config& config) : config_(config) {
+  FLEXPIPE_CHECK(config.low_rate > 0.0 && config.high_rate > 0.0);
+  FLEXPIPE_CHECK(config.mean_low_sojourn_s > 0.0 && config.mean_high_sojourn_s > 0.0);
+}
+
+TimeNs MmppArrivals::NextGap(Rng& rng) {
+  double gap_s = 0.0;
+  while (true) {
+    if (state_left_s_ <= 0.0) {
+      in_high_ = !in_high_;
+      state_left_s_ =
+          rng.ExponentialMean(in_high_ ? config_.mean_high_sojourn_s : config_.mean_low_sojourn_s);
+    }
+    double rate = in_high_ ? config_.high_rate : config_.low_rate;
+    double candidate = rng.ExponentialMean(1.0 / rate);
+    if (candidate <= state_left_s_) {
+      state_left_s_ -= candidate;
+      gap_s += candidate;
+      break;
+    }
+    // No arrival before the state flips; consume the remaining sojourn and retry.
+    gap_s += state_left_s_;
+    state_left_s_ = 0.0;
+  }
+  return std::max<TimeNs>(kMinGap, FromSeconds(gap_s));
+}
+
+double MmppArrivals::MeanRate() const {
+  double p_high =
+      config_.mean_high_sojourn_s / (config_.mean_high_sojourn_s + config_.mean_low_sojourn_s);
+  return p_high * config_.high_rate + (1.0 - p_high) * config_.low_rate;
+}
+
+TraceReplayArrivals::TraceReplayArrivals(std::vector<TimeNs> timestamps)
+    : timestamps_(std::move(timestamps)) {
+  for (size_t i = 1; i < timestamps_.size(); ++i) {
+    FLEXPIPE_CHECK_MSG(timestamps_[i] >= timestamps_[i - 1], "trace must be sorted");
+  }
+}
+
+TimeNs TraceReplayArrivals::NextGap(Rng& /*rng*/) {
+  FLEXPIPE_CHECK_MSG(next_ < timestamps_.size(), "trace exhausted");
+  TimeNs gap = timestamps_[next_] - last_;
+  last_ = timestamps_[next_];
+  ++next_;
+  return std::max<TimeNs>(kMinGap, gap);
+}
+
+double TraceReplayArrivals::MeanRate() const {
+  if (timestamps_.size() < 2) {
+    return 0.0;
+  }
+  double span_s = ToSeconds(timestamps_.back() - timestamps_.front());
+  if (span_s <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(timestamps_.size() - 1) / span_s;
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivalsWithCv(double rate_per_sec, double cv) {
+  if (std::abs(cv - 1.0) < 1e-9) {
+    return std::make_unique<PoissonArrivals>(rate_per_sec);
+  }
+  return std::make_unique<GammaArrivals>(rate_per_sec, cv);
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,104 @@
+#include "src/trace/azure_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+AzureTraceSynthesizer::AzureTraceSynthesizer(const Config& config) : config_(config) {
+  FLEXPIPE_CHECK(config.days >= 1);
+  FLEXPIPE_CHECK(config.base_rate > 0.0);
+}
+
+std::vector<double> AzureTraceSynthesizer::RateProfile() const {
+  const int total_seconds = config_.days * 24 * 3600;
+  std::vector<double> rate(static_cast<size_t>(total_seconds), config_.base_rate);
+  Rng rng(config_.seed);
+  Rng noise_rng = rng.Child("minute-noise");
+  Rng burst_rng = rng.Child("bursts");
+
+  // Diurnal + weekly envelope.
+  for (int s = 0; s < total_seconds; ++s) {
+    double hour_of_day = static_cast<double>(s % 86400) / 3600.0;
+    double diurnal = 1.0 + config_.diurnal_amplitude * std::sin((hour_of_day - 9.0) / 24.0 * 2.0 * kPi);
+    int day_of_week = (s / 86400) % 7;
+    double weekly = (day_of_week >= 5) ? (1.0 - config_.weekly_dip) : 1.0;
+    rate[static_cast<size_t>(s)] *= diurnal * weekly;
+  }
+
+  // Minute-scale multiplicative noise: this is what makes short-window CV exceed
+  // long-window CV (the Fig. 1 effect).
+  double minute_mult = 1.0;
+  for (int s = 0; s < total_seconds; ++s) {
+    if (s % 60 == 0) {
+      // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2); center it at 1.
+      double sigma = config_.minute_noise_sigma;
+      minute_mult = noise_rng.LogNormal(-sigma * sigma / 2.0, sigma);
+    }
+    rate[static_cast<size_t>(s)] *= minute_mult;
+  }
+
+  // Burst episodes: Poisson count per day, Pareto magnitudes, exponential durations.
+  double bursts_expected = config_.burst_rate_per_day * config_.days;
+  int burst_count = static_cast<int>(bursts_expected);
+  if (burst_rng.Bernoulli(bursts_expected - burst_count)) {
+    ++burst_count;
+  }
+  for (int b = 0; b < burst_count; ++b) {
+    int start = static_cast<int>(burst_rng.UniformInt(0, total_seconds - 1));
+    double duration = burst_rng.ExponentialMean(config_.burst_mean_duration_s);
+    double magnitude = std::min(burst_rng.Pareto(1.5, 1.2) * config_.burst_magnitude / 3.0,
+                                4.0 * config_.burst_magnitude);
+    int end = std::min(total_seconds, start + std::max(1, static_cast<int>(duration)));
+    for (int s = start; s < end; ++s) {
+      // Triangular ramp up/down within the burst looks like real incident traffic.
+      double pos = static_cast<double>(s - start) / std::max(1, end - start - 1);
+      double shape = 1.0 - std::abs(2.0 * pos - 1.0);
+      rate[static_cast<size_t>(s)] *= 1.0 + magnitude * shape;
+    }
+  }
+  return rate;
+}
+
+std::vector<TimeNs> AzureTraceSynthesizer::GenerateArrivals() const {
+  std::vector<double> rate = RateProfile();
+  Rng rng = Rng(config_.seed).Child("arrivals");
+  std::vector<TimeNs> out;
+  out.reserve(static_cast<size_t>(config_.base_rate) * rate.size());
+  // Piecewise-constant inhomogeneous Poisson process: within each 1 s slot the rate is
+  // constant, so we draw exponential gaps and carry the remainder across slots.
+  double t = 0.0;  // seconds
+  const double total = static_cast<double>(rate.size());
+  while (t < total) {
+    size_t slot = static_cast<size_t>(t);
+    double r = std::max(rate[slot], 1e-6);
+    double gap = rng.ExponentialMean(1.0 / r);
+    // If the gap crosses a slot boundary, thin it: rescale the remaining gap by the
+    // rate ratio of the next slot (standard inversion for piecewise-constant rates).
+    double slot_end = static_cast<double>(slot + 1);
+    while (t + gap >= slot_end && slot + 1 < rate.size()) {
+      double consumed = slot_end - t;
+      double leftover = gap - consumed;
+      t = slot_end;
+      slot += 1;
+      double r_next = std::max(rate[slot], 1e-6);
+      gap = leftover * r / r_next;
+      r = r_next;
+      slot_end = static_cast<double>(slot + 1);
+    }
+    t += gap;
+    if (t >= total) {
+      break;
+    }
+    out.push_back(FromSeconds(t));
+  }
+  return out;
+}
+
+}  // namespace flexpipe

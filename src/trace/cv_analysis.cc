@@ -1,0 +1,65 @@
+#include "src/trace/cv_analysis.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/common/stats.h"
+
+namespace flexpipe {
+
+std::vector<int64_t> BinCounts(const std::vector<TimeNs>& arrivals, TimeNs window, TimeNs start,
+                               TimeNs end) {
+  FLEXPIPE_CHECK(window > 0);
+  FLEXPIPE_CHECK(end > start);
+  size_t bins = static_cast<size_t>((end - start + window - 1) / window);
+  std::vector<int64_t> counts(bins, 0);
+  auto lo = std::lower_bound(arrivals.begin(), arrivals.end(), start);
+  auto hi = std::lower_bound(arrivals.begin(), arrivals.end(), end);
+  for (auto it = lo; it != hi; ++it) {
+    size_t bin = static_cast<size_t>((*it - start) / window);
+    if (bin < bins) {
+      ++counts[bin];
+    }
+  }
+  return counts;
+}
+
+double WindowedCountCv(const std::vector<TimeNs>& arrivals, TimeNs window, TimeNs start,
+                       TimeNs end) {
+  std::vector<int64_t> counts = BinCounts(arrivals, window, start, end);
+  RunningStats stats;
+  for (int64_t c : counts) {
+    stats.Add(static_cast<double>(c));
+  }
+  return stats.cv();
+}
+
+double InterarrivalCv(const std::vector<TimeNs>& arrivals, TimeNs start, TimeNs end) {
+  auto lo = std::lower_bound(arrivals.begin(), arrivals.end(), start);
+  auto hi = std::lower_bound(arrivals.begin(), arrivals.end(), end);
+  RunningStats stats;
+  for (auto it = lo; it != hi; ++it) {
+    if (it != lo) {
+      stats.Add(ToSeconds(*it - *(it - 1)));
+    }
+  }
+  return stats.cv();
+}
+
+std::vector<DailyCvReport> AnalyzeDailyCv(const std::vector<TimeNs>& arrivals, int days) {
+  std::vector<DailyCvReport> out;
+  out.reserve(static_cast<size_t>(days));
+  for (int d = 0; d < days; ++d) {
+    TimeNs start = static_cast<TimeNs>(d) * 24 * kHour;
+    TimeNs end = start + 24 * kHour;
+    DailyCvReport report;
+    report.day = d + 1;
+    report.cv_180s = WindowedCountCv(arrivals, 180 * kSecond, start, end);
+    report.cv_3h = WindowedCountCv(arrivals, 3 * kHour, start, end);
+    report.cv_12h = WindowedCountCv(arrivals, 12 * kHour, start, end);
+    out.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,39 @@
+// Offline windowed-CV analysis of arrival traces (the measurement behind Fig. 1).
+//
+// For a window size W, the trace is cut into W-sized bins and the CV of per-bin request
+// counts is computed per analysis period (e.g. per day). The paper's observation is that
+// the same trace yields CVs differing by up to 7x depending on W — the motivation for
+// runtime (rather than offline) pipeline configuration.
+#ifndef FLEXPIPE_SRC_TRACE_CV_ANALYSIS_H_
+#define FLEXPIPE_SRC_TRACE_CV_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace flexpipe {
+
+// Per-bin arrival counts for bins of `window` covering [start, end).
+std::vector<int64_t> BinCounts(const std::vector<TimeNs>& arrivals, TimeNs window, TimeNs start,
+                               TimeNs end);
+
+// CV of per-bin counts over [start, end).
+double WindowedCountCv(const std::vector<TimeNs>& arrivals, TimeNs window, TimeNs start,
+                       TimeNs end);
+
+// CV of inter-arrival gaps within [start, end) — the ν_t the online controller tracks.
+double InterarrivalCv(const std::vector<TimeNs>& arrivals, TimeNs start, TimeNs end);
+
+struct DailyCvReport {
+  int day = 0;
+  double cv_180s = 0.0;
+  double cv_3h = 0.0;
+  double cv_12h = 0.0;
+};
+
+// One report row per whole day present in the trace (Fig. 1's series).
+std::vector<DailyCvReport> AnalyzeDailyCv(const std::vector<TimeNs>& arrivals, int days);
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_TRACE_CV_ANALYSIS_H_

@@ -1,0 +1,87 @@
+#include "src/trace/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+
+LengthSampler::LengthSampler(const Config& config) : config_(config) {
+  FLEXPIPE_CHECK(config.prompt_median >= 1.0);
+  FLEXPIPE_CHECK(config.output_median >= 1.0);
+  FLEXPIPE_CHECK(config.prompt_max >= 1 && config.output_max >= 1);
+}
+
+int LengthSampler::SamplePromptTokens(Rng& rng) const {
+  if (rng.Bernoulli(config_.long_context_prob)) {
+    // Long-context outlier: uniform over the top quarter of the window.
+    return static_cast<int>(rng.Uniform(0.75 * config_.prompt_max, config_.prompt_max));
+  }
+  double v = rng.LogNormal(std::log(config_.prompt_median), config_.prompt_sigma);
+  return std::clamp(static_cast<int>(v), 1, config_.prompt_max);
+}
+
+int LengthSampler::SampleOutputTokens(Rng& rng) const {
+  double v = rng.LogNormal(std::log(config_.output_median), config_.output_sigma);
+  return std::clamp(static_cast<int>(v), 1, config_.output_max);
+}
+
+WorkloadGenerator::WorkloadGenerator(const Config& config) : config_(config) {}
+
+std::vector<RequestSpec> WorkloadGenerator::FillSpecs(const std::vector<TimeNs>& times,
+                                                      Rng& rng) const {
+  LengthSampler sampler(config_.lengths);
+  std::vector<RequestSpec> out;
+  out.reserve(times.size());
+  RequestId id = 1;
+  for (TimeNs t : times) {
+    RequestSpec spec;
+    spec.id = id++;
+    spec.arrival = t;
+    spec.model_index = config_.model_index;
+    spec.prompt_tokens = sampler.SamplePromptTokens(rng);
+    spec.output_tokens = sampler.SampleOutputTokens(rng);
+    spec.slo = config_.slo;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<RequestSpec> WorkloadGenerator::Generate(ArrivalProcess& arrivals, Rng& rng,
+                                                     size_t n) const {
+  return FillSpecs(arrivals.GenerateArrivals(rng, n), rng);
+}
+
+std::vector<RequestSpec> WorkloadGenerator::GenerateUntil(ArrivalProcess& arrivals, Rng& rng,
+                                                          TimeNs end) const {
+  return FillSpecs(arrivals.GenerateUntil(rng, end), rng);
+}
+
+std::vector<RequestSpec> WorkloadGenerator::GenerateWithCv(Rng& rng, double rate_per_sec,
+                                                           double cv, TimeNs duration) const {
+  auto arrivals = MakeArrivalsWithCv(rate_per_sec, cv);
+  return GenerateUntil(*arrivals, rng, duration);
+}
+
+std::vector<RequestSpec> MergeWorkloads(std::vector<std::vector<RequestSpec>> parts) {
+  std::vector<RequestSpec> merged;
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+  }
+  merged.reserve(total);
+  for (auto& p : parts) {
+    merged.insert(merged.end(), p.begin(), p.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const RequestSpec& a, const RequestSpec& b) { return a.arrival < b.arrival; });
+  // Re-number so ids stay unique and ascending in arrival order.
+  RequestId id = 1;
+  for (auto& spec : merged) {
+    spec.id = id++;
+  }
+  return merged;
+}
+
+}  // namespace flexpipe

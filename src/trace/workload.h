@@ -1,0 +1,89 @@
+// Request specifications and workload generation.
+//
+// A workload is a time-ordered vector of RequestSpec. Prompt/output token lengths follow
+// Splitwise-like distributions (log-normal bodies with heavy right tails, clamped to the
+// model context window), since the paper uses the Splitwise corpus for prompt generation.
+#ifndef FLEXPIPE_SRC_TRACE_WORKLOAD_H_
+#define FLEXPIPE_SRC_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/trace/arrival.h"
+
+namespace flexpipe {
+
+using RequestId = uint64_t;
+
+struct RequestSpec {
+  RequestId id = 0;
+  TimeNs arrival = 0;
+  int model_index = 0;     // which model in a multi-model deployment
+  int prompt_tokens = 0;   // prefill length
+  int output_tokens = 0;   // decode steps to produce
+  TimeNs slo = 0;          // end-to-end deadline (0 = no SLO / use system default)
+};
+
+// Token-length sampler mirroring the Splitwise corpus shape: conversation-style prompts
+// with a log-normal body and occasional long-context outliers.
+class LengthSampler {
+ public:
+  struct Config {
+    double prompt_median = 512.0;
+    double prompt_sigma = 0.9;        // log-space sigma; p99/p50 ~ 8x
+    int prompt_max = 4096;            // clamp to context window
+    double output_median = 128.0;
+    double output_sigma = 0.7;
+    int output_max = 1024;
+    double long_context_prob = 0.02;  // outliers near the context limit
+  };
+
+  LengthSampler() : LengthSampler(Config{}) {}
+  explicit LengthSampler(const Config& config);
+
+  int SamplePromptTokens(Rng& rng) const;
+  int SampleOutputTokens(Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+// Builds complete workloads from an arrival process and a length sampler.
+class WorkloadGenerator {
+ public:
+  struct Config {
+    int model_index = 0;
+    TimeNs slo = 0;
+    LengthSampler::Config lengths;
+  };
+
+  WorkloadGenerator() : WorkloadGenerator(Config{}) {}
+  explicit WorkloadGenerator(const Config& config);
+
+  // `n` requests drawn from `arrivals` starting at t=0.
+  std::vector<RequestSpec> Generate(ArrivalProcess& arrivals, Rng& rng, size_t n) const;
+
+  // Requests until virtual time `end`.
+  std::vector<RequestSpec> GenerateUntil(ArrivalProcess& arrivals, Rng& rng, TimeNs end) const;
+
+  // Convenience: CV-parameterised workload, the common case in the paper's experiments.
+  std::vector<RequestSpec> GenerateWithCv(Rng& rng, double rate_per_sec, double cv,
+                                          TimeNs duration) const;
+
+ private:
+  std::vector<RequestSpec> FillSpecs(const std::vector<TimeNs>& times, Rng& rng) const;
+
+  Config config_;
+};
+
+// Merges several per-model workloads into one time-ordered stream.
+std::vector<RequestSpec> MergeWorkloads(std::vector<std::vector<RequestSpec>> parts);
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_TRACE_WORKLOAD_H_

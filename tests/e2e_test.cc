@@ -1,0 +1,156 @@
+// End-to-end smoke tests: every serving system completes a small workload on the
+// simulated cluster, and FlexPipe actually refactors under a CV shift.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/alpaserve.h"
+#include "src/baselines/muxserve.h"
+#include "src/baselines/serverless_llm.h"
+#include "src/baselines/tetris.h"
+#include "src/core/experiment.h"
+#include "src/core/flexpipe_system.h"
+
+namespace flexpipe {
+namespace {
+
+ExperimentEnvConfig SmallEnvConfig() {
+  ExperimentEnvConfig config;
+  config.models = {Llama2_7B()};
+  config.partitioner.ladder = {2, 4, 8, 16};
+  config.seed = 7;
+  return config;
+}
+
+std::vector<RequestSpec> SmallWorkload(double rate, double cv, TimeNs duration,
+                                       uint64_t seed = 3) {
+  WorkloadGenerator::Config wconfig;
+  wconfig.lengths.prompt_median = 256;
+  wconfig.lengths.output_median = 16;
+  WorkloadGenerator gen(wconfig);
+  Rng rng(seed);
+  return gen.GenerateWithCv(rng, rate, cv, duration);
+}
+
+TEST(EndToEnd, FlexPipeCompletesWorkload) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  std::vector<RequestSpec> specs = SmallWorkload(4.0, 1.0, 60 * kSecond);
+  std::vector<Request> storage;
+  RunReport report = RunWorkload(env, system, specs, storage,
+                                 RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_GT(report.submitted, 100);
+  // The vast majority of requests complete within the drain grace.
+  EXPECT_GE(system.metrics().completed(), report.submitted * 9 / 10);
+  EXPECT_GT(system.metrics().MeanLatencySec(), 0.0);
+}
+
+TEST(EndToEnd, AllBaselinesCompleteWorkload) {
+  struct Case {
+    const char* name;
+    std::function<std::unique_ptr<ServingSystemBase>(ExperimentEnv&)> make;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"alpaserve", [](ExperimentEnv& env) -> std::unique_ptr<ServingSystemBase> {
+                     AlpaServeConfig c;
+                     c.stages = 4;
+                     c.target_peak_rps = 6.0;
+                     return std::make_unique<AlpaServeSystem>(env.Context(), &env.ladder(0), c);
+                   }});
+  cases.push_back({"muxserve", [](ExperimentEnv& env) -> std::unique_ptr<ServingSystemBase> {
+                     MuxServeConfig c;
+                     c.stages = 4;
+                     c.target_peak_rps = 6.0;
+                     return std::make_unique<MuxServeSystem>(env.Context(), &env.ladder(0), c);
+                   }});
+  cases.push_back({"serverlessllm",
+                   [](ExperimentEnv& env) -> std::unique_ptr<ServingSystemBase> {
+                     ServerlessLlmConfig c;
+                     c.reactive.stages = 8;
+                     c.reactive.min_replicas = 2;
+                     return std::make_unique<ServerlessLlmSystem>(env.Context(), &env.ladder(0),
+                                                                  c);
+                   }});
+  cases.push_back({"tetris", [](ExperimentEnv& env) -> std::unique_ptr<ServingSystemBase> {
+                     TetrisConfig c;
+                     c.reactive.stages = 4;
+                     c.reactive.min_replicas = 2;
+                     return std::make_unique<TetrisSystem>(env.Context(), &env.ladder(0), c);
+                   }});
+
+  for (auto& test_case : cases) {
+    SCOPED_TRACE(test_case.name);
+    ExperimentEnv env(SmallEnvConfig());
+    std::unique_ptr<ServingSystemBase> system = test_case.make(env);
+    std::vector<RequestSpec> specs = SmallWorkload(3.0, 1.0, 45 * kSecond);
+    std::vector<Request> storage;
+    RunReport report = RunWorkload(env, *system, specs, storage,
+                                   RunOptions{.drain_grace = 180 * kSecond});
+    EXPECT_GT(report.submitted, 50);
+    EXPECT_GE(system->metrics().completed(), report.submitted * 8 / 10)
+        << "system " << test_case.name << " completed too few";
+  }
+}
+
+TEST(EndToEnd, FlexPipeRefactorsUnderBurstyTraffic) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  config.control_interval = 250 * kMillisecond;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  // Stable phase then a high-CV phase: the controller should move to finer stages.
+  WorkloadGenerator gen;
+  Rng rng(11);
+  auto stable = gen.GenerateWithCv(rng, 4.0, 0.5, 40 * kSecond);
+  auto bursty_raw = gen.GenerateWithCv(rng, 8.0, 6.0, 60 * kSecond);
+  for (auto& spec : bursty_raw) {
+    spec.arrival += 40 * kSecond;
+  }
+  auto specs = MergeWorkloads({stable, bursty_raw});
+
+  std::vector<Request> storage;
+  RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_GT(system.refactor_count(), 0) << "no inflight refactoring happened";
+  EXPECT_GT(system.current_stages(), 4) << "granularity did not move finer under burst";
+  EXPECT_GE(system.metrics().completed(), static_cast<int64_t>(specs.size()) * 8 / 10);
+}
+
+TEST(EndToEnd, MigrationPreservesTokenProgress) {
+  // Every request must produce exactly its requested token count even across refactors.
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  config.control_interval = 250 * kMillisecond;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  WorkloadGenerator gen;
+  Rng rng(13);
+  auto stable = gen.GenerateWithCv(rng, 4.0, 0.5, 30 * kSecond);
+  auto bursty = gen.GenerateWithCv(rng, 8.0, 6.0, 40 * kSecond);
+  for (auto& spec : bursty) {
+    spec.arrival += 30 * kSecond;
+  }
+  auto specs = MergeWorkloads({stable, bursty});
+  std::vector<Request> storage;
+  RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 180 * kSecond});
+
+  for (const Request& r : storage) {
+    if (r.done()) {
+      EXPECT_EQ(r.tokens_generated, r.spec.output_tokens) << "request " << r.spec.id;
+      EXPECT_GE(r.first_token_time, r.spec.arrival);
+      EXPECT_GE(r.done_time, r.first_token_time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexpipe

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/model/profiler.h"
+#include "src/partition/partitioner.h"
+
+namespace flexpipe {
+namespace {
+
+ModelProfile MakeProfile(const ModelSpec& spec) {
+  static CostModel cost;
+  Profiler profiler(&cost, Profiler::Config{});
+  ComputationGraph graph = ComputationGraph::Build(spec);
+  return profiler.Profile(graph);
+}
+
+TEST(Partitioner, StagesTileTheOperatorChain) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  PipelinePlan plan = partitioner.Partition(profile, 8);
+  ASSERT_EQ(plan.num_stages(), 8);
+  int expect = 0;
+  Bytes total = 0;
+  for (const StagePlan& s : plan.stages) {
+    EXPECT_EQ(s.op_begin, expect);
+    EXPECT_GT(s.op_end, s.op_begin);
+    expect = s.op_end;
+    total += s.param_bytes;
+  }
+  EXPECT_EQ(expect, static_cast<int>(profile.ops.size()));
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(profile.TotalParamBytes()),
+              static_cast<double>(profile.TotalParamBytes()) * 0.001);
+}
+
+TEST(Partitioner, RespectsMemoryCap) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  for (int stages : {4, 8, 16, 32}) {
+    PipelinePlan plan = partitioner.Partition(profile, stages);
+    EXPECT_LE(plan.MaxStageParams(), partitioner.config().gpu_memory) << stages;
+  }
+}
+
+TEST(Partitioner, BalancedStages) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  PipelinePlan plan = partitioner.Partition(profile, 8);
+  TimeNs min_t = plan.stages[0].compute_time;
+  TimeNs max_t = min_t;
+  for (const StagePlan& s : plan.stages) {
+    min_t = std::min(min_t, s.compute_time);
+    max_t = std::max(max_t, s.compute_time);
+  }
+  // Eq. 8's balance requirement: bottleneck within 30% of the lightest stage.
+  EXPECT_LT(static_cast<double>(max_t) / static_cast<double>(min_t), 1.3);
+}
+
+TEST(Partitioner, PrefersBlockBoundaries) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  PipelinePlan plan = partitioner.Partition(profile, 16);
+  int clean = 0;
+  for (const StagePlan& s : plan.stages) {
+    if (s.clean_boundary) {
+      ++clean;
+    }
+  }
+  // 64 blocks / 16 stages: every cut can land on a block edge.
+  EXPECT_EQ(clean, 16);
+}
+
+TEST(Partitioner, LadderIsNested) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  EXPECT_TRUE(ladder.IsNested());
+  EXPECT_EQ(ladder.finest(), 32);
+  // 120 GB / 2 stages would need 60 GB per GPU: infeasible on 40 GB devices, so the
+  // OPT-66B ladder starts at 4 stages.
+  EXPECT_EQ(ladder.coarsest(), 4);
+  for (int g : ladder.granularities) {
+    EXPECT_EQ(ladder.plan(g).num_stages(), g);
+  }
+}
+
+TEST(Partitioner, SmallModelKeepsCoarsestGranularity) {
+  ModelProfile profile = MakeProfile(Llama2_7B());
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  EXPECT_EQ(ladder.coarsest(), 2);  // 13 GB / 2 fits easily
+}
+
+TEST(Partitioner, LadderNavigation) {
+  ModelProfile profile = MakeProfile(Llama2_7B());
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  EXPECT_EQ(ladder.FinerThan(4), 8);
+  EXPECT_EQ(ladder.CoarserThan(4), 2);
+  EXPECT_EQ(ladder.FinerThan(32), 32);   // already finest
+  EXPECT_EQ(ladder.CoarserThan(2), 2);   // already coarsest
+}
+
+TEST(Partitioner, CoarseStagesAggregateFineStages) {
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  const PipelinePlan& fine = ladder.plan(32);
+  const PipelinePlan& coarse = ladder.plan(8);
+  for (const StagePlan& c : coarse.stages) {
+    Bytes sum = 0;
+    for (int f = c.fine_begin; f < c.fine_end; ++f) {
+      sum += fine.stages[static_cast<size_t>(f)].param_bytes;
+    }
+    EXPECT_EQ(sum, c.param_bytes);
+    EXPECT_EQ(fine.stages[static_cast<size_t>(c.fine_begin)].op_begin, c.op_begin);
+    EXPECT_EQ(fine.stages[static_cast<size_t>(c.fine_end - 1)].op_end, c.op_end);
+  }
+}
+
+TEST(Partitioner, FinerGranularityLoadsFasterPerStage) {
+  // The Insight-2 property: finer stages are individually smaller.
+  ModelProfile profile = MakeProfile(Opt66B());
+  Partitioner partitioner;
+  GranularityLadder ladder = partitioner.BuildLadder(profile);
+  Bytes prev = ladder.plan(4).MaxStageParams();
+  for (int g : {8, 16, 32}) {
+    Bytes cur = ladder.plan(g).MaxStageParams();
+    EXPECT_LT(cur, prev) << g;
+    prev = cur;
+  }
+}
+
+TEST(Partitioner, SmallModelManyStagesStillFeasible) {
+  ModelProfile profile = MakeProfile(Whisper9B());
+  Partitioner partitioner;
+  PipelinePlan plan = partitioner.Partition(profile, 32);
+  EXPECT_EQ(plan.num_stages(), 32);
+  EXPECT_TRUE(plan.MaxStageParams() > 0);
+}
+
+TEST(Partitioner, PlanDescribeIsHumanReadable) {
+  ModelProfile profile = MakeProfile(Llama2_7B());
+  Partitioner partitioner;
+  PipelinePlan plan = partitioner.Partition(profile, 4);
+  std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("LLAMA2-7B"), std::string::npos);
+  EXPECT_NE(desc.find("4 stages"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexpipe

@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/network.h"
+#include "src/cluster/topology.h"
+#include "src/metrics/recovery.h"
+#include "src/model/profiler.h"
+#include "src/partition/partitioner.h"
+#include "src/runtime/instance.h"
+#include "src/runtime/kv_cache.h"
+#include "src/runtime/router.h"
+#include "src/runtime/transfer.h"
+
+namespace flexpipe {
+namespace {
+
+// ---------- KV validity mask (Eq. 10) ----------
+
+TEST(KvValidityMask, MarkAndCount) {
+  KvValidityMask mask(100);
+  EXPECT_EQ(mask.valid_count(), 0);
+  mask.MarkValid(0, 60);
+  EXPECT_EQ(mask.valid_count(), 60);
+  EXPECT_TRUE(mask.IsValid(59));
+  EXPECT_FALSE(mask.IsValid(60));
+  EXPECT_EQ(mask.invalid_in(0, 100), 40);
+  mask.MarkInvalid(10, 20);
+  EXPECT_EQ(mask.valid_count(), 50);
+  EXPECT_EQ(mask.InvalidTokens(30).size(), 10u);
+}
+
+TEST(KvValidityMask, GrowAddsInvalidTokens) {
+  KvValidityMask mask(10);
+  mask.MarkValid(0, 10);
+  mask.Grow(20);
+  EXPECT_EQ(mask.capacity(), 20);
+  EXPECT_EQ(mask.valid_count(), 10);
+  EXPECT_FALSE(mask.IsValid(15));
+}
+
+TEST(KvValidityMask, IdempotentMarks) {
+  KvValidityMask mask(64);
+  mask.MarkValid(0, 64);
+  mask.MarkValid(0, 64);
+  EXPECT_EQ(mask.valid_count(), 64);
+}
+
+// ---------- KV tracker ----------
+
+TEST(KvTracker, BudgetEnforcement) {
+  KvTracker kv(4, /*per_stage_budget=*/1000, /*per_token_per_stage=*/10);
+  EXPECT_TRUE(kv.Fits(100));
+  kv.Admit(1, 60);
+  EXPECT_EQ(kv.used_per_stage(), 600);
+  EXPECT_TRUE(kv.Fits(40));
+  EXPECT_FALSE(kv.Fits(41));
+  kv.Admit(2, 40);
+  EXPECT_FALSE(kv.Fits(1));
+  kv.Remove(1);
+  EXPECT_TRUE(kv.Fits(60));
+  EXPECT_EQ(kv.resident_requests(), 1);
+}
+
+TEST(KvTracker, BytesAccounting) {
+  KvTracker kv(8, 10000, 5);
+  kv.Admit(7, 100);
+  EXPECT_EQ(kv.RequestBytes(7), 100 * 5 * 8);
+  EXPECT_EQ(kv.TotalBytes(), 100 * 5 * 8);
+  EXPECT_EQ(kv.BytesForTokens(10), 10 * 5 * 8);
+  EXPECT_EQ(kv.RequestBytes(999), 0);
+}
+
+// ---------- Transfer engine ----------
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() : cluster_(EvalClusterConfig()), network_(&cluster_, NetworkConfig{}) {}
+  Simulation sim_;
+  Cluster cluster_;
+  NetworkModel network_;
+};
+
+TEST_F(TransferTest, AsyncCompletionWithFlowAccounting) {
+  TransferEngine engine(&sim_, &network_);
+  GpuId a = 0;
+  GpuId b = cluster_.gpu_count() - 1;
+  LinkTier tier = network_.TierBetween(a, b);
+  bool done = false;
+  TimeNs reported = 0;
+  engine.Transfer(a, b, GiB(1), TransferProtocol::kRdma, [&](TimeNs d) {
+    done = true;
+    reported = d;
+  });
+  EXPECT_EQ(network_.active_flows(tier), 1);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_GT(reported, 0);
+  EXPECT_EQ(network_.active_flows(tier), 0);
+  EXPECT_EQ(engine.completed_transfers(), 1);
+  EXPECT_EQ(engine.bytes_moved(), GiB(1));
+}
+
+TEST_F(TransferTest, NcclSetupDominatesSmallTransfers) {
+  TransferEngine engine(&sim_, &network_);
+  GpuId a = 0;
+  GpuId b = cluster_.gpu_count() - 1;
+  TimeNs rdma = engine.Estimate(a, b, MiB(1), TransferProtocol::kRdma);
+  TimeNs nccl = engine.Estimate(a, b, MiB(1), TransferProtocol::kNcclStyle);
+  EXPECT_GT(nccl, rdma * 50);  // why §8 avoids NCCL for KV migration
+}
+
+// ---------- Pipeline instance ----------
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  InstanceTest()
+      : cluster_(EvalClusterConfig()),
+        network_(&cluster_, NetworkConfig{}) {
+    Profiler profiler(&cost_, Profiler::Config{});
+    ComputationGraph graph = ComputationGraph::Build(Llama2_7B());
+    profile_ = profiler.Profile(graph);
+  }
+
+  PipelinePlan MakePlan(int stages) {
+    Partitioner partitioner;
+    return partitioner.Partition(profile_, stages);
+  }
+
+  std::vector<GpuId> PickGpus(int n) {
+    std::vector<GpuId> out;
+    for (GpuId id = 0; id < n; ++id) {
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  std::unique_ptr<PipelineInstance> MakeActiveInstance(int stages,
+                                                       InstanceConfig config = InstanceConfig{}) {
+    auto inst = std::make_unique<PipelineInstance>(&sim_, 1, MakePlan(stages), PickGpus(stages),
+                                                   &cost_, &network_, config);
+    inst->BeginLoading({});
+    sim_.RunUntil(inst->load_finish_time() + kMillisecond);
+    return inst;
+  }
+
+  Request MakeRequest(RequestId id, int prompt, int output) {
+    Request r;
+    r.spec.id = id;
+    r.spec.arrival = sim_.now();
+    r.spec.prompt_tokens = prompt;
+    r.spec.output_tokens = output;
+    return r;
+  }
+
+  Simulation sim_;
+  Cluster cluster_;
+  NetworkModel network_;
+  CostModel cost_;
+  ModelProfile profile_;
+};
+
+TEST_F(InstanceTest, LoadsThenActivates) {
+  auto inst = std::make_unique<PipelineInstance>(&sim_, 1, MakePlan(4), PickGpus(4), &cost_,
+                                                 &network_, InstanceConfig{});
+  EXPECT_EQ(inst->state(), InstanceState::kLoading);
+  inst->BeginLoading({});
+  EXPECT_GT(inst->load_finish_time(), sim_.now());
+  sim_.RunUntilIdle();
+  EXPECT_EQ(inst->state(), InstanceState::kActive);
+}
+
+TEST_F(InstanceTest, WarmLoadActivatesFaster) {
+  auto cold = std::make_unique<PipelineInstance>(&sim_, 1, MakePlan(4), PickGpus(4), &cost_,
+                                                 &network_, InstanceConfig{});
+  auto warm = std::make_unique<PipelineInstance>(&sim_, 2, MakePlan(4), PickGpus(4), &cost_,
+                                                 &network_, InstanceConfig{});
+  cold->BeginLoading({});
+  warm->BeginLoading({true, true, true, true});
+  EXPECT_LT(warm->load_finish_time(), cold->load_finish_time());
+}
+
+TEST_F(InstanceTest, CompletesRequestWithExactTokens) {
+  auto inst = MakeActiveInstance(4);
+  Request r = MakeRequest(1, 128, 8);
+  ASSERT_TRUE(inst->CanAdmit(r));
+  inst->Admit(&r);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.tokens_generated, 8);
+  EXPECT_GE(r.first_token_time, 0);
+  EXPECT_GT(r.done_time, r.first_token_time);
+  EXPECT_GT(r.exec_ns, 0);
+  EXPECT_GT(r.comm_ns, 0);
+  EXPECT_EQ(inst->stats().requests_completed, 1);
+  EXPECT_EQ(inst->inflight(), 0);
+}
+
+TEST_F(InstanceTest, SingleTokenRequestCompletesAtPrefill) {
+  auto inst = MakeActiveInstance(4);
+  Request r = MakeRequest(1, 64, 1);
+  inst->Admit(&r);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.tokens_generated, 1);
+  EXPECT_EQ(r.first_token_time, r.done_time);
+}
+
+TEST_F(InstanceTest, CompletionCallbackFires) {
+  auto inst = MakeActiveInstance(2);
+  int completions = 0;
+  inst->set_completion_callback([&](Request*) { ++completions; });
+  Request a = MakeRequest(1, 32, 4);
+  Request b = MakeRequest(2, 32, 4);
+  inst->Admit(&a);
+  inst->Admit(&b);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST_F(InstanceTest, CapacityIs32PerStage) {
+  auto inst = MakeActiveInstance(4);
+  EXPECT_EQ(inst->capacity(), 128);
+  InstanceConfig sequential;
+  sequential.pipelined = false;
+  auto seq = MakeActiveInstance(4, sequential);
+  EXPECT_EQ(seq->capacity(), 32);
+}
+
+TEST_F(InstanceTest, PipelinedBeatsSequentialThroughput) {
+  auto piped = MakeActiveInstance(4);
+  InstanceConfig seq_config;
+  seq_config.pipelined = false;
+  auto seq = MakeActiveInstance(4, seq_config);
+
+  auto run = [&](PipelineInstance& inst) {
+    std::vector<Request> reqs;
+    reqs.reserve(32);
+    for (int i = 0; i < 32; ++i) {
+      reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 64, 16));
+    }
+    TimeNs start = sim_.now();
+    for (auto& r : reqs) {
+      inst.Admit(&r);
+    }
+    sim_.RunUntilIdle();
+    TimeNs worst = 0;
+    for (auto& r : reqs) {
+      EXPECT_TRUE(r.done());
+      worst = std::max(worst, r.done_time);
+    }
+    return worst - start;
+  };
+  TimeNs t_piped = run(*piped);
+  TimeNs t_seq = run(*seq);
+  EXPECT_LT(t_piped, t_seq);  // pipelining overlaps microbatch waves
+}
+
+TEST_F(InstanceTest, RefusesWhenFull) {
+  InstanceConfig config;
+  config.per_group_capacity = 1;  // tiny instance: capacity 2 at 2 stages
+  auto inst = MakeActiveInstance(2, config);
+  Request a = MakeRequest(1, 32, 64);
+  Request b = MakeRequest(2, 32, 64);
+  Request c = MakeRequest(3, 32, 64);
+  inst->Admit(&a);
+  inst->Admit(&b);
+  EXPECT_FALSE(inst->CanAdmit(c));
+}
+
+TEST_F(InstanceTest, DrainCompletesInFlight) {
+  auto inst = MakeActiveInstance(4);
+  Request r = MakeRequest(1, 64, 12);
+  inst->Admit(&r);
+  sim_.Schedule(kMillisecond, [&] {
+    inst->StartDraining([] {});
+  });
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.tokens_generated, 12);
+}
+
+TEST_F(InstanceTest, CloseAdmissionsStopsNewWork) {
+  auto inst = MakeActiveInstance(4);
+  inst->CloseAdmissions();
+  Request r = MakeRequest(1, 32, 4);
+  EXPECT_FALSE(inst->CanAdmit(r));
+}
+
+TEST_F(InstanceTest, HaltExtractsDecodingWithProgress) {
+  auto inst = MakeActiveInstance(4);
+  Request r = MakeRequest(1, 64, 5000);
+  inst->Admit(&r);
+  // Let it decode for a while, then halt.
+  sim_.RunUntil(sim_.now() + 3 * kSecond);
+  ASSERT_EQ(r.phase, RequestPhase::kDecoding);
+  int tokens_before = r.tokens_generated;
+  EXPECT_GT(tokens_before, 0);
+
+  std::vector<Request*> extracted;
+  inst->HaltAndExtract([&](std::vector<Request*> out) { extracted = std::move(out); });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0], &r);
+  EXPECT_EQ(r.phase, RequestPhase::kDecoding);
+  EXPECT_GE(r.tokens_generated, tokens_before);
+  EXPECT_EQ(inst->inflight(), 0);
+  EXPECT_EQ(inst->KvBytesTotal(), 0);
+}
+
+TEST_F(InstanceTest, InjectDecodingResumesProgress) {
+  auto a = MakeActiveInstance(4);
+  auto b = MakeActiveInstance(8);
+  Request r = MakeRequest(1, 64, 800);
+  a->Admit(&r);
+  sim_.RunUntil(sim_.now() + 2 * kSecond);
+  std::vector<Request*> moved;
+  a->HaltAndExtract([&](std::vector<Request*> out) { moved = std::move(out); });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(moved.size(), 1u);
+  int progress = r.tokens_generated;
+  ASSERT_GT(progress, 0);
+  ASSERT_LT(progress, 800);
+  b->InjectDecoding(&r);
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.tokens_generated, 800);
+}
+
+TEST_F(InstanceTest, StallAccumulatesUnderOverload) {
+  auto inst = MakeActiveInstance(8);
+  std::vector<Request> reqs;
+  reqs.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 256, 24));
+  }
+  for (auto& r : reqs) {
+    if (inst->CanAdmit(r)) {
+      inst->Admit(&r);
+    }
+  }
+  sim_.RunUntilIdle();
+  EXPECT_GT(inst->TotalBusy(), 0);
+  EXPECT_GT(inst->TotalStall(), 0);  // comm gaps between waves are pipeline bubbles
+  EXPECT_GT(inst->MeanStageUtilization(), 0.0);
+  EXPECT_LE(inst->MeanStageUtilization(), 1.0);
+}
+
+TEST_F(InstanceTest, EstimatesAreMonotone) {
+  auto fine = MakeActiveInstance(8);
+  auto coarse = MakeActiveInstance(2);
+  // Finer pipelines traverse more hops: higher token latency.
+  EXPECT_GT(fine->EstimateTraversal(8), coarse->EstimateTraversal(8));
+  // Bigger batches never reduce traversal time.
+  EXPECT_GE(fine->EstimateTraversal(32), fine->EstimateTraversal(1));
+  EXPECT_GT(fine->EstimateCadence(8), 0);
+}
+
+// ---------- Router ----------
+
+TEST_F(InstanceTest, RouterDispatchesToLeastLoaded) {
+  auto a = MakeActiveInstance(4);
+  auto b = MakeActiveInstance(4);
+  Router router(&sim_);
+  router.RegisterInstance(a.get());
+  router.RegisterInstance(b.get());
+  a->set_pump_callback([&] { router.Pump(); });
+  b->set_pump_callback([&] { router.Pump(); });
+
+  std::vector<Request> reqs;
+  reqs.reserve(40);
+  for (int i = 0; i < 40; ++i) {
+    reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 64, 12));
+  }
+  for (auto& r : reqs) {
+    router.Submit(&r);
+  }
+  EXPECT_GT(a->inflight() + a->pending(), 0);
+  EXPECT_GT(b->inflight() + b->pending(), 0);
+  sim_.RunUntilIdle();
+  for (auto& r : reqs) {
+    EXPECT_TRUE(r.done());
+  }
+  EXPECT_EQ(router.total_submitted(), 40);
+}
+
+TEST_F(InstanceTest, RouterQueuesWhenSaturated) {
+  InstanceConfig tiny;
+  tiny.per_group_capacity = 1;
+  auto a = MakeActiveInstance(2, tiny);
+  Router router(&sim_);
+  router.RegisterInstance(a.get());
+  std::vector<Request> reqs;
+  reqs.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 32, 50));
+  }
+  for (auto& r : reqs) {
+    router.Submit(&r);
+  }
+  EXPECT_GT(router.queue_length(), 0);
+  EXPECT_GE(router.max_queue_length(), router.queue_length());
+}
+
+TEST_F(InstanceTest, RouterRequeueFrontPreservesOrder) {
+  Router router(&sim_);
+  Request a = MakeRequest(1, 32, 4);
+  Request b = MakeRequest(2, 32, 4);
+  Request c = MakeRequest(3, 32, 4);
+  router.Submit(&c);  // no instances: it queues
+  router.RequeueFront({&a, &b});
+  EXPECT_EQ(router.queue_length(), 3);
+  // Dispatch order after requeue should be a, b, c — verified by draining through an
+  // instance with capacity 1 group and checking first_exec ordering.
+  auto inst = MakeActiveInstance(2);
+  inst->set_pump_callback([&] { router.Pump(); });
+  router.RegisterInstance(inst.get());
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(a.done() && b.done() && c.done());
+  EXPECT_LE(a.first_exec_start, b.first_exec_start);
+  EXPECT_LE(b.first_exec_start, c.first_exec_start);
+}
+
+// ---------- Recovery analysis ----------
+
+TEST(Recovery, DetectsStallEpisode) {
+  std::vector<CompletionSample> series;
+  // 100 normal completions at 1 s latency, then a stall burst at 3 s, then recovery.
+  TimeNs t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += 100 * kMillisecond;
+    series.push_back({t, 1 * kSecond});
+  }
+  TimeNs stall_start = t + 100 * kMillisecond;
+  for (int i = 0; i < 10; ++i) {
+    t += 100 * kMillisecond;
+    series.push_back({t, 3 * kSecond});
+  }
+  t += 100 * kMillisecond;
+  series.push_back({t, 1 * kSecond});  // recovery event
+  TimeNs recovery_at = t;
+  for (int i = 0; i < 50; ++i) {
+    t += 100 * kMillisecond;
+    series.push_back({t, 1 * kSecond});
+  }
+  RecoveryReport report = AnalyzeRecovery(series);
+  EXPECT_EQ(report.stall_events, 1);
+  EXPECT_NEAR(report.baseline_latency_s, 1.0, 0.01);
+  EXPECT_NEAR(report.median_recovery_s, ToSeconds(recovery_at - stall_start), 0.05);
+}
+
+TEST(Recovery, NoStallsOnFlatSeries) {
+  std::vector<CompletionSample> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back({static_cast<TimeNs>(i) * kSecond, 500 * kMillisecond});
+  }
+  RecoveryReport report = AnalyzeRecovery(series);
+  EXPECT_EQ(report.stall_events, 0);
+  EXPECT_EQ(report.stalled_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace flexpipe

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, SameTimeEventsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel is a no-op
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, NestedSchedulingFromCallback) {
+  Simulation sim;
+  std::vector<TimeNs> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10);
+  EXPECT_EQ(times[1], 15);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StepExecutesOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, FiresAtIntervalUntilCanceled) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 10, [&] { ++ticks; });
+  sim.RunUntil(55);
+  EXPECT_EQ(ticks, 5);
+  task.Cancel();
+  sim.RunUntil(200);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTask, CancelFromWithinCallback) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 10, [&] {
+    ++ticks;
+    if (ticks == 3) {
+      task.Cancel();
+    }
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulation sim;
+  int ticks = 0;
+  {
+    PeriodicTask task(&sim, 10, [&] { ++ticks; });
+    sim.RunUntil(25);
+  }
+  sim.RunUntil(100);
+  EXPECT_EQ(ticks, 2);
+}
+
+}  // namespace
+}  // namespace flexpipe

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/trace/arrival.h"
+#include "src/trace/azure_trace.h"
+#include "src/trace/cv_analysis.h"
+#include "src/trace/workload.h"
+
+namespace flexpipe {
+namespace {
+
+double MeasuredInterarrivalCv(ArrivalProcess& process, Rng& rng, int n) {
+  RunningStats s;
+  for (int i = 0; i < n; ++i) {
+    s.Add(ToSeconds(process.NextGap(rng)));
+  }
+  return s.cv();
+}
+
+TEST(Arrivals, PoissonHasUnitCvAndTargetRate) {
+  PoissonArrivals p(20.0);
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(ToSeconds(p.NextGap(rng)));
+  }
+  EXPECT_NEAR(s.cv(), 1.0, 0.05);
+  EXPECT_NEAR(1.0 / s.mean(), 20.0, 1.0);
+}
+
+class GammaCvTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaCvTest, HitsTargetCv) {
+  double cv = GetParam();
+  GammaArrivals g(20.0, cv);
+  Rng rng(2);
+  double measured = MeasuredInterarrivalCv(g, rng, 60000);
+  EXPECT_NEAR(measured, cv, cv * 0.1) << "target cv " << cv;
+  EXPECT_DOUBLE_EQ(g.MeanRate(), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CvSweep, GammaCvTest, ::testing::Values(0.1, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+TEST(Arrivals, MmppIsBurstier) {
+  MmppArrivals::Config config;
+  MmppArrivals m(config);
+  Rng rng(3);
+  double measured = MeasuredInterarrivalCv(m, rng, 60000);
+  EXPECT_GT(measured, 1.3);  // correlated bursts exceed Poisson variability
+  EXPECT_GT(m.MeanRate(), config.low_rate);
+  EXPECT_LT(m.MeanRate(), config.high_rate);
+}
+
+TEST(Arrivals, TraceReplayReproducesTimestamps) {
+  std::vector<TimeNs> ts{10, 20, 50, 50, 90};
+  TraceReplayArrivals replay(ts);
+  Rng rng(4);
+  TimeNs t = 0;
+  std::vector<TimeNs> got;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    t += replay.NextGap(rng);
+    got.push_back(t);
+  }
+  // Equal timestamps are separated by the 1ns clamp.
+  EXPECT_EQ(got[0], 10);
+  EXPECT_EQ(got[1], 20);
+  EXPECT_EQ(got[2], 50);
+  EXPECT_EQ(got[3], 51);
+  EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(Arrivals, FactorySelectsProcess) {
+  auto poisson = MakeArrivalsWithCv(10.0, 1.0);
+  auto gamma = MakeArrivalsWithCv(10.0, 4.0);
+  EXPECT_NE(dynamic_cast<PoissonArrivals*>(poisson.get()), nullptr);
+  EXPECT_NE(dynamic_cast<GammaArrivals*>(gamma.get()), nullptr);
+}
+
+TEST(Workload, GeneratesOrderedSpecsWithLengths) {
+  WorkloadGenerator gen;
+  Rng rng(5);
+  auto specs = gen.GenerateWithCv(rng, 10.0, 2.0, 30 * kSecond);
+  ASSERT_GT(specs.size(), 100u);
+  TimeNs prev = 0;
+  for (const auto& s : specs) {
+    EXPECT_GE(s.arrival, prev);
+    prev = s.arrival;
+    EXPECT_GE(s.prompt_tokens, 1);
+    EXPECT_LE(s.prompt_tokens, 4096);
+    EXPECT_GE(s.output_tokens, 1);
+    EXPECT_LE(s.output_tokens, 1024);
+  }
+  EXPECT_EQ(specs.front().id, 1u);
+}
+
+TEST(Workload, MergePreservesOrderAndRenumbers) {
+  WorkloadGenerator gen;
+  Rng rng(6);
+  auto a = gen.GenerateWithCv(rng, 5.0, 1.0, 10 * kSecond);
+  auto b = gen.GenerateWithCv(rng, 5.0, 1.0, 10 * kSecond);
+  for (auto& s : b) {
+    s.model_index = 1;
+  }
+  auto merged = MergeWorkloads({a, b});
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  TimeNs prev = 0;
+  RequestId id = 1;
+  for (const auto& s : merged) {
+    EXPECT_GE(s.arrival, prev);
+    prev = s.arrival;
+    EXPECT_EQ(s.id, id++);
+  }
+}
+
+TEST(LengthSampler, RespectsClamps) {
+  LengthSampler::Config config;
+  config.prompt_max = 512;
+  config.output_max = 64;
+  LengthSampler sampler(config);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(sampler.SamplePromptTokens(rng), 512);
+    EXPECT_LE(sampler.SampleOutputTokens(rng), 64);
+    EXPECT_GE(sampler.SamplePromptTokens(rng), 1);
+  }
+}
+
+TEST(CvAnalysis, BinCountsPartitionArrivals) {
+  std::vector<TimeNs> arrivals{1 * kSecond, 2 * kSecond, 11 * kSecond, 25 * kSecond};
+  auto counts = BinCounts(arrivals, 10 * kSecond, 0, 30 * kSecond);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(CvAnalysis, UniformTrafficHasLowCv) {
+  std::vector<TimeNs> arrivals;
+  for (int i = 0; i < 3600; ++i) {
+    arrivals.push_back(static_cast<TimeNs>(i) * kSecond);
+  }
+  double cv = WindowedCountCv(arrivals, 60 * kSecond, 0, 3600 * kSecond);
+  EXPECT_LT(cv, 0.05);
+}
+
+TEST(AzureTrace, ShortWindowCvExceedsLongWindowCv) {
+  AzureTraceSynthesizer::Config config;
+  config.days = 3;
+  config.base_rate = 10.0;
+  AzureTraceSynthesizer synth(config);
+  auto arrivals = synth.GenerateArrivals();
+  ASSERT_GT(arrivals.size(), 100000u);
+
+  auto reports = AnalyzeDailyCv(arrivals, config.days);
+  ASSERT_EQ(reports.size(), 3u);
+  double ratio_sum = 0;
+  for (const auto& r : reports) {
+    EXPECT_GT(r.cv_180s, 0.0);
+    EXPECT_GT(r.cv_180s, r.cv_12h) << "short windows must look burstier";
+    ratio_sum += r.cv_180s / std::max(r.cv_12h, 1e-6);
+  }
+  // Fig. 1's headline: multi-x disagreement between window sizes.
+  EXPECT_GT(ratio_sum / 3.0, 2.0);
+}
+
+TEST(AzureTrace, RateProfileCoversSpanAndStaysPositive) {
+  AzureTraceSynthesizer::Config config;
+  config.days = 1;
+  AzureTraceSynthesizer synth(config);
+  auto profile = synth.RateProfile();
+  EXPECT_EQ(profile.size(), 86400u);
+  for (double r : profile) {
+    EXPECT_GE(r, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace flexpipe
