@@ -7,7 +7,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Ablation - inflight refactoring",
@@ -34,6 +34,9 @@ int main() {
                     TextTable::Pct(system.metrics().GoodputRate(report.submitted), 0),
                     std::to_string(system.refactor_count()),
                     std::to_string(system.current_stages())});
+      const std::string tag = CvTag(cv) + (enabled ? "_on_" : "_off_");
+      reporter.Metric(tag + "p99_latency_s", system.metrics().LatencyPercentileSec(99));
+      reporter.Metric(tag + "goodput_rate", system.metrics().GoodputRate(report.submitted));
     }
   }
   table.Print();
@@ -41,3 +44,5 @@ int main() {
               "as CV grows\n");
   return 0;
 }
+
+REGISTER_BENCH(ablation_refactoring, "Ablation: inflight refactoring on vs off", Run);

@@ -7,7 +7,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Ablation - topology-aware scaling (HRG / affinity / host cache)",
@@ -67,9 +67,16 @@ int main() {
                   TextTable::Pct(system.metrics().GoodputRate(report.submitted), 0),
                   std::to_string(system.warm_loads()), std::to_string(system.cold_loads()),
                   TextTable::Num(system.MeanAllocationWaitSec(), 2)});
+    const std::string tag = std::string(v.name) + "_";
+    reporter.Metric(tag + "mean_latency_s", system.metrics().MeanLatencySec());
+    reporter.Metric(tag + "p99_latency_s", system.metrics().LatencyPercentileSec(99));
+    reporter.Metric(tag + "warm_loads", static_cast<double>(system.warm_loads()));
+    reporter.Metric(tag + "cold_loads", static_cast<double>(system.cold_loads()));
   }
   table.Print();
   std::printf("\nexpected: 'full' has the highest warm-load share and lowest burst-2 "
               "latency; 'no-hostcache' pays cold starts on every re-scale\n");
   return 0;
 }
+
+REGISTER_BENCH(ablation_scaling, "Ablation: topology-aware scaling mechanisms (§7)", Run);

@@ -39,7 +39,7 @@ std::vector<RequestSpec> DiurnalWorkload() {
 }  // namespace
 }  // namespace flexpipe
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("§9.6 case study - production rollout",
@@ -95,5 +95,12 @@ int main() {
   std::printf("refactors performed: %lld, last cutover pause: %.1f ms\n",
               static_cast<long long>(flex_system.refactor_count()),
               ToMillis(flex_system.last_refactor_pause()));
+  reporter.Metric("alloc_wait_reduction", wait_cut);
+  reporter.Metric("warm_start_share", warm_share);
+  reporter.Metric("refactors", static_cast<double>(flex_system.refactor_count()));
+  reporter.Metric("flexpipe_goodput_rate", flex_system.metrics().GoodputRate(report_b.submitted));
+  reporter.Metric("static_goodput_rate", static_system.metrics().GoodputRate(report_a.submitted));
   return 0;
 }
+
+REGISTER_BENCH(case_study, "§9.6 case study: phased production rollout", Run);

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/alpaserve.h"
@@ -27,7 +28,8 @@
 namespace flexpipe {
 namespace bench {
 
-inline constexpr double kBaselineQps = 30.0;
+// §9's headline arrival rate. Fig. 3/4/8 all sweep CV at this baseline.
+inline constexpr double kBaselineQps = 20.0;
 inline constexpr TimeNs kDefaultSlo = 10 * kSecond;
 inline constexpr TimeNs kDefaultDuration = 5 * kMinute;
 inline constexpr TimeNs kDrainGrace = 60 * kSecond;
@@ -224,7 +226,73 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("Reproduces: %s\n\n", paper_ref);
 }
 
+// ---------------------------------------------------------------------------
+// Bench registry: every bench translation unit registers one entry point via
+// REGISTER_BENCH and the flexpipe_bench runner multiplexes them behind
+// --list / --filter / --json.
+// ---------------------------------------------------------------------------
+
+// Collects named scalar metrics during a bench run. The runner serialises them
+// to JSON (together with wall time) when --json is given.
+class BenchReporter {
+ public:
+  void Metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+  const std::vector<std::pair<std::string, double>>& metrics() const { return metrics_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+using BenchFn = int (*)(BenchReporter&);
+
+struct BenchInfo {
+  const char* name;         // registry key, e.g. "fig8"
+  const char* description;  // one-line summary shown by --list
+  BenchFn fn;
+};
+
+class BenchRegistry {
+ public:
+  static BenchRegistry& Instance();
+  void Register(const BenchInfo& info);
+  const std::vector<BenchInfo>& benches() const { return benches_; }
+
+ private:
+  std::vector<BenchInfo> benches_;
+};
+
+// Static initialisation hook used by REGISTER_BENCH. Bench objects compile
+// straight into the flexpipe_bench binary (not an archive), so registrars are
+// never dropped by the linker.
+struct BenchRegistrar {
+  BenchRegistrar(const char* name, const char* description, BenchFn fn);
+};
+
+// Stable metric-name tag for a CV value: CvTag(0.1) == "cv0.1", CvTag(4.0) == "cv4".
+inline std::string CvTag(double cv) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cv%g", cv);
+  return buf;
+}
+
+// Reports a cell's headline metrics under `prefix` (e.g. "flexpipe_cv4_").
+inline void ReportCell(BenchReporter& reporter, const std::string& prefix,
+                       const CellResult& cell) {
+  reporter.Metric(prefix + "goodput_rate", cell.goodput_rate);
+  reporter.Metric(prefix + "goodput_per_sec", cell.goodput_per_sec);
+  reporter.Metric(prefix + "mean_latency_s", cell.mean_latency_s);
+  reporter.Metric(prefix + "p99_latency_s", cell.p99);
+}
+
 }  // namespace bench
 }  // namespace flexpipe
+
+// Registers `fn` — an `int(flexpipe::bench::BenchReporter&)` — under `name`.
+// Exactly one per bench translation unit, at namespace scope.
+#define REGISTER_BENCH(name, description, fn)                                     \
+  static const ::flexpipe::bench::BenchRegistrar flexpipe_bench_registrar_##name( \
+      #name, description, fn)
 
 #endif  // FLEXPIPE_BENCH_COMMON_H_

@@ -7,7 +7,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 10 - latency percentiles across request distributions",
@@ -28,6 +28,7 @@ int main() {
                     TextTable::Num(cell.p99, 2)});
       if (kind == SystemKind::kFlexPipe) {
         flexpipe_p99 = cell.p99;
+        ReportCell(reporter, "flexpipe_" + CvTag(cv) + "_", cell);
       } else {
         worst_p99 = std::max(worst_p99, cell.p99);
       }
@@ -35,6 +36,9 @@ int main() {
     table.Print();
     std::printf("P99 gap vs worst serverless baseline: %.1fx\n\n",
                 worst_p99 / std::max(flexpipe_p99, 1e-9));
+    reporter.Metric(CvTag(cv) + "_p99_gap_vs_worst", worst_p99 / std::max(flexpipe_p99, 1e-9));
   }
   return 0;
 }
+
+REGISTER_BENCH(fig10, "Fig. 10: latency percentiles across request distributions", Run);

@@ -8,7 +8,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 11 - pipeline stall recovery time",
@@ -35,12 +35,16 @@ int main() {
       }
     }
     table.Print();
+    reporter.Metric(CvTag(cv) + "_flexpipe_median_recovery_ms", flexpipe_ms);
     if (best_other < 1e17 && flexpipe_ms > 0.0) {
       std::printf("FlexPipe vs best baseline: %.1f%% faster median recovery\n\n",
                   100.0 * (1.0 - flexpipe_ms / best_other));
+      reporter.Metric(CvTag(cv) + "_recovery_cut_vs_best", 1.0 - flexpipe_ms / best_other);
     } else {
       std::printf("\n");
     }
   }
   return 0;
 }
+
+REGISTER_BENCH(fig11, "Fig. 11: pipeline stall recovery time across systems", Run);

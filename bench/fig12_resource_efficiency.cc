@@ -9,7 +9,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 12 - goodput vs GPU utilization",
@@ -33,6 +33,8 @@ int main() {
                     std::to_string(cell.peak_gpus), TextTable::Num(per_gpu, 2)});
       if (kind == SystemKind::kFlexPipe) {
         flexpipe_eff = per_gpu;
+        reporter.Metric("flexpipe_" + CvTag(cv) + "_gpu_utilization", cell.gpu_utilization);
+        ReportCell(reporter, "flexpipe_" + CvTag(cv) + "_", cell);
       }
       if (kind == SystemKind::kTetris) {
         tetris_eff = per_gpu;
@@ -41,6 +43,10 @@ int main() {
     table.Print();
     std::printf("FlexPipe / Tetris goodput-per-GPU: %.1fx (paper: up to 8.5x at CV=4)\n\n",
                 flexpipe_eff / std::max(tetris_eff, 1e-9));
+    reporter.Metric(CvTag(cv) + "_efficiency_gap_vs_tetris",
+                    flexpipe_eff / std::max(tetris_eff, 1e-9));
   }
   return 0;
 }
+
+REGISTER_BENCH(fig12, "Fig. 12: goodput vs GPU utilization (resource efficiency)", Run);

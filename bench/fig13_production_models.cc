@@ -7,7 +7,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 13 - prefill latency across model scales",
@@ -50,6 +50,10 @@ int main() {
       table.AddRow({models[mi].name, KindName(r.kind), TextTable::Num(r.mean, 3),
                     TextTable::Num(r.p50, 3), TextTable::Num(r.p95, 3),
                     r.kind == SystemKind::kAlpaServe ? "-" : TextTable::Num(delta, 1) + "%"});
+      if (r.kind == SystemKind::kFlexPipe) {
+        reporter.Metric(models[mi].name + "_flexpipe_mean_prefill_s", r.mean);
+        reporter.Metric(models[mi].name + "_prefill_cut_vs_alpaserve", delta / 100.0);
+      }
     }
   }
   table.Print();
@@ -57,3 +61,5 @@ int main() {
               "OPT-66B, average 17.3%%)\n");
   return 0;
 }
+
+REGISTER_BENCH(fig13, "Fig. 13: prefill latency across production model scales", Run);

@@ -11,7 +11,7 @@
 #include "src/trace/azure_trace.h"
 #include "src/trace/cv_analysis.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   bench::PrintHeader("Fig. 1 - windowed CV analysis of a month-long trace",
                      "Fig. 1 (Alibaba trace + Azure top apps, CV at 180s/3h/12h windows)");
@@ -43,5 +43,10 @@ int main() {
   table.Print();
   std::printf("\nmax CV(180s) over the month: %.2f (paper: up to ~6)\n", max_cv);
   std::printf("max 180s/12h CV mismatch: %.1fx (paper: up to 7x)\n", max_ratio);
+  reporter.Metric("arrivals", static_cast<double>(arrivals.size()));
+  reporter.Metric("max_cv_180s", max_cv);
+  reporter.Metric("max_cv_mismatch_ratio", max_ratio);
   return 0;
 }
+
+REGISTER_BENCH(fig1, "Fig. 1: windowed CV analysis of a month-long trace", Run);

@@ -10,7 +10,7 @@
 #include "src/cluster/fragmentation.h"
 #include "src/common/stats.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   bench::PrintHeader("Fig. 2 - GPU subscription rate and availability heatmap",
                      "Fig. 2 (Alibaba: 216% mean subscription, scattered availability)");
@@ -60,5 +60,10 @@ int main() {
   std::printf("\nP(4 co-located free GPUs anywhere) = %.2f%% of snapshots "
               "(paper: 0.02%% per-GPU-set)\n",
               100.0 * colocate / 2000.0);
+  reporter.Metric("mean_subscription_rate", subscription.mean());
+  reporter.Metric("max_subscription_rate", subscription.max());
+  reporter.Metric("p_colocate_4", colocate / 2000.0);
   return 0;
 }
+
+REGISTER_BENCH(fig2, "Fig. 2: GPU subscription rate and availability heatmap", Run);

@@ -8,7 +8,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 3 - static 4-stage pipeline vs workload variability",
@@ -33,7 +33,7 @@ int main() {
       max_queue = std::max<int64_t>(max_queue, system.router().queue_length());
     });
 
-    auto specs = CvWorkload(cv, /*qps=*/20.0);
+    auto specs = CvWorkload(cv, kBaselineQps);
     std::vector<Request> storage;
     RunReport report = RunWorkload(env, system, specs, storage,
                                    RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
@@ -43,6 +43,9 @@ int main() {
     if (cv == 0.1) {
       stall_cv01 = stall_s;
     }
+    reporter.Metric(CvTag(cv) + "_goodput_rate", system.metrics().GoodputRate(report.submitted));
+    reporter.Metric(CvTag(cv) + "_stall_s", stall_s);
+    reporter.Metric(CvTag(cv) + "_mean_queue_len", queue_len.mean());
     table.AddRow({TextTable::Num(cv, 1),
                   TextTable::Num(system.metrics().GoodputPerSec(report.ran_until), 1),
                   TextTable::Pct(system.metrics().GoodputRate(report.submitted)),
@@ -56,3 +59,5 @@ int main() {
               stall_cv01);
   return 0;
 }
+
+REGISTER_BENCH(fig3, "Fig. 3: static 4-stage pipeline vs workload variability", Run);

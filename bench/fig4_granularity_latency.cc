@@ -8,7 +8,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 4 - latency distributions by pipeline granularity and CV",
@@ -22,7 +22,7 @@ int main() {
   };
   std::vector<Cell> cells;
   for (double cv : {0.1, 1.0, 2.0, 4.0}) {
-    auto specs = CvWorkload(cv, /*qps=*/20.0);
+    auto specs = CvWorkload(cv, kBaselineQps);
     for (int stages : {4, 8, 16}) {
       ExperimentEnv env(DefaultEnvConfig());
       AlpaServeConfig config;
@@ -57,5 +57,13 @@ int main() {
   std::printf("  high CV (4): 4-stage / 16-stage mean = %.2fx (paper ~3x: deep pipeline "
               "absorbs bursts)\n",
               mean_of(4.0, 4) / mean_of(4.0, 16));
+  reporter.Metric("low_cv_deep_over_coarse", mean_of(0.1, 16) / mean_of(0.1, 4));
+  reporter.Metric("high_cv_coarse_over_deep", mean_of(4.0, 4) / mean_of(4.0, 16));
+  for (const Cell& c : cells) {
+    reporter.Metric(CvTag(c.cv) + "_stages" + std::to_string(c.stages) + "_mean_latency_s",
+                    c.mean);
+  }
   return 0;
 }
+
+REGISTER_BENCH(fig4, "Fig. 4: latency distributions by pipeline granularity and CV", Run);

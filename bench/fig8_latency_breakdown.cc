@@ -8,7 +8,7 @@
 
 #include "bench/common.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using namespace flexpipe::bench;
   PrintHeader("Fig. 8 - end-to-end latency breakdown",
@@ -29,6 +29,7 @@ int main() {
                     TextTable::Pct(cell.goodput_rate, 0)});
       if (kind == SystemKind::kFlexPipe) {
         flexpipe_rt = cell.mean_latency_s;
+        ReportCell(reporter, "flexpipe_" + CvTag(cv) + "_", cell);
       } else {
         best_static_rt = std::min(best_static_rt, cell.mean_latency_s);
       }
@@ -37,6 +38,10 @@ int main() {
     std::printf("FlexPipe vs best static: %.1f%% lower mean RT "
                 "(paper: 38.3%% at CV=1, 46.9%% at CV=2, 66.1%% at CV=4)\n\n",
                 100.0 * (1.0 - flexpipe_rt / best_static_rt));
+    reporter.Metric(CvTag(cv) + "_rt_reduction_vs_best_static",
+                    1.0 - flexpipe_rt / best_static_rt);
   }
   return 0;
 }
+
+REGISTER_BENCH(fig8, "Fig. 8: end-to-end latency breakdown across systems", Run);

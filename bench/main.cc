@@ -1,0 +1,216 @@
+// flexpipe_bench: unified runner for every registered paper bench.
+//
+// Usage:
+//   flexpipe_bench --list                 enumerate registered benches
+//   flexpipe_bench                        run everything
+//   flexpipe_bench --filter fig8          run by name (exact) or substring
+//   flexpipe_bench --filter fig1 --json out.json
+//                                         run + write machine-readable metrics
+//
+// A --filter pattern that exactly equals a bench name selects only that bench;
+// otherwise it selects every bench whose name contains the pattern. Patterns
+// may be comma-separated and --filter may repeat.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace flexpipe {
+namespace bench {
+namespace {
+
+struct BenchRun {
+  const BenchInfo* info = nullptr;
+  int exit_code = 0;
+  double wall_time_s = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+std::vector<std::string> SplitCommas(const std::string& arg) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= arg.size()) {
+    size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) {
+      comma = arg.size();
+    }
+    if (comma > start) {
+      out.push_back(arg.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool Matches(const std::string& pattern, const std::vector<BenchInfo>& all,
+             const BenchInfo& bench) {
+  for (const BenchInfo& other : all) {
+    if (pattern == other.name) {
+      return pattern == bench.name;  // exact name wins over substring expansion
+    }
+  }
+  return std::string(bench.name).find(pattern) != std::string::npos;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Doubles print with enough digits to round-trip; NaN/inf degrade to null
+// (JSON has no representation for them).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool WriteJson(const std::string& path, const std::vector<BenchRun>& runs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "flexpipe_bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"benches\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const BenchRun& run = runs[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << JsonEscape(run.info->name) << "\",\n";
+    out << "      \"description\": \"" << JsonEscape(run.info->description) << "\",\n";
+    out << "      \"exit_code\": " << run.exit_code << ",\n";
+    out << "      \"wall_time_s\": " << JsonNumber(run.wall_time_s) << ",\n";
+    out << "      \"metrics\": {";
+    for (size_t m = 0; m < run.metrics.size(); ++m) {
+      out << (m == 0 ? "\n" : ",\n");
+      out << "        \"" << JsonEscape(run.metrics[m].first)
+          << "\": " << JsonNumber(run.metrics[m].second);
+    }
+    out << (run.metrics.empty() ? "}" : "\n      }") << "\n";
+    out << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+int Usage(int code) {
+  std::fprintf(stderr,
+               "usage: flexpipe_bench [--list] [--filter <name|substring>[,...]]... "
+               "[--json <path>]\n");
+  return code;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  std::vector<BenchInfo> benches = BenchRegistry::Instance().benches();
+  std::sort(benches.begin(), benches.end(), [](const BenchInfo& a, const BenchInfo& b) {
+    return std::strcmp(a.name, b.name) < 0;
+  });
+
+  bool list = false;
+  std::vector<std::string> patterns;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--filter") {
+      if (++i >= argc) {
+        return Usage(2);
+      }
+      for (std::string& p : SplitCommas(argv[i])) {
+        patterns.push_back(std::move(p));
+      }
+    } else if (arg == "--json") {
+      if (++i >= argc) {
+        return Usage(2);
+      }
+      json_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else {
+      std::fprintf(stderr, "flexpipe_bench: unknown argument '%s'\n", arg.c_str());
+      return Usage(2);
+    }
+  }
+
+  if (list) {
+    for (const BenchInfo& bench : benches) {
+      std::printf("%-22s %s\n", bench.name, bench.description);
+    }
+    return 0;
+  }
+
+  std::vector<const BenchInfo*> selected;
+  for (const BenchInfo& bench : benches) {
+    bool keep = patterns.empty();
+    for (const std::string& pattern : patterns) {
+      keep = keep || Matches(pattern, benches, bench);
+    }
+    if (keep) {
+      selected.push_back(&bench);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "flexpipe_bench: no bench matches the given --filter\n");
+    return 1;
+  }
+
+  std::vector<BenchRun> runs;
+  int failures = 0;
+  for (const BenchInfo* info : selected) {
+    BenchReporter reporter;
+    auto start = std::chrono::steady_clock::now();
+    int code = info->fn(reporter);
+    std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    std::printf("\n[%s] done in %.2fs (exit %d)\n\n", info->name, elapsed.count(), code);
+    if (code != 0) {
+      ++failures;
+    }
+    runs.push_back(BenchRun{info, code, elapsed.count(), reporter.metrics()});
+  }
+
+  if (!json_path.empty() && !WriteJson(json_path, runs)) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace flexpipe
+
+int main(int argc, char** argv) { return flexpipe::bench::Main(argc, argv); }

@@ -1,0 +1,19 @@
+// Bench registry storage. See common.h for the REGISTER_BENCH contract.
+#include "bench/common.h"
+
+namespace flexpipe {
+namespace bench {
+
+BenchRegistry& BenchRegistry::Instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::Register(const BenchInfo& info) { benches_.push_back(info); }
+
+BenchRegistrar::BenchRegistrar(const char* name, const char* description, BenchFn fn) {
+  BenchRegistry::Instance().Register(BenchInfo{name, description, fn});
+}
+
+}  // namespace bench
+}  // namespace flexpipe

@@ -82,7 +82,7 @@ ClusterStats Measure(const ClusterConfig& config, const FragmentationProfile& pr
 }  // namespace
 }  // namespace flexpipe
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   using bench::PrintHeader;
   PrintHeader("Table 1 - GPU cluster statistics",
@@ -116,5 +116,15 @@ int main() {
               c1.p_free_gpu_85 * 100, c1.p_colocate_4 * 100);
   std::printf("  C2: P(free>85%%) = %.2f%%   P(4 co-located/snapshot) = %.2f%%\n",
               c2.p_free_gpu_85 * 100, c2.p_colocate_4 * 100);
+  reporter.Metric("c1_sm_util_mean", c1.sm_mean);
+  reporter.Metric("c1_mem_util_mean", c1.mem_mean);
+  reporter.Metric("c1_subscription_rate", c1.subscription);
+  reporter.Metric("c1_p_free_gpu_85", c1.p_free_gpu_85);
+  reporter.Metric("c2_sm_util_mean", c2.sm_mean);
+  reporter.Metric("c2_mem_util_mean", c2.mem_mean);
+  reporter.Metric("c2_subscription_rate", c2.subscription);
+  reporter.Metric("c2_p_free_gpu_85", c2.p_free_gpu_85);
   return 0;
 }
+
+REGISTER_BENCH(table1, "Table 1: GPU cluster statistics (fragmentation calibration)", Run);

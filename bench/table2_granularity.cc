@@ -10,7 +10,7 @@
 #include "src/model/profiler.h"
 #include "src/partition/partitioner.h"
 
-int main() {
+static int Run(flexpipe::bench::BenchReporter& reporter) {
   using namespace flexpipe;
   bench::PrintHeader("Table 2 - pipeline granularity metrics",
                      "Table 2 (OPT-66B, sequence length 4096)");
@@ -62,6 +62,11 @@ int main() {
                   TextTable::Num(p_comp, 2), TextTable::Num(ToMillis(comm), 1),
                   TextTable::Num(p_comm, 1), std::to_string(max_batch),
                   std::to_string(p_batch)});
+    const std::string tag = "stages" + std::to_string(stages);
+    reporter.Metric(tag + "_load_s", ToSeconds(load));
+    reporter.Metric(tag + "_compute_ms", ToMillis(compute));
+    reporter.Metric(tag + "_comm_ms", ToMillis(comm));
+    reporter.Metric(tag + "_max_batch", max_batch);
   }
   table.Print();
 
@@ -71,3 +76,5 @@ int main() {
                   ToSeconds(cost.ColdLoadTime(ladder.plan(32).MaxStageParams())));
   return 0;
 }
+
+REGISTER_BENCH(table2, "Table 2: per-granularity load/compute/comm/batch metrics", Run);

@@ -123,6 +123,59 @@ TEST(EndToEnd, FlexPipeRefactorsUnderBurstyTraffic) {
   EXPECT_GE(system.metrics().completed(), static_cast<int64_t>(specs.size()) * 8 / 10);
 }
 
+TEST(EndToEnd, IdenticallySeededRunsAreBitIdentical) {
+  // The simulation.h ordering guarantee (events fire in (time, scheduling order)) makes
+  // whole experiment runs reproducible: two identically-seeded runs must agree on every
+  // metric bit-for-bit, not merely to within a tolerance.
+  struct RunSignature {
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    uint64_t executed_events = 0;
+    double mean_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double mean_prefill_s = 0.0;
+    double goodput_rate = 0.0;
+    std::vector<CompletionSample> completions;
+  };
+  auto run_once = [] {
+    ExperimentEnv env(SmallEnvConfig());
+    FlexPipeConfig config;
+    config.initial_stages = 4;
+    config.target_peak_rps = 8.0;
+    config.control_interval = 250 * kMillisecond;
+    FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+    std::vector<RequestSpec> specs = SmallWorkload(6.0, 4.0, 60 * kSecond);
+    std::vector<Request> storage;
+    RunReport report = RunWorkload(env, system, specs, storage,
+                                   RunOptions{.drain_grace = 120 * kSecond});
+    RunSignature sig;
+    sig.submitted = report.submitted;
+    sig.completed = system.metrics().completed();
+    sig.executed_events = env.sim().executed_events();
+    sig.mean_latency_s = system.metrics().MeanLatencySec();
+    sig.p99_latency_s = system.metrics().LatencyPercentileSec(99);
+    sig.mean_prefill_s = system.metrics().MeanPrefillSec();
+    sig.goodput_rate = system.metrics().GoodputRate(report.submitted);
+    sig.completions = system.metrics().completions();
+    return sig;
+  };
+
+  RunSignature a = run_once();
+  RunSignature b = run_once();
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);  // bit-identical, no tolerance
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.mean_prefill_s, b.mean_prefill_s);
+  EXPECT_EQ(a.goodput_rate, b.goodput_rate);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i].done_time, b.completions[i].done_time) << "sample " << i;
+    EXPECT_EQ(a.completions[i].latency, b.completions[i].latency) << "sample " << i;
+  }
+}
+
 TEST(EndToEnd, MigrationPreservesTokenProgress) {
   // Every request must produce exactly its requested token count even across refactors.
   ExperimentEnv env(SmallEnvConfig());

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -92,6 +93,29 @@ TEST(Simulation, StepExecutesOneEvent) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulation, CancelFromInsideFiringCallback) {
+  // A firing callback may cancel events scheduled for the same instant (later in FIFO
+  // order) as well as future events; canceling the currently-firing event is a no-op.
+  Simulation sim;
+  std::vector<int> order;
+  EventId self = 0;
+  EventId same_time = 0;
+  EventId future = 0;
+  self = sim.Schedule(10, [&] {
+    order.push_back(1);
+    EXPECT_FALSE(sim.Cancel(self));  // already firing: no longer cancelable
+    EXPECT_TRUE(sim.Cancel(same_time));
+    EXPECT_TRUE(sim.Cancel(future));
+  });
+  same_time = sim.Schedule(10, [&] { order.push_back(2); });
+  future = sim.Schedule(20, [&] { order.push_back(3); });
+  sim.Schedule(30, [&] { order.push_back(4); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 4}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(PeriodicTask, FiresAtIntervalUntilCanceled) {
   Simulation sim;
   int ticks = 0;
@@ -125,6 +149,31 @@ TEST(PeriodicTask, DestructorCancels) {
   }
   sim.RunUntil(100);
   EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTask, DestructionWhileArmedReleasesPendingEvent) {
+  // Destroying a task between firings must remove its armed event from the engine so the
+  // callback (and any captured state) is released, not merely skipped at fire time.
+  Simulation sim;
+  int ticks = 0;
+  auto task = std::make_unique<PeriodicTask>(&sim, 10, [&] { ++ticks; });
+  sim.RunUntil(15);  // one firing at t=10; the next is armed for t=20
+  ASSERT_EQ(ticks, 1);
+  ASSERT_EQ(sim.pending_events(), 1u);
+  task.reset();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(sim.now(), 15);  // the canceled event does not advance the clock
+}
+
+TEST(PeriodicTask, DestructionBeforeFirstFiring) {
+  Simulation sim;
+  int ticks = 0;
+  { PeriodicTask task(&sim, 10, [&] { ++ticks; }); }
+  sim.RunUntilIdle();
+  EXPECT_EQ(ticks, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 }  // namespace
