@@ -20,6 +20,7 @@
 #include "src/baselines/muxserve.h"
 #include "src/baselines/serverless_llm.h"
 #include "src/baselines/tetris.h"
+#include "src/common/macros.h"
 #include "src/common/table.h"
 #include "src/core/experiment.h"
 #include "src/core/flexpipe_system.h"
@@ -155,6 +156,83 @@ inline std::unique_ptr<ServingSystemBase> MakeSystem(SystemKind kind, Experiment
     }
   }
   return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-model shared-cluster mode (fig13 shared / fig14): one system serves every
+// model in `env` concurrently, contending for the same GPUs. Supported by the systems
+// with multi-model deployments: FlexPipe, AlpaServe, ServerlessLLM.
+// ---------------------------------------------------------------------------
+
+inline std::unique_ptr<ServingSystemBase> MakeSharedClusterSystem(
+    SystemKind kind, ExperimentEnv& env, const std::vector<double>& peak_rps_by_model) {
+  const int n = static_cast<int>(peak_rps_by_model.size());
+  switch (kind) {
+    case SystemKind::kFlexPipe: {
+      std::vector<FlexPipeSystem::ModelDeployment> deployments;
+      for (int i = 0; i < n; ++i) {
+        FlexPipeSystem::ModelDeployment d;
+        d.ladder = &env.ladder(i);
+        d.config.model_id = i;
+        d.config.initial_stages = d.ladder->coarsest();
+        d.config.target_peak_rps = peak_rps_by_model[static_cast<size_t>(i)];
+        d.config.default_slo = kDefaultSlo;
+        d.config.scaling.reclaim_idle = 45 * kSecond;
+        deployments.push_back(d);
+      }
+      return std::make_unique<FlexPipeSystem>(env.Context(), std::move(deployments));
+    }
+    case SystemKind::kAlpaServe: {
+      std::vector<AlpaServeSystem::ModelDeployment> deployments;
+      for (int i = 0; i < n; ++i) {
+        AlpaServeSystem::ModelDeployment d;
+        d.ladder = &env.ladder(i);
+        d.config.model_id = i;
+        d.config.stages = d.ladder->coarsest();
+        d.config.target_peak_rps = peak_rps_by_model[static_cast<size_t>(i)];
+        d.config.default_slo = kDefaultSlo;
+        deployments.push_back(d);
+      }
+      return std::make_unique<AlpaServeSystem>(env.Context(), std::move(deployments));
+    }
+    case SystemKind::kServerlessLlm: {
+      std::vector<ReactiveScalingSystem::ModelDeployment> deployments;
+      for (int i = 0; i < n; ++i) {
+        ReactiveScalingSystem::ModelDeployment d;
+        d.ladder = &env.ladder(i);
+        d.config.model_id = i;
+        d.config.stages = d.ladder->coarsest();
+        d.config.min_replicas = 1;
+        d.config.check_interval = 2 * kSecond;
+        d.config.scale_up_queue_per_replica = 16;
+        d.config.default_slo = kDefaultSlo;
+        deployments.push_back(d);
+      }
+      return std::make_unique<ServerlessLlmSystem>(env.Context(), std::move(deployments));
+    }
+    default:
+      // MuxServe / Tetris stay single-model; a null return here would only surface as
+      // a crash at the call site's dereference.
+      FLEXPIPE_CHECK_MSG(false, "system kind does not support shared-cluster deployments");
+      return nullptr;
+  }
+}
+
+// Interleaved per-model traces: one CV-parameterised stream per model, merged into a
+// single time-ordered arrival sequence (requests carry their model_index).
+inline std::vector<RequestSpec> MultiModelWorkload(const std::vector<ModelSpec>& models,
+                                                   const std::vector<double>& qps_by_model,
+                                                   double cv, TimeNs duration,
+                                                   uint64_t seed = kSeed) {
+  std::vector<std::vector<RequestSpec>> parts;
+  for (size_t i = 0; i < models.size(); ++i) {
+    WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(static_cast<int>(i));
+    wconfig.lengths.prompt_max = models[i].context_window;
+    WorkloadGenerator gen(wconfig);
+    Rng rng(Rng(seed).Child(models[i].name).seed());
+    parts.push_back(gen.GenerateWithCv(rng, qps_by_model[i], cv, duration));
+  }
+  return MergeWorkloads(std::move(parts));
 }
 
 struct CellResult {

@@ -3,16 +3,23 @@
 // WHISPER-9B / LLAMA2-7B / BERT-21B / OPT-66B served under a production-like trace;
 // FlexPipe vs AlpaServe vs ServerlessLLM. Paper: 6.4%-24.4% lower mean prefill latency,
 // growing with model scale, plus visibly tighter distributions.
+//
+// Two modes:
+//   * default — each model on a private cluster, sequentially (the paper's per-model
+//     measurement isolates model scale);
+//   * FLEXPIPE_FIG13_SHARED=1 — all four models concurrently on ONE shared cluster via
+//     each system's multi-model deployment (the production setting; see also fig14).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/common.h"
 
-static int Run(flexpipe::bench::BenchReporter& reporter) {
-  using namespace flexpipe;
-  using namespace flexpipe::bench;
-  PrintHeader("Fig. 13 - prefill latency across model scales",
-              "Fig. 13 (four models, production-like trace, mean + distribution)");
+namespace {
 
+using namespace flexpipe;
+using namespace flexpipe::bench;
+
+int RunSequential(BenchReporter& reporter) {
   const std::vector<ModelSpec> models = EvaluationModels();
   const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
                                          SystemKind::kServerlessLlm};
@@ -37,7 +44,8 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
       ExperimentEnv env(DefaultEnvConfig({models[mi]}, kSeed + mi));
       auto system = MakeSystem(kind, env, 0, qps);
       std::vector<Request> storage;
-      RunWorkload(env, *system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      RunWorkload(env, *system, specs, storage,
+                  RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
       const MetricsCollector& m = system->metrics();
       rows.push_back({kind, m.MeanPrefillSec(), m.prefill_histogram().Percentile(50),
                       m.prefill_histogram().Percentile(95)});
@@ -61,5 +69,58 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
               "OPT-66B, average 17.3%%)\n");
   return 0;
 }
+
+int RunShared(BenchReporter& reporter) {
+  const std::vector<ModelSpec> models = EvaluationModels();
+  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
+                                         SystemKind::kServerlessLlm};
+  // Shared-cluster rates are lower than the sequential mode's: four models now split
+  // the same 82 GPUs (fig14 uses the same mix).
+  std::vector<double> qps(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    qps[i] = models[i].param_bytes > GiB(60) ? 4.0 : 7.0;
+  }
+  const auto specs = MultiModelWorkload(models, qps, /*cv=*/2.0, 4 * kMinute);
+
+  TextTable table({"Model", "System", "MeanPrefill(s)", "P50(s)", "P95(s)", "Completed"});
+  for (SystemKind kind : kinds) {
+    ExperimentEnv env(DefaultEnvConfig(models, kSeed));
+    auto system = MakeSharedClusterSystem(kind, env, qps);
+    std::vector<Request> storage;
+    RunWorkload(env, *system, specs, storage,
+                RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+    const MetricsCollector& m = system->metrics();
+    for (size_t mi = 0; mi < models.size(); ++mi) {
+      const MetricsCollector* pm = m.ForModel(static_cast<int>(mi));
+      // A fully starved model (no replica ever placed) must read as a failure, not as
+      // zero latency.
+      if (pm == nullptr) {
+        table.AddRow({models[mi].name, KindName(kind), "starved", "-", "-", "0"});
+        continue;
+      }
+      double mean = pm->MeanPrefillSec();
+      table.AddRow({models[mi].name, KindName(kind), TextTable::Num(mean, 3),
+                    TextTable::Num(pm->prefill_histogram().Percentile(50), 3),
+                    TextTable::Num(pm->prefill_histogram().Percentile(95), 3),
+                    std::to_string(pm->completed())});
+      if (kind == SystemKind::kFlexPipe) {
+        reporter.Metric(models[mi].name + "_flexpipe_shared_mean_prefill_s", mean);
+      }
+    }
+  }
+  table.Print();
+  std::printf("\n(shared-cluster mode: all four models concurrent on one 82-GPU cluster)\n");
+  return 0;
+}
+
+int Run(BenchReporter& reporter) {
+  bool shared = std::getenv("FLEXPIPE_FIG13_SHARED") != nullptr;
+  PrintHeader("Fig. 13 - prefill latency across model scales",
+              shared ? "Fig. 13 (four models, concurrent on one shared cluster)"
+                     : "Fig. 13 (four models, production-like trace, mean + distribution)");
+  return shared ? RunShared(reporter) : RunSequential(reporter);
+}
+
+}  // namespace
 
 REGISTER_BENCH(fig13, "Fig. 13: prefill latency across production model scales", Run);

@@ -8,45 +8,85 @@
 
 namespace flexpipe {
 
+namespace {
+
+std::vector<AlpaServeSystem::ModelDeployment> SingleDeployment(const GranularityLadder* ladder,
+                                                               const AlpaServeConfig& config) {
+  AlpaServeSystem::ModelDeployment deployment;
+  deployment.ladder = ladder;
+  deployment.config = config;
+  return {deployment};
+}
+
+
+}  // namespace
+
 AlpaServeSystem::AlpaServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
                                  const AlpaServeConfig& config)
-    : ServingSystemBase(ctx, "AlpaServe", config.default_slo),
-      ladder_(ladder),
-      config_(config),
-      analytics_(ladder, ctx.cost_model, ctx.network, config.workload, GranularityConfig{}) {
-  FLEXPIPE_CHECK(ladder != nullptr);
+    : AlpaServeSystem(ctx, SingleDeployment(ladder, config)) {}
+
+AlpaServeSystem::AlpaServeSystem(const SystemContext& ctx,
+                                 std::vector<ModelDeployment> deployments)
+    : ServingSystemBase(ctx, "AlpaServe", FirstDeploymentSlo(deployments)) {
+  for (const ModelDeployment& d : deployments) {
+    FLEXPIPE_CHECK(d.ladder != nullptr);
+    for (const auto& existing : fleets_) {
+      FLEXPIPE_CHECK_MSG(existing->config.model_id != d.config.model_id,
+                         "duplicate model_id across deployments");
+    }
+    auto fleet = std::make_unique<ModelFleet>();
+    fleet->ladder = d.ladder;
+    fleet->config = d.config;
+    fleet->analytics = std::make_unique<GranularityController>(
+        d.ladder, ctx.cost_model, ctx.network, d.config.workload, GranularityConfig{});
+    fleets_.push_back(std::move(fleet));
+    RegisterServedModel(d.config.model_id);
+  }
+}
+
+int AlpaServeSystem::planned_replicas_for(int model_id) const {
+  for (const auto& fleet : fleets_) {
+    if (fleet->config.model_id == model_id) {
+      return fleet->planned;
+    }
+  }
+  return 0;
 }
 
 void AlpaServeSystem::Start() {
-  if (config_.replicas > 0) {
-    planned_replicas_ = config_.replicas;
-  } else {
-    const GranularityOption& opt = analytics_.OptionFor(config_.stages);
-    planned_replicas_ = std::max(
-        1, static_cast<int>(std::ceil(
-               config_.target_peak_rps * config_.provision_headroom /
-               std::max(opt.throughput_rps * config_.utilization_target, 1e-6))));
+  for (auto& fleet : fleets_) {
+    if (fleet->config.replicas > 0) {
+      fleet->planned = fleet->config.replicas;
+    } else {
+      const GranularityOption& opt = fleet->analytics->OptionFor(fleet->config.stages);
+      fleet->planned = std::max(
+          1, static_cast<int>(std::ceil(
+                 fleet->config.target_peak_rps * fleet->config.provision_headroom /
+                 std::max(opt.throughput_rps * fleet->config.utilization_target, 1e-6))));
+    }
+    TryLaunch(*fleet, /*remaining_attempts=*/20);
   }
-  TryLaunch(/*remaining_attempts=*/20);
 }
 
-void AlpaServeSystem::TryLaunch(int remaining_attempts) {
-  while (launched_ < planned_replicas_) {
+void AlpaServeSystem::TryLaunch(ModelFleet& fleet, int remaining_attempts) {
+  while (fleet.launched < fleet.planned) {
     PipelineInstance* inst =
-        LaunchViaAllocator(ladder_->plan(config_.stages), config_.model_id,
+        LaunchViaAllocator(fleet.ladder->plan(fleet.config.stages), fleet.config.model_id,
                            PlacementPolicy::kBestFit, /*distinct_servers=*/true);
     if (inst == nullptr) {
       break;
     }
-    ++launched_;
+    ++fleet.launched;
   }
-  if (launched_ < planned_replicas_ && remaining_attempts > 0) {
+  if (fleet.launched < fleet.planned && remaining_attempts > 0) {
     // Fragmentation blocked part of the fleet; retry as background churn frees memory.
-    ctx_.sim->Schedule(2 * kSecond,
-                       [this, remaining_attempts] { TryLaunch(remaining_attempts - 1); });
-  } else if (launched_ < planned_replicas_) {
-    FLEXPIPE_LOG_WARN("AlpaServe: deployed %d/%d replicas (fragmented cluster)", launched_,
-                      planned_replicas_);
+    ModelFleet* fleet_ptr = &fleet;
+    ctx_.sim->Schedule(2 * kSecond, [this, fleet_ptr, remaining_attempts] {
+      TryLaunch(*fleet_ptr, remaining_attempts - 1);
+    });
+  } else if (fleet.launched < fleet.planned) {
+    FLEXPIPE_LOG_WARN("AlpaServe: deployed %d/%d replicas (fragmented cluster, model %d)",
+                      fleet.launched, fleet.planned, fleet.config.model_id);
   }
 }
 

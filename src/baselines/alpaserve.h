@@ -4,8 +4,14 @@
 // Statically optimized: it picks one pipeline granularity offline (from long-window
 // trace statistics), provisions a fixed replica fleet sized for peak demand, and never
 // adapts at runtime — the representative of sophisticated-but-static pipeline systems.
+// Multi-model deployments provision one such fixed fleet per model on the shared
+// cluster, which is exactly AlpaServe's published setting (statistical multiplexing of
+// several models' peaks).
 #ifndef FLEXPIPE_SRC_BASELINES_ALPASERVE_H_
 #define FLEXPIPE_SRC_BASELINES_ALPASERVE_H_
+
+#include <memory>
+#include <vector>
 
 #include "src/core/granularity.h"
 #include "src/core/serving.h"
@@ -26,21 +32,36 @@ struct AlpaServeConfig {
 
 class AlpaServeSystem : public ServingSystemBase {
  public:
+  struct ModelDeployment {
+    const GranularityLadder* ladder = nullptr;
+    AlpaServeConfig config;
+  };
+
+  // Single-model convenience (the historical interface).
   AlpaServeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
                   const AlpaServeConfig& config);
+  // Multi-model: one peak-provisioned fleet per deployment on the shared cluster.
+  AlpaServeSystem(const SystemContext& ctx, std::vector<ModelDeployment> deployments);
 
   void Start() override;
 
-  int planned_replicas() const { return planned_replicas_; }
+  // First (or only) model's fleet plan — kept for the single-model benches.
+  int planned_replicas() const { return fleets_.front()->planned; }
+  int planned_replicas_for(int model_id) const;
 
  private:
-  void TryLaunch(int remaining_attempts);
+  struct ModelFleet {
+    const GranularityLadder* ladder = nullptr;
+    AlpaServeConfig config;
+    std::unique_ptr<GranularityController> analytics;
+    int planned = 0;
+    int launched = 0;
+  };
 
-  const GranularityLadder* ladder_;
-  AlpaServeConfig config_;
-  GranularityController analytics_;
-  int planned_replicas_ = 0;
-  int launched_ = 0;
+  void TryLaunch(ModelFleet& fleet, int remaining_attempts);
+
+  // Stable addresses: retry callbacks capture raw ModelFleet pointers.
+  std::vector<std::unique_ptr<ModelFleet>> fleets_;
 };
 
 }  // namespace flexpipe

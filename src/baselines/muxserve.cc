@@ -16,6 +16,7 @@ MuxServeSystem::MuxServeSystem(const SystemContext& ctx, const GranularityLadder
       analytics_(ladder, ctx.cost_model, ctx.network, config.workload, GranularityConfig{}) {
   FLEXPIPE_CHECK(ladder != nullptr);
   instance_config_.compute_dilation = config.interference_dilation;
+  RegisterServedModel(config.model_id);
 }
 
 void MuxServeSystem::Start() {

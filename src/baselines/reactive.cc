@@ -7,57 +7,89 @@
 
 namespace flexpipe {
 
+namespace {
+
+std::vector<ReactiveScalingSystem::ModelDeployment> SingleDeployment(
+    const GranularityLadder* ladder, const ReactiveConfig& config) {
+  ReactiveScalingSystem::ModelDeployment deployment;
+  deployment.ladder = ladder;
+  deployment.config = config;
+  return {deployment};
+}
+
+
+}  // namespace
+
 ReactiveScalingSystem::ReactiveScalingSystem(const SystemContext& ctx,
                                              const GranularityLadder* ladder, std::string name,
                                              const ReactiveConfig& config)
-    : ServingSystemBase(ctx, std::move(name), config.default_slo),
-      ladder_(ladder),
-      config_(config) {
-  FLEXPIPE_CHECK(ladder != nullptr);
-  FLEXPIPE_CHECK(config.min_replicas >= 1);
+    : ReactiveScalingSystem(ctx, std::move(name), SingleDeployment(ladder, config)) {}
+
+ReactiveScalingSystem::ReactiveScalingSystem(const SystemContext& ctx, std::string name,
+                                             std::vector<ModelDeployment> deployments)
+    : ServingSystemBase(ctx, std::move(name), FirstDeploymentSlo(deployments)) {
+  for (const ModelDeployment& d : deployments) {
+    FLEXPIPE_CHECK(d.ladder != nullptr);
+    FLEXPIPE_CHECK(d.config.min_replicas >= 1);
+    for (const ModelFleet& existing : fleets_) {
+      FLEXPIPE_CHECK_MSG(existing.config.model_id != d.config.model_id,
+                         "duplicate model_id across deployments");
+    }
+    fleets_.push_back(ModelFleet{d.ladder, d.config, /*idle_since=*/-1});
+    RegisterServedModel(d.config.model_id);
+  }
 }
 
 ReactiveScalingSystem::~ReactiveScalingSystem() = default;
 
 void ReactiveScalingSystem::Start() {
-  for (int i = 0; i < config_.min_replicas; ++i) {
-    LaunchReplica();
+  for (ModelFleet& fleet : fleets_) {
+    for (int i = 0; i < fleet.config.min_replicas; ++i) {
+      LaunchReplica(fleet);
+    }
   }
-  watchdog_ = std::make_unique<PeriodicTask>(ctx_.sim, config_.check_interval,
-                                             [this] { Tick(); });
+  TimeNs interval = fleets_.front().config.check_interval;
+  for (const ModelFleet& fleet : fleets_) {
+    interval = std::min(interval, fleet.config.check_interval);
+  }
+  watchdog_ = std::make_unique<PeriodicTask>(ctx_.sim, interval, [this] { Tick(); });
 }
 
 void ReactiveScalingSystem::Finish() { watchdog_.reset(); }
 
-int ReactiveScalingSystem::ServingCount() const {
+int ReactiveScalingSystem::ServingCount(int model_id) const {
   int n = 0;
   for (const PipelineInstance* inst : router_.instances()) {
-    if (inst->state() == InstanceState::kActive || inst->state() == InstanceState::kLoading) {
+    if (inst->model_id() == model_id &&
+        (inst->state() == InstanceState::kActive || inst->state() == InstanceState::kLoading)) {
       ++n;
     }
   }
   return n;
 }
 
-void ReactiveScalingSystem::LaunchReplica() {
-  PipelineInstance* inst = LaunchViaAllocator(ladder_->plan(config_.stages), config_.model_id,
-                                              config_.placement, config_.distinct_servers);
+void ReactiveScalingSystem::LaunchReplica(ModelFleet& fleet) {
+  PipelineInstance* inst =
+      LaunchViaAllocator(fleet.ladder->plan(fleet.config.stages), fleet.config.model_id,
+                         fleet.config.placement, fleet.config.distinct_servers);
   if (inst == nullptr) {
-    FLEXPIPE_LOG_INFO("%s: replica launch failed (fragmentation)", name().c_str());
+    FLEXPIPE_LOG_INFO("%s: replica launch failed (fragmentation, model %d)", name().c_str(),
+                      fleet.config.model_id);
     return;
   }
   ++scale_ups_;
 }
 
-void ReactiveScalingSystem::RetireOne() {
+void ReactiveScalingSystem::RetireOne(ModelFleet& fleet) {
   PipelineInstance* victim = nullptr;
-  double least = 2.0;
+  double least = 0.0;
   for (PipelineInstance* inst : router_.instances()) {
-    if (inst->state() != InstanceState::kActive) {
+    if (inst->model_id() != fleet.config.model_id ||
+        inst->state() != InstanceState::kActive) {
       continue;
     }
     double load = inst->LoadFraction();
-    if (load < least) {
+    if (victim == nullptr || load < least) {
       least = load;
       victim = inst;
     }
@@ -71,34 +103,43 @@ void ReactiveScalingSystem::RetireOne() {
 }
 
 void ReactiveScalingSystem::Tick() {
-  int serving = ServingCount();
-  int queue = router_.queue_length();
+  for (ModelFleet& fleet : fleets_) {
+    TickModel(fleet);
+  }
+}
+
+void ReactiveScalingSystem::TickModel(ModelFleet& fleet) {
+  int model_id = fleet.config.model_id;
+  int serving = ServingCount(model_id);
+  int queue = router_.queue_length_for(model_id);
   TimeNs now = ctx_.sim->now();
 
-  if (serving < config_.min_replicas) {
-    LaunchReplica();
+  if (serving < fleet.config.min_replicas) {
+    LaunchReplica(fleet);
     return;
   }
-  if (queue > config_.scale_up_queue_per_replica * std::max(1, serving) &&
-      serving < config_.max_replicas) {
-    LaunchReplica();
-    idle_since_ = -1;
+  if (queue > fleet.config.scale_up_queue_per_replica * std::max(1, serving) &&
+      serving < fleet.config.max_replicas) {
+    LaunchReplica(fleet);
+    fleet.idle_since = -1;
     return;
   }
-  // Reclaim path: queue empty and fleet lightly loaded.
+  // Reclaim path: queue empty and this model's fleet lightly loaded.
   bool idle = queue == 0;
   for (const PipelineInstance* inst : router_.instances()) {
-    idle = idle && inst->LoadFraction() < 0.15;
+    if (inst->model_id() == model_id) {
+      idle = idle && inst->LoadFraction() < 0.15;
+    }
   }
-  if (idle && serving > config_.min_replicas) {
-    if (idle_since_ < 0) {
-      idle_since_ = now;
-    } else if (now - idle_since_ >= config_.idle_reclaim) {
-      RetireOne();
-      idle_since_ = -1;
+  if (idle && serving > fleet.config.min_replicas) {
+    if (fleet.idle_since < 0) {
+      fleet.idle_since = now;
+    } else if (now - fleet.idle_since >= fleet.config.idle_reclaim) {
+      RetireOne(fleet);
+      fleet.idle_since = -1;
     }
   } else {
-    idle_since_ = -1;
+    fleet.idle_since = -1;
   }
 }
 

@@ -4,10 +4,15 @@
 // them after an idle window. This is the standard queue-threshold autoscaler both
 // ServerlessLLM and Tetris build on; they differ in loading speed, placement policy,
 // execution model and memory footprint, which subclasses set via the protected knobs.
+//
+// Multi-model: one ReactiveScalingSystem can autoscale several models' fleets on the
+// shared cluster — each deployment gets its own queue-threshold state, and the
+// model-aware router keeps requests on matching instances.
 #ifndef FLEXPIPE_SRC_BASELINES_REACTIVE_H_
 #define FLEXPIPE_SRC_BASELINES_REACTIVE_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/serving.h"
 #include "src/partition/plan.h"
@@ -30,8 +35,17 @@ struct ReactiveConfig {
 
 class ReactiveScalingSystem : public ServingSystemBase {
  public:
+  struct ModelDeployment {
+    const GranularityLadder* ladder = nullptr;
+    ReactiveConfig config;
+  };
+
+  // Single-model convenience (the historical interface).
   ReactiveScalingSystem(const SystemContext& ctx, const GranularityLadder* ladder,
                         std::string name, const ReactiveConfig& config);
+  // Multi-model: one autoscaled fleet per deployment on the shared cluster.
+  ReactiveScalingSystem(const SystemContext& ctx, std::string name,
+                        std::vector<ModelDeployment> deployments);
   ~ReactiveScalingSystem() override;
 
   void Start() override;
@@ -41,17 +55,23 @@ class ReactiveScalingSystem : public ServingSystemBase {
   int64_t scale_downs() const { return scale_downs_; }
 
  protected:
-  void Tick();
-  void LaunchReplica();
-  void RetireOne();
-  int ServingCount() const;
+  // Per-model autoscaler state.
+  struct ModelFleet {
+    const GranularityLadder* ladder = nullptr;
+    ReactiveConfig config;
+    TimeNs idle_since = -1;
+  };
 
-  const GranularityLadder* ladder_;
-  ReactiveConfig config_;
+  void Tick();
+  void TickModel(ModelFleet& fleet);
+  void LaunchReplica(ModelFleet& fleet);
+  void RetireOne(ModelFleet& fleet);
+  int ServingCount(int model_id) const;
+
+  std::vector<ModelFleet> fleets_;
 
  private:
   std::unique_ptr<PeriodicTask> watchdog_;
-  TimeNs idle_since_ = -1;
   int64_t scale_ups_ = 0;
   int64_t scale_downs_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "src/baselines/serverless_llm.h"
 
+#include <utility>
+
 namespace flexpipe {
 
 ServerlessLlmSystem::ServerlessLlmSystem(const SystemContext& ctx,
@@ -7,6 +9,13 @@ ServerlessLlmSystem::ServerlessLlmSystem(const SystemContext& ctx,
                                          const ServerlessLlmConfig& config)
     : ReactiveScalingSystem(ctx, ladder, "ServerlessLLM", config.reactive) {
   load_speed_factor_ = config.load_speed_factor;
+}
+
+ServerlessLlmSystem::ServerlessLlmSystem(const SystemContext& ctx,
+                                         std::vector<ModelDeployment> deployments,
+                                         double load_speed_factor)
+    : ReactiveScalingSystem(ctx, "ServerlessLLM", std::move(deployments)) {
+  load_speed_factor_ = load_speed_factor;
 }
 
 }  // namespace flexpipe

@@ -7,6 +7,8 @@
 #ifndef FLEXPIPE_SRC_BASELINES_SERVERLESS_LLM_H_
 #define FLEXPIPE_SRC_BASELINES_SERVERLESS_LLM_H_
 
+#include <vector>
+
 #include "src/baselines/reactive.h"
 
 namespace flexpipe {
@@ -20,6 +22,10 @@ class ServerlessLlmSystem : public ReactiveScalingSystem {
  public:
   ServerlessLlmSystem(const SystemContext& ctx, const GranularityLadder* ladder,
                       const ServerlessLlmConfig& config);
+  // Multi-model: one reactive fleet per deployment; the multi-tier loader speeds every
+  // model's checkpoint fetches equally.
+  ServerlessLlmSystem(const SystemContext& ctx, std::vector<ModelDeployment> deployments,
+                      double load_speed_factor = 0.35);
 };
 
 }  // namespace flexpipe

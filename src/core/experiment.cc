@@ -82,9 +82,15 @@ RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> system
   Simulation& sim = env.sim();
   for (size_t i = 0; i < storage.size(); ++i) {
     Request* request = &storage[i];
-    int model = request->spec.model_index;
-    FLEXPIPE_CHECK(model >= 0 && model < static_cast<int>(systems_by_model.size()));
-    ServingSystemBase* system = systems_by_model[static_cast<size_t>(model)];
+    ServingSystemBase* system;
+    if (systems_by_model.size() == 1) {
+      // One multi-model system serves the whole stream; its router splits by model.
+      system = systems_by_model.front();
+    } else {
+      int model = request->spec.model_index;
+      FLEXPIPE_CHECK(model >= 0 && model < static_cast<int>(systems_by_model.size()));
+      system = systems_by_model[static_cast<size_t>(model)];
+    }
     sim.ScheduleAt(request->spec.arrival, [system, request] { system->OnArrival(request); });
   }
 

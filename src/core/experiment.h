@@ -95,7 +95,9 @@ struct RunReport {
 };
 
 // Owns nothing: `storage` receives one Request per spec (stable addresses) and must
-// outlive the run. `systems_by_model[i]` serves requests whose spec.model_index == i.
+// outlive the run. With several systems, `systems_by_model[i]` serves requests whose
+// spec.model_index == i; with exactly one system, every request goes to it — that
+// system's model-aware router handles multi-model workloads on the shared cluster.
 RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> systems_by_model,
                       const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
                       const RunOptions& options = RunOptions{});

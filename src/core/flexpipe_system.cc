@@ -2,133 +2,184 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/macros.h"
 
 namespace flexpipe {
 
-FlexPipeSystem::FlexPipeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
-                               const FlexPipeConfig& config)
-    : ServingSystemBase(ctx, "FlexPipe", config.default_slo),
-      ladder_(ladder),
-      config_(config),
-      rng_(Rng(ctx.seed).Child("flexpipe")),
-      cv_monitor_(),
-      granularity_(ladder, ctx.cost_model, ctx.network, config.workload, config.granularity),
-      hrg_(ctx.cluster, HierarchicalResourceGraph::Config{}),
-      host_cache_(ctx.cluster),
-      affinity_(ctx.cluster, &host_cache_, config.scaling),
-      placer_(ctx.cluster, ctx.network, &placement_registry_, config.placement) {
-  FLEXPIPE_CHECK(ladder != nullptr);
-  FLEXPIPE_CHECK(!ladder->granularities.empty());
-  current_stages_ = config.initial_stages;
+namespace {
+
+std::vector<FlexPipeSystem::ModelDeployment> SingleDeployment(
+    const GranularityLadder* ladder, const FlexPipeConfig& config) {
+  FlexPipeSystem::ModelDeployment deployment;
+  deployment.ladder = ladder;
+  deployment.config = config;
+  return {deployment};
+}
+
+
+}  // namespace
+
+FlexPipeSystem::ModelContext::ModelContext(const SystemContext& ctx,
+                                           const GranularityLadder* ladder_in,
+                                           const FlexPipeConfig& config_in)
+    : ladder(ladder_in),
+      config(config_in),
+      rng(Rng(ctx.seed).Child("flexpipe-" + std::to_string(config_in.model_id))),
+      cv_monitor(),
+      granularity(ladder_in, ctx.cost_model, ctx.network, config_in.workload,
+                  config_in.granularity) {
+  FLEXPIPE_CHECK(ladder_in != nullptr);
+  FLEXPIPE_CHECK(!ladder_in->granularities.empty());
+  current_stages = config_in.initial_stages;
   // Fig. 7: elastic scale-outs use the finest granularity that loads quickly (stage
   // parameters fetch in parallel), then consolidation merges them once traffic settles.
-  fast_scale_stages_ = ladder_->granularities.back();
-  for (int g : ladder_->granularities) {
-    TimeNs load = ctx.cost_model->ColdLoadTime(ladder_->plan(g).MaxStageParams());
+  fast_scale_stages = ladder->granularities.back();
+  for (int g : ladder->granularities) {
+    TimeNs load = ctx.cost_model->ColdLoadTime(ladder->plan(g).MaxStageParams());
     if (load <= FromSeconds(12.0)) {
-      fast_scale_stages_ = g;
+      fast_scale_stages = g;
       break;
     }
   }
 }
 
+FlexPipeSystem::FlexPipeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
+                               const FlexPipeConfig& config)
+    : FlexPipeSystem(ctx, SingleDeployment(ladder, config)) {}
+
+FlexPipeSystem::FlexPipeSystem(const SystemContext& ctx,
+                               std::vector<ModelDeployment> deployments)
+    : ServingSystemBase(ctx, "FlexPipe", FirstDeploymentSlo(deployments)),
+      hrg_(ctx.cluster, HierarchicalResourceGraph::Config{}),
+      host_cache_(ctx.cluster),
+      // The affinity/placement knobs come from the first deployment; they parameterize
+      // the shared substrate, not a model's policy.
+      affinity_(ctx.cluster, &host_cache_, deployments.front().config.scaling),
+      placer_(ctx.cluster, ctx.network, &placement_registry_,
+              deployments.front().config.placement) {
+  for (const ModelDeployment& d : deployments) {
+    for (const auto& existing : contexts_) {
+      FLEXPIPE_CHECK_MSG(existing->config.model_id != d.config.model_id,
+                         "duplicate model_id across deployments");
+    }
+    contexts_.push_back(std::make_unique<ModelContext>(ctx, d.ladder, d.config));
+    RegisterServedModel(d.config.model_id);
+  }
+}
+
 FlexPipeSystem::~FlexPipeSystem() = default;
 
-void FlexPipeSystem::Start() {
-  int count = MinInstances(current_stages_);
-  for (int i = 0; i < count; ++i) {
-    LaunchWithRetry(current_stages_, /*cv=*/1.0, /*remaining_attempts=*/10, /*waited=*/0);
+const FlexPipeSystem::ModelContext& FlexPipeSystem::ContextFor(int model_id) const {
+  for (const auto& model : contexts_) {
+    if (model->config.model_id == model_id) {
+      return *model;
+    }
   }
-  control_task_ = std::make_unique<PeriodicTask>(ctx_.sim, config_.control_interval,
-                                                 [this] { Tick(); });
+  FLEXPIPE_CHECK_MSG(false, "request for a model this system does not serve");
+  return *contexts_.front();  // unreachable
+}
+
+FlexPipeSystem::ModelContext& FlexPipeSystem::ContextFor(int model_id) {
+  return const_cast<ModelContext&>(std::as_const(*this).ContextFor(model_id));
+}
+
+int FlexPipeSystem::current_stages_for(int model_id) const {
+  return ContextFor(model_id).current_stages;
+}
+
+const CvMonitor& FlexPipeSystem::cv_monitor_for(int model_id) const {
+  return ContextFor(model_id).cv_monitor;
+}
+
+void FlexPipeSystem::Start() {
+  for (auto& model : contexts_) {
+    int count = MinInstances(*model, model->current_stages);
+    for (int i = 0; i < count; ++i) {
+      LaunchWithRetry(*model, model->current_stages, /*cv=*/1.0, /*remaining_attempts=*/10,
+                      /*waited=*/0);
+    }
+  }
+  // One shared control loop at the tightest requested cadence; every model's
+  // controller context runs each tick.
+  TimeNs interval = contexts_.front()->config.control_interval;
+  for (const auto& model : contexts_) {
+    interval = std::min(interval, model->config.control_interval);
+  }
+  control_task_ = std::make_unique<PeriodicTask>(ctx_.sim, interval, [this] { Tick(); });
 }
 
 void FlexPipeSystem::OnArrival(Request* request) {
-  cv_monitor_.RecordArrival(ctx_.sim->now());
+  ContextFor(request->model_id()).cv_monitor.RecordArrival(ctx_.sim->now());
   router_.Submit(request);
 }
 
 void FlexPipeSystem::Finish() { control_task_.reset(); }
 
-double FlexPipeSystem::ObservedCv() const {
+double FlexPipeSystem::ObservedCv(const ModelContext& model) const {
   // Until the window fills, assume the Poisson default rather than over-reacting.
-  if (cv_monitor_.samples() < 16) {
+  if (model.cv_monitor.samples() < 16) {
     return 1.0;
   }
-  return cv_monitor_.Cv();
+  return model.cv_monitor.Cv();
 }
 
-double FlexPipeSystem::ProjectedDemand() const {
+double FlexPipeSystem::ProjectedDemand(const ModelContext& model) const {
   TimeNs now = ctx_.sim->now();
-  double rate = cv_monitor_.RatePerSec(now);
-  double gradient = cv_monitor_.RateGradient(now);
+  double rate = model.cv_monitor.RatePerSec(now);
+  double gradient = model.cv_monitor.RateGradient(now);
   // Proactive adaptation (Algorithm 1): project the intensity gradient forward.
-  return std::max(rate, rate + gradient * config_.demand_lead_s);
+  return std::max(rate, rate + gradient * model.config.demand_lead_s);
 }
 
-int FlexPipeSystem::MinInstances(int stages) const {
-  double reserve_rps = config_.reserve_fraction * config_.target_peak_rps;
-  return std::max(1, granularity_.InstancesFor(reserve_rps, stages));
+int FlexPipeSystem::MinInstances(const ModelContext& model, int stages) const {
+  double reserve_rps = model.config.reserve_fraction * model.config.target_peak_rps;
+  return std::max(1, model.granularity.InstancesFor(reserve_rps, stages));
 }
 
-int FlexPipeSystem::ActiveOrLoadingCount() const {
-  // Counts provisioning instances too (they only join the router once loading starts),
-  // so the controller does not double-launch while pods bind.
-  int n = 0;
-  for (const InstanceRecord& r : records_) {
-    if (r.released) {
-      continue;
-    }
-    InstanceState s = r.instance->state();
-    if (s == InstanceState::kActive || s == InstanceState::kLoading) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-std::vector<bool> FlexPipeSystem::WarmFlags(const PipelinePlan& plan,
+std::vector<bool> FlexPipeSystem::WarmFlags(const ModelContext& model,
+                                            const PipelinePlan& plan,
                                             const std::vector<GpuId>& gpus) const {
   std::vector<bool> warm(static_cast<size_t>(plan.num_stages()), false);
-  if (!config_.enable_host_cache) {
+  if (!model.config.enable_host_cache) {
     return warm;
   }
   for (int s = 0; s < plan.num_stages(); ++s) {
     const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
     ServerId server = ctx_.cluster->ServerOf(gpus[static_cast<size_t>(s)]);
     double coverage =
-        host_cache_.Coverage(server, config_.model_id, sp.fine_begin, sp.fine_end);
+        host_cache_.Coverage(server, model.config.model_id, sp.fine_begin, sp.fine_end);
     warm[static_cast<size_t>(s)] = coverage >= 0.99;
   }
   return warm;
 }
 
-PipelineInstance* FlexPipeSystem::LaunchAt(int stages, double cv) {
-  const PipelinePlan& plan = ladder_->plan(stages);
+PipelineInstance* FlexPipeSystem::LaunchAt(ModelContext& model, int stages, double cv) {
+  const PipelinePlan& plan = model.ladder->plan(stages);
   TimeNs now = ctx_.sim->now();
 
   TopologyAwarePlacer::ServerScoreFn hrg_hook;
   TopologyAwarePlacer::ServerScoreFn affinity_hook;
-  if (config_.enable_hrg) {
+  if (model.config.enable_hrg) {
     hrg_hook = [this, now](ServerId s) { return hrg_.PlacementPenalty(s, now); };
   }
-  if (config_.enable_affinity) {
+  if (model.config.enable_affinity) {
     Bytes threshold = plan.MaxStageParams();
-    affinity_hook = [this, now, threshold](ServerId s) {
-      return affinity_.Score(s, config_.model_id, now, threshold);
+    int model_id = model.config.model_id;
+    affinity_hook = [this, now, threshold, model_id](ServerId s) {
+      return affinity_.Score(s, model_id, now, threshold);
     };
   }
-  std::vector<GpuId> gpus = placer_.PlaceStages(plan, config_.model_id, cv, hrg_hook,
-                                                affinity_hook);
+  std::vector<GpuId> gpus =
+      placer_.PlaceStages(plan, model.config.model_id, cv, hrg_hook, affinity_hook);
   if (gpus.empty()) {
     return nullptr;
   }
 
-  std::vector<bool> warm = WarmFlags(plan, gpus);
+  std::vector<bool> warm = WarmFlags(model, plan, gpus);
   double slowdown = 1.0;
   std::vector<ServerId> servers;
   for (GpuId g : gpus) {
@@ -140,13 +191,16 @@ PipelineInstance* FlexPipeSystem::LaunchAt(int stages, double cv) {
 
   // Provisioning: fine-grained single-GPU pods bind fast; the log-normal tail models
   // the K8s admission path.
-  double delay_s = rng_.LogNormal(std::log(1.2), 0.4) +
+  double delay_s = model.rng.LogNormal(std::log(1.2), 0.4) +
                    0.25 * static_cast<double>(plan.num_stages() - 1) / 8.0;
   TimeNs delay = FromSeconds(delay_s);
 
-  PipelineInstance* inst = LaunchInstance(plan, config_.model_id, gpus, warm, slowdown, delay);
+  PipelineInstance* inst =
+      LaunchInstance(plan, model.config.model_id, gpus, warm, slowdown, delay);
 
-  // HRG bookkeeping: scaling events + load streams for the duration of the load.
+  // HRG bookkeeping: scaling events + load streams for the duration of the load. The
+  // HRG is shared, so one model's scale-up storm steers every model's placements away
+  // from the hot servers.
   for (ServerId s : servers) {
     hrg_.RecordScalingEvent(s, now);
     hrg_.AddLoadStream(s);
@@ -166,39 +220,44 @@ PipelineInstance* FlexPipeSystem::LaunchAt(int stages, double cv) {
     }
   });
   // Keep affinity timestamps fresh on servers we now occupy.
-  if (config_.enable_host_cache) {
+  if (model.config.enable_host_cache) {
     for (ServerId s : servers) {
-      host_cache_.Touch(s, config_.model_id, now);
+      host_cache_.Touch(s, model.config.model_id, now);
     }
   }
   return inst;
 }
 
-void FlexPipeSystem::LaunchWithRetry(int stages, double cv, int remaining_attempts,
-                                     TimeNs waited) {
-  PipelineInstance* inst = LaunchAt(stages, cv);
+void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
+                                     int remaining_attempts, TimeNs waited) {
+  PipelineInstance* inst = LaunchAt(model, stages, cv);
   if (inst != nullptr) {
     return;
   }
   if (remaining_attempts <= 0) {
-    FLEXPIPE_LOG_INFO("FlexPipe: giving up on launch at %d stages after retries", stages);
+    FLEXPIPE_LOG_INFO("FlexPipe: giving up on launch at %d stages after retries (model %d)",
+                      stages, model.config.model_id);
     return;
   }
-  ctx_.sim->Schedule(config_.retry_backoff, [this, stages, cv, remaining_attempts, waited] {
-    LaunchWithRetry(stages, cv, remaining_attempts - 1, waited + config_.retry_backoff);
-  });
+  ModelContext* model_ptr = &model;
+  ctx_.sim->Schedule(model.config.retry_backoff,
+                     [this, model_ptr, stages, cv, remaining_attempts, waited] {
+                       LaunchWithRetry(*model_ptr, stages, cv, remaining_attempts - 1,
+                                       waited + model_ptr->config.retry_backoff);
+                     });
 }
 
-void FlexPipeSystem::RetireOne() {
-  // Pick the least-loaded active instance beyond the floor and drain it.
+void FlexPipeSystem::RetireOne(ModelContext& model) {
+  // Pick this model's least-loaded active instance beyond the floor and drain it.
   PipelineInstance* victim = nullptr;
-  double least = 2.0;
+  double least = 0.0;
   for (PipelineInstance* inst : router_.instances()) {
-    if (inst->state() != InstanceState::kActive) {
+    if (inst->model_id() != model.config.model_id ||
+        inst->state() != InstanceState::kActive) {
       continue;
     }
     double load = inst->LoadFraction();
-    if (load < least) {
+    if (victim == nullptr || load < least) {
       least = load;
       victim = inst;
     }
@@ -214,7 +273,8 @@ void FlexPipeSystem::RetireOne() {
 }
 
 void FlexPipeSystem::CacheInstanceParams(PipelineInstance* instance) {
-  if (!config_.enable_host_cache) {
+  const ModelContext& model = ContextFor(instance->model_id());
+  if (!model.config.enable_host_cache) {
     return;
   }
   TimeNs now = ctx_.sim->now();
@@ -222,12 +282,14 @@ void FlexPipeSystem::CacheInstanceParams(PipelineInstance* instance) {
   for (int s = 0; s < plan.num_stages(); ++s) {
     const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
     ServerId server = ctx_.cluster->ServerOf(instance->gpus()[static_cast<size_t>(s)]);
-    host_cache_.Put(server, config_.model_id, sp.fine_begin, sp.fine_end, sp.param_bytes, now);
+    host_cache_.Put(server, model.config.model_id, sp.fine_begin, sp.fine_end,
+                    sp.param_bytes, now);
   }
 }
 
-void FlexPipeSystem::BeginRefactor(std::vector<PipelineInstance*> old_instances, int new_stages,
-                                   double cv) {
+void FlexPipeSystem::BeginRefactor(ModelContext& model,
+                                   std::vector<PipelineInstance*> old_instances,
+                                   int new_stages, double cv) {
   if (old_instances.empty()) {
     return;
   }
@@ -241,17 +303,18 @@ void FlexPipeSystem::BeginRefactor(std::vector<PipelineInstance*> old_instances,
 
   std::vector<PipelineInstance*> targets;
   for (int i = 0; i < target_count; ++i) {
-    PipelineInstance* t = LaunchAt(new_stages, cv);
+    PipelineInstance* t = LaunchAt(model, new_stages, cv);
     if (t != nullptr) {
       targets.push_back(t);
     }
   }
   if (targets.empty()) {
     // Fragmentation prevents the transition; stay at the current granularity.
-    FLEXPIPE_LOG_INFO("FlexPipe: refactor to %d stages aborted (no placement)", new_stages);
+    FLEXPIPE_LOG_INFO("FlexPipe: refactor to %d stages aborted (no placement, model %d)",
+                      new_stages, model.config.model_id);
     return;
   }
-  current_stages_ = new_stages;
+  model.current_stages = new_stages;
 
   // Sessions grouped by target: a session must not halt its source before the target
   // can serve, so sessions wait for the target's activation. The old pipelines keep
@@ -266,9 +329,9 @@ void FlexPipeSystem::BeginRefactor(std::vector<PipelineInstance*> old_instances,
         [this](PipelineInstance* old_inst, const MigrationResult& result) {
           OnMigrationDone(old_inst, result);
         });
-    ++refactors_in_progress_;
-    migration_pinned_.insert(from->id());
-    migration_pinned_.insert(to->id());
+    ++model.refactors_in_progress;
+    migration_pinned_[from->id()] = model.config.model_id;
+    migration_pinned_[to->id()] = model.config.model_id;
     by_target[to->id()].push_back(session.get());
     target_by_id[to->id()] = to;
     sessions_.push_back(std::move(session));
@@ -292,14 +355,18 @@ void FlexPipeSystem::BeginRefactor(std::vector<PipelineInstance*> old_instances,
 
 void FlexPipeSystem::OnMigrationDone(PipelineInstance* old_instance,
                                      const MigrationResult& result) {
+  ModelContext& model = ContextFor(old_instance->model_id());
   last_pause_ = result.pause_duration;
   total_pause_ += result.pause_duration;
   kv_migrated_bytes_ += result.snapshot_bytes + result.delta_bytes;
   ++refactor_count_;
-  --refactors_in_progress_;
+  --model.refactors_in_progress;
   migration_pinned_.erase(old_instance->id());
-  if (refactors_in_progress_ == 0) {
-    migration_pinned_.clear();  // targets unpin once the wave completes
+  if (model.refactors_in_progress == 0) {
+    // Targets unpin once this model's wave completes; other models' pins stay.
+    for (auto it = migration_pinned_.begin(); it != migration_pinned_.end();) {
+      it = it->second == model.config.model_id ? migration_pinned_.erase(it) : std::next(it);
+    }
   }
   CacheInstanceParams(old_instance);
   ReleaseInstance(old_instance);
@@ -307,11 +374,18 @@ void FlexPipeSystem::OnMigrationDone(PipelineInstance* old_instance,
 }
 
 void FlexPipeSystem::Tick() {
-  double cv = ObservedCv();
-  double demand = ProjectedDemand();
+  for (auto& model : contexts_) {
+    TickModel(*model);
+  }
+}
+
+void FlexPipeSystem::TickModel(ModelContext& model) {
+  double cv = ObservedCv(model);
+  double demand = ProjectedDemand(model);
   TimeNs now = ctx_.sim->now();
-  double qnorm = std::min(
-      1.0, static_cast<double>(router_.queue_length()) / config_.scaling.q_max);
+  int model_id = model.config.model_id;
+  double qnorm = std::min(1.0, static_cast<double>(router_.queue_length_for(model_id)) /
+                                   model.config.scaling.q_max);
 
   // Granularity adaptation (Algorithm 1, lines 5-16), damped by the cooldown and
   // directional: consolidation (merge toward coarse) runs only while traffic is calm —
@@ -319,13 +393,13 @@ void FlexPipeSystem::Tick() {
   // only under queue pressure, when their buffering is the bottleneck. Fine-grained
   // burst capacity normally arrives through the scaling path below (Fig. 7), so merges
   // are the common refactor.
-  if (config_.enable_refactoring && refactors_in_progress_ == 0 &&
-      now - last_refactor_time_ >= config_.refactor_cooldown) {
-    int desired = granularity_.SelectStageCount(cv, current_stages_);
+  if (model.config.enable_refactoring && model.refactors_in_progress == 0 &&
+      now - model.last_refactor_time >= model.config.refactor_cooldown) {
+    int desired = model.granularity.SelectStageCount(cv, model.current_stages);
     bool calm = qnorm < 0.05;
     std::vector<PipelineInstance*> to_migrate;
     for (PipelineInstance* inst : router_.instances()) {
-      if (inst->state() != InstanceState::kActive) {
+      if (inst->model_id() != model_id || inst->state() != InstanceState::kActive) {
         continue;
       }
       if (inst->num_stages() > desired && calm) {
@@ -334,20 +408,20 @@ void FlexPipeSystem::Tick() {
         to_migrate.push_back(inst);  // split: distributed buffering for bursts
       }
     }
-    current_stages_ = desired;
+    model.current_stages = desired;
     if (!to_migrate.empty()) {
-      last_refactor_time_ = now;
-      BeginRefactor(std::move(to_migrate), desired, cv);
+      model.last_refactor_time = now;
+      BeginRefactor(model, std::move(to_migrate), desired, cv);
       return;
     }
   }
 
   // Fleet sizing (Eq. 5) with queue-pressure escalation (Eq. 11/12).
-  int needed = std::max(MinInstances(current_stages_),
-                        granularity_.InstancesFor(demand, current_stages_));
+  int needed = std::max(MinInstances(model, model.current_stages),
+                        model.granularity.InstancesFor(demand, model.current_stages));
   int loading = 0;
   for (const PipelineInstance* inst : router_.instances()) {
-    if (inst->state() == InstanceState::kLoading) {
+    if (inst->model_id() == model_id && inst->state() == InstanceState::kLoading) {
       ++loading;
     }
   }
@@ -357,42 +431,43 @@ void FlexPipeSystem::Tick() {
   // is added as fine-grained stages because they load ~8.7x faster (Table 2), turning
   // a ~48 s coarse cold start into a few seconds of ramp. Demand-driven scale-outs use
   // the precomputed fast granularity for the same reason; consolidation merges later.
-  int scale_stages = std::max(current_stages_, fast_scale_stages_);
+  int scale_stages = std::max(model.current_stages, model.fast_scale_stages);
   if (qnorm > 0.0 && loading == 0) {
-    int m = ScalingGranularity(cv, qnorm, config_.scaling);
+    int m = ScalingGranularity(cv, qnorm, model.config.scaling);
     // Snap Eq. 11's granularity to the ladder: the smallest stage count >= m_j.
-    for (int g : ladder_->granularities) {
+    for (int g : model.ladder->granularities) {
       scale_stages = std::max(scale_stages, g);
       if (g >= m) {
         break;
       }
     }
-    const GranularityOption& opt = granularity_.OptionFor(current_stages_);
-    bool feasible = SloFeasible(config_.default_slo, FromSeconds(3.0), opt.throughput_rps,
-                                ActiveOrLoadingCount(), router_.queue_length(),
-                                router_.queue_length());
+    const GranularityOption& opt = model.granularity.OptionFor(model.current_stages);
+    int queued = router_.queue_length_for(model_id);
+    bool feasible = SloFeasible(model.config.default_slo, FromSeconds(3.0),
+                                opt.throughput_rps, ActiveOrLoadingForModel(model_id),
+                                queued, queued);
     if (!feasible || qnorm > 0.25) {
-      needed = std::max(needed, ActiveOrLoadingCount() + (qnorm > 0.6 ? 2 : 1));
+      needed = std::max(needed, ActiveOrLoadingForModel(model_id) + (qnorm > 0.6 ? 2 : 1));
     }
   }
 
-  int have = ActiveOrLoadingCount();
+  int have = ActiveOrLoadingForModel(model_id);
   if (have < needed) {
-    int launches = std::min(config_.max_launches_per_tick, needed - have);
+    int launches = std::min(model.config.max_launches_per_tick, needed - have);
     for (int i = 0; i < launches; ++i) {
-      LaunchWithRetry(scale_stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
+      LaunchWithRetry(model, scale_stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
     }
-    overcapacity_since_ = -1;
+    model.overcapacity_since = -1;
   } else if (have > needed) {
     // Reclaim only after the idle window (§9.4: 5-minute reclamation).
-    if (overcapacity_since_ < 0) {
-      overcapacity_since_ = now;
-    } else if (now - overcapacity_since_ >= config_.scaling.reclaim_idle) {
-      RetireOne();
-      overcapacity_since_ = -1;
+    if (model.overcapacity_since < 0) {
+      model.overcapacity_since = now;
+    } else if (now - model.overcapacity_since >= model.config.scaling.reclaim_idle) {
+      RetireOne(model);
+      model.overcapacity_since = -1;
     }
   } else {
-    overcapacity_since_ = -1;
+    model.overcapacity_since = -1;
   }
 }
 

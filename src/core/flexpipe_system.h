@@ -1,7 +1,13 @@
 // FlexPipeSystem: the complete adaptive serving system (§4 architecture, Algorithm 1).
 //
-// A periodic controller observes the request pattern through the CvMonitor and drives
-// three mechanisms:
+// One FlexPipeSystem can serve several models concurrently on one shared cluster (the
+// paper's production mix: WHISPER-9B, LLAMA2-7B, BERT-21B, OPT-66B). Each model gets
+// its own controller context — CvMonitor, GranularityController, fleet sizing state —
+// while the HRG, host parameter cache, affinity scheduler and topology-aware placer are
+// shared, so models genuinely contend for GPUs through the same substrate.
+//
+// A periodic controller observes each model's request pattern through its CvMonitor and
+// drives three mechanisms:
 //   * inflight pipeline refactoring — when Eq. 4 prefers a different granularity, new
 //     instances are brought up at the target stage count and live state migrates via
 //     MigrationSessions (no service interruption);
@@ -17,8 +23,8 @@
 #ifndef FLEXPIPE_SRC_CORE_FLEXPIPE_SYSTEM_H_
 #define FLEXPIPE_SRC_CORE_FLEXPIPE_SYSTEM_H_
 
+#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -58,8 +64,18 @@ struct FlexPipeConfig {
 
 class FlexPipeSystem : public ServingSystemBase {
  public:
+  // One model's deployment on the shared cluster. `config.model_id` must match the
+  // `model_index` its requests carry and must be unique across deployments.
+  struct ModelDeployment {
+    const GranularityLadder* ladder = nullptr;
+    FlexPipeConfig config;
+  };
+
+  // Single-model convenience (the historical interface).
   FlexPipeSystem(const SystemContext& ctx, const GranularityLadder* ladder,
                  const FlexPipeConfig& config);
+  // Multi-model: one controller context per deployment, shared HRG / cache / placer.
+  FlexPipeSystem(const SystemContext& ctx, std::vector<ModelDeployment> deployments);
   ~FlexPipeSystem() override;
 
   void Start() override;
@@ -67,54 +83,76 @@ class FlexPipeSystem : public ServingSystemBase {
   void Finish() override;
 
   // -- Introspection for benches --------------------------------------------------------
-  int current_stages() const { return current_stages_; }
+  // Aggregates across all models:
   int64_t refactor_count() const { return refactor_count_; }
   TimeNs last_refactor_pause() const { return last_pause_; }
   TimeNs total_refactor_pause() const { return total_pause_; }
   Bytes kv_migrated_bytes() const { return kv_migrated_bytes_; }
-  const CvMonitor& cv_monitor() const { return cv_monitor_; }
   const HostParamCache& host_cache() const { return host_cache_; }
-  const GranularityController& granularity_controller() const { return granularity_; }
+  // Per-model views; the no-argument forms read the first (or only) deployment.
+  int current_stages() const { return contexts_.front()->current_stages; }
+  int current_stages_for(int model_id) const;
+  const CvMonitor& cv_monitor() const { return contexts_.front()->cv_monitor; }
+  const CvMonitor& cv_monitor_for(int model_id) const;
+  const GranularityController& granularity_controller() const {
+    return contexts_.front()->granularity;
+  }
+  int model_count() const { return static_cast<int>(contexts_.size()); }
 
  private:
-  void Tick();
-  double ObservedCv() const;
-  double ProjectedDemand() const;
-  int MinInstances(int stages) const;
-  int ActiveOrLoadingCount() const;
+  // Per-model controller state (§4's control loop instantiated once per model).
+  struct ModelContext {
+    ModelContext(const SystemContext& ctx, const GranularityLadder* ladder_in,
+                 const FlexPipeConfig& config_in);
 
-  PipelineInstance* LaunchAt(int stages, double cv);
-  void LaunchWithRetry(int stages, double cv, int remaining_attempts, TimeNs waited);
-  void RetireOne();
-  void BeginRefactor(std::vector<PipelineInstance*> old_instances, int new_stages, double cv);
+    const GranularityLadder* ladder;
+    FlexPipeConfig config;
+    Rng rng;
+    CvMonitor cv_monitor;
+    GranularityController granularity;
+    int current_stages = 0;
+    int fast_scale_stages = 0;
+    int refactors_in_progress = 0;
+    TimeNs overcapacity_since = -1;
+    TimeNs last_refactor_time = 0;
+  };
+
+  void Tick();
+  void TickModel(ModelContext& model);
+  // Both fail fast on a model this system does not serve.
+  const ModelContext& ContextFor(int model_id) const;
+  ModelContext& ContextFor(int model_id);
+  double ObservedCv(const ModelContext& model) const;
+  double ProjectedDemand(const ModelContext& model) const;
+  int MinInstances(const ModelContext& model, int stages) const;
+
+  PipelineInstance* LaunchAt(ModelContext& model, int stages, double cv);
+  void LaunchWithRetry(ModelContext& model, int stages, double cv, int remaining_attempts,
+                       TimeNs waited);
+  void RetireOne(ModelContext& model);
+  void BeginRefactor(ModelContext& model, std::vector<PipelineInstance*> old_instances,
+                     int new_stages, double cv);
   void OnMigrationDone(PipelineInstance* old_instance, const MigrationResult& result);
   void CacheInstanceParams(PipelineInstance* instance);
-  std::vector<bool> WarmFlags(const PipelinePlan& plan, const std::vector<GpuId>& gpus) const;
+  std::vector<bool> WarmFlags(const ModelContext& model, const PipelinePlan& plan,
+                              const std::vector<GpuId>& gpus) const;
 
-  const GranularityLadder* ladder_;
-  FlexPipeConfig config_;
-  Rng rng_;
-  CvMonitor cv_monitor_;
-  GranularityController granularity_;
+  // Stable addresses: controller callbacks capture raw ModelContext pointers.
+  std::vector<std::unique_ptr<ModelContext>> contexts_;
   HierarchicalResourceGraph hrg_;
   HostParamCache host_cache_;
   AffinityScheduler affinity_;
   TopologyAwarePlacer placer_;
   std::unique_ptr<PeriodicTask> control_task_;
 
-  int current_stages_ = 0;
-  int refactors_in_progress_ = 0;
   int64_t refactor_count_ = 0;
   TimeNs last_pause_ = 0;
   TimeNs total_pause_ = 0;
   Bytes kv_migrated_bytes_ = 0;
-  TimeNs overcapacity_since_ = -1;
-  TimeNs last_refactor_time_ = 0;
-  int fast_scale_stages_ = 0;
   std::vector<std::unique_ptr<MigrationSession>> sessions_;
-  // Instances pinned by an in-flight migration (sources and targets): exempt from
-  // scale-in until the session completes.
-  std::set<int> migration_pinned_;
+  // Instances pinned by an in-flight migration (sources and targets), keyed by
+  // instance id -> model id: exempt from scale-in until the model's wave completes.
+  std::map<int, int> migration_pinned_;
 };
 
 }  // namespace flexpipe

@@ -68,18 +68,15 @@ void MigrationSession::OnHalted(std::vector<Request*> extracted) {
   }
 
   // Delta phase (Eq. 10): only tokens generated after the snapshot are invalid and need
-  // synchronization before decode can resume on the new topology.
+  // synchronization before decode can resume on the new topology. The tails are marked
+  // valid only once the delta transfer lands on the target — marking them here would
+  // make the consistency check in FinishAt vacuous.
   Bytes delta_bytes = 0;
   for (Request* r : decoding) {
     auto it = snapshot_tokens_.find(r->spec.id);
     int snap_tokens = it != snapshot_tokens_.end() ? it->second : 0;
     int delta = std::max(0, r->tokens_generated - snap_tokens);
     delta_bytes += from_->kv_tracker().BytesForTokens(delta);
-    auto mit = masks_.find(r->spec.id);
-    if (mit != masks_.end()) {
-      // Validate the freshly shipped tail.
-      mit->second->MarkValid(0, std::min(r->context_tokens(), mit->second->capacity()));
-    }
   }
   result_.delta_bytes = delta_bytes;
 
@@ -93,13 +90,28 @@ void MigrationSession::OnHalted(std::vector<Request*> extracted) {
   transfer_->Transfer(src, dst, delta_bytes, transfer_->PreferredProtocol(src, dst),
                       [this, halt_time, decoding = std::move(decoding),
                        queued = std::move(queued)](TimeNs /*duration*/) mutable {
+                        MarkDeltaValid(decoding);
                         FinishAt(halt_time, std::move(decoding), std::move(queued));
                       });
+}
+
+void MigrationSession::MarkDeltaValid(const std::vector<Request*>& decoding) {
+  // The delta is resident on the target: the shipped tails become valid (Eq. 10).
+  for (Request* r : decoding) {
+    auto mit = masks_.find(r->spec.id);
+    if (mit != masks_.end()) {
+      mit->second->MarkValid(0, std::min(r->context_tokens(), mit->second->capacity()));
+    }
+  }
 }
 
 void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
                                 std::vector<Request*> queued) {
   result_.pause_duration = sim_->now() - halt_time;
+
+  // `queued` holds exactly the never-prefilled requests at this point; count them now so
+  // restarts appended below are not double-counted as requeued.
+  result_.requeued = static_cast<int>(queued.size());
 
   for (Request* r : decoding) {
     // Verify Eq. 10 consistency: every token of context must be valid before resuming.
@@ -125,7 +137,6 @@ void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding
     queued.push_back(r);
     ++result_.restarted;
   }
-  result_.requeued = static_cast<int>(queued.size());
   if (!queued.empty()) {
     router_->RequeueFront(std::move(queued));
   }

@@ -32,8 +32,9 @@ namespace flexpipe {
 
 struct MigrationResult {
   int migrated_decoding = 0;   // resumed on the new instance with KV intact
-  int restarted = 0;           // did not fit on the target; re-queued from scratch
-  int requeued = 0;            // never started; returned to the router
+  int restarted = 0;           // decoding, but did not fit on the target; restarted
+  int requeued = 0;            // never prefilled; returned to the router
+  // Invariant: migrated_decoding + restarted + requeued == requests extracted at halt.
   Bytes snapshot_bytes = 0;
   Bytes delta_bytes = 0;
   TimeNs snapshot_duration = 0;
@@ -52,9 +53,18 @@ class MigrationSession {
   void Start();
   bool started() const { return started_; }
 
+  // Introspection (tests): the Eq. 10 validity mask tracked for a request, or nullptr.
+  // Tail tokens generated during the snapshot stay invalid until the delta transfer
+  // completes — the FinishAt consistency check relies on that timing.
+  const KvValidityMask* MaskFor(RequestId id) const {
+    auto it = masks_.find(id);
+    return it != masks_.end() ? it->second.get() : nullptr;
+  }
+
  private:
   void OnSnapshotDone(TimeNs duration);
   void OnHalted(std::vector<Request*> extracted);
+  void MarkDeltaValid(const std::vector<Request*>& decoding);
   void FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
                 std::vector<Request*> queued);
 

@@ -17,6 +17,13 @@ ServingSystemBase::ServingSystemBase(const SystemContext& ctx, std::string name,
   last_gpu_change_ = ctx.sim->now();
 }
 
+void ServingSystemBase::OnArrival(Request* request) {
+  FLEXPIPE_CHECK(request != nullptr);
+  FLEXPIPE_CHECK_MSG(served_models_.count(request->model_id()) > 0,
+                     "request targets a model this system does not serve");
+  router_.Submit(request);
+}
+
 void ServingSystemBase::NoteGpuDelta(int delta) {
   TimeNs now = ctx_.sim->now();
   gpu_seconds_integral_ += static_cast<double>(reserved_gpus_) * ToSeconds(now - last_gpu_change_);
@@ -69,6 +76,22 @@ int ServingSystemBase::live_instances() const {
   return n;
 }
 
+int ServingSystemBase::ActiveOrLoadingForModel(int model_id) const {
+  // Counts provisioning instances too (they only join the router once loading starts),
+  // so controllers do not double-launch while pods bind.
+  int n = 0;
+  for (const InstanceRecord& r : records_) {
+    if (r.released || r.model_id != model_id) {
+      continue;
+    }
+    InstanceState s = r.instance->state();
+    if (s == InstanceState::kActive || s == InstanceState::kLoading) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 PipelineInstance* ServingSystemBase::LaunchInstance(const PipelinePlan& plan, int model_id,
                                                     std::vector<GpuId> gpus,
                                                     std::vector<bool> warm_stages,
@@ -89,15 +112,19 @@ PipelineInstance* ServingSystemBase::LaunchInstance(const PipelinePlan& plan, in
   }
   NoteGpuDelta(plan.num_stages());
 
+  InstanceConfig tagged_config = instance_config_;
+  tagged_config.model_id = model_id;
   auto instance = std::make_unique<PipelineInstance>(ctx_.sim, next_instance_id_++, plan,
                                                      std::move(gpus), ctx_.cost_model,
-                                                     ctx_.network, instance_config_);
+                                                     ctx_.network, tagged_config);
   PipelineInstance* raw = instance.get();
   raw->set_completion_callback([this](Request* request) {
     metrics_.OnComplete(*request);
     OnRequestComplete(request);
   });
   raw->set_pump_callback([this] { router_.Pump(); });
+  // Queued requests flow in the moment the fleet gains capacity.
+  raw->set_activation_callback([this] { router_.Pump(); });
 
   bool any_warm = false;
   for (bool w : warm_stages) {

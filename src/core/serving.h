@@ -10,12 +10,14 @@
 #define FLEXPIPE_SRC_CORE_SERVING_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/cluster/allocator.h"
 #include "src/cluster/fragmentation.h"
 #include "src/cluster/network.h"
+#include "src/common/macros.h"
 #include "src/core/allocation.h"
 #include "src/metrics/collector.h"
 #include "src/model/cost_model.h"
@@ -37,6 +39,14 @@ struct SystemContext {
   uint64_t seed = 1;
 };
 
+// Shared by the multi-model constructors: validates before front(), since the
+// base-class init list must not touch an empty deployments vector.
+template <typename Deployment>
+TimeNs FirstDeploymentSlo(const std::vector<Deployment>& deployments) {
+  FLEXPIPE_CHECK_MSG(!deployments.empty(), "at least one model deployment required");
+  return deployments.front().config.default_slo;
+}
+
 class ServingSystemBase {
  public:
   ServingSystemBase(const SystemContext& ctx, std::string name, TimeNs default_slo);
@@ -47,8 +57,9 @@ class ServingSystemBase {
   // Deploys the initial fleet. Called once before arrivals start.
   virtual void Start() = 0;
 
-  // A request arrived at the gateway.
-  virtual void OnArrival(Request* request) { router_.Submit(request); }
+  // A request arrived at the gateway. Fails fast on a model this system does not
+  // serve — otherwise the request would sit forever in a queue no instance matches.
+  virtual void OnArrival(Request* request);
 
   // End-of-run hook (cancel controllers etc.).
   virtual void Finish() {}
@@ -103,6 +114,12 @@ class ServingSystemBase {
 
   InstanceRecord* FindRecord(int instance_id);
 
+  // Live (active or still-loading/provisioning) instances serving `model_id`.
+  int ActiveOrLoadingForModel(int model_id) const;
+
+  // Subclass constructors declare every model they deploy; OnArrival enforces it.
+  void RegisterServedModel(int model_id) { served_models_.insert(model_id); }
+
   SystemContext ctx_;
   std::string name_;
   Router router_;
@@ -131,6 +148,7 @@ class ServingSystemBase {
   int64_t cold_loads_ = 0;
   int64_t warm_loads_ = 0;
   RunningStats alloc_wait_s_;
+  std::set<int> served_models_;
 };
 
 }  // namespace flexpipe

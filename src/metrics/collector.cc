@@ -6,7 +6,11 @@
 
 namespace flexpipe {
 
-MetricsCollector::MetricsCollector(TimeNs default_slo) : default_slo_(default_slo) {}
+MetricsCollector::MetricsCollector(TimeNs default_slo)
+    : MetricsCollector(default_slo, /*track_per_model=*/true) {}
+
+MetricsCollector::MetricsCollector(TimeNs default_slo, bool track_per_model)
+    : default_slo_(default_slo), track_per_model_(track_per_model) {}
 
 void MetricsCollector::OnComplete(const Request& request) {
   FLEXPIPE_CHECK(request.done());
@@ -24,6 +28,30 @@ void MetricsCollector::OnComplete(const Request& request) {
   exec_s_.Add(ToSeconds(request.exec_ns));
   comm_s_.Add(ToSeconds(request.comm_ns));
   completions_.push_back(CompletionSample{request.done_time, latency});
+  if (track_per_model_) {
+    auto it = per_model_.find(request.model_id());
+    if (it == per_model_.end()) {
+      it = per_model_
+               .emplace(request.model_id(),
+                        MetricsCollector(default_slo_, /*track_per_model=*/false))
+               .first;
+    }
+    it->second.OnComplete(request);
+  }
+}
+
+const MetricsCollector* MetricsCollector::ForModel(int model_id) const {
+  auto it = per_model_.find(model_id);
+  return it != per_model_.end() ? &it->second : nullptr;
+}
+
+std::vector<int> MetricsCollector::ModelsSeen() const {
+  std::vector<int> models;
+  models.reserve(per_model_.size());
+  for (const auto& [model_id, collector] : per_model_) {
+    models.push_back(model_id);
+  }
+  return models;
 }
 
 double MetricsCollector::GoodputRate(int64_t submitted) const {

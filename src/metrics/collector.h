@@ -8,6 +8,7 @@
 #ifndef FLEXPIPE_SRC_METRICS_COLLECTOR_H_
 #define FLEXPIPE_SRC_METRICS_COLLECTOR_H_
 
+#include <map>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -60,8 +61,17 @@ class MetricsCollector {
   // Mean response time of completions inside [begin, end) — Fig. 9 timeline points.
   double MeanLatencyInWindowSec(TimeNs begin, TimeNs end) const;
 
+  // -- Per-model views (multi-model serving) -------------------------------------------
+  // Sub-collector for one model's completions; nullptr when the model completed nothing.
+  const MetricsCollector* ForModel(int model_id) const;
+  // Model ids with at least one completion, ascending.
+  std::vector<int> ModelsSeen() const;
+
  private:
+  MetricsCollector(TimeNs default_slo, bool track_per_model);
+
   TimeNs default_slo_;
+  bool track_per_model_ = true;
   int64_t completed_ = 0;
   int64_t within_slo_ = 0;
   Histogram latency_{1e-4, 1.03};
@@ -70,6 +80,8 @@ class MetricsCollector {
   RunningStats exec_s_;
   RunningStats comm_s_;
   std::vector<CompletionSample> completions_;
+  // Children never track per-model themselves (one level of nesting only).
+  std::map<int, MetricsCollector> per_model_;
 };
 
 }  // namespace flexpipe

@@ -87,8 +87,8 @@ void PipelineInstance::ActivateNow() {
   for (StageRuntime& s : stages_) {
     s.busy_until = sim_->now();
   }
-  if (on_activate_) {
-    on_activate_();
+  for (const auto& callback : on_activate_) {
+    callback();
   }
   PumpGroups();
 }

@@ -40,6 +40,8 @@ enum class InstanceState : int {
 };
 
 struct InstanceConfig {
+  // Which model this replica serves; the router matches requests by model id.
+  int model_id = 0;
   int per_group_capacity = 32;  // Table 2 anchor
   // Sarathi-style chunked admission: prompt work mixed into a decode iteration is
   // bounded so prefill cannot starve token production. At least one pending request is
@@ -72,6 +74,7 @@ class PipelineInstance {
                    const InstanceConfig& config);
 
   int id() const { return id_; }
+  int model_id() const { return config_.model_id; }
   const PipelinePlan& plan() const { return plan_; }
   const std::vector<GpuId>& gpus() const { return gpus_; }
   int num_stages() const { return plan_.num_stages(); }
@@ -79,7 +82,12 @@ class PipelineInstance {
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
   void set_pump_callback(PumpCallback cb) { on_pump_ = std::move(cb); }
-  void set_activation_callback(std::function<void()> cb) { on_activate_ = std::move(cb); }
+  // Activation callbacks accumulate (run in registration order): the serving base
+  // pumps the router when capacity comes online, and migration sessions wait for
+  // their target's activation on top of that.
+  void set_activation_callback(std::function<void()> cb) {
+    on_activate_.push_back(std::move(cb));
+  }
 
   // -- Lifecycle ---------------------------------------------------------------------
   // Starts loading all stage parameters in parallel; `warm_stages[s]` selects host-cache
@@ -201,7 +209,7 @@ class PipelineInstance {
 
   CompletionCallback on_complete_;
   PumpCallback on_pump_;
-  std::function<void()> on_activate_;
+  std::vector<std::function<void()>> on_activate_;
   std::function<void()> on_drained_;
   HaltCallback on_halt_;
 

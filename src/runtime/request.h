@@ -36,6 +36,9 @@ struct Request {
   // in-pipeline blocking on busy stages).
 
   bool done() const { return phase == RequestPhase::kDone; }
+  // The model this request targets; the router only admits it onto instances serving
+  // the same model (multi-model clusters, §9's production mix).
+  int model_id() const { return spec.model_index; }
   int remaining_tokens() const { return spec.output_tokens - tokens_generated; }
   int context_tokens() const { return spec.prompt_tokens + tokens_generated; }
 

@@ -20,64 +20,81 @@ void Router::DeregisterInstance(int instance_id) {
                                     return i->id() == instance_id;
                                   }),
                    instances_.end());
+  // Re-dispatch immediately: queued requests must not sit idle until the next
+  // unrelated Submit (that wait would be charged to queueing delay).
+  Pump();
 }
 
 void Router::Submit(Request* request) {
   FLEXPIPE_CHECK(request != nullptr);
   ++total_submitted_;
-  queue_.push_back(request);
-  max_queue_length_ = std::max(max_queue_length_, static_cast<int64_t>(queue_.size()));
+  queues_[request->model_id()].push_back(request);
+  NoteQueueHighWater();
   Pump();
 }
 
 void Router::RequeueFront(std::vector<Request*> requests) {
-  // Preserve relative order: insert in reverse at the front.
+  // Preserve relative order within each model: insert in reverse at the front.
   for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
-    queue_.push_front(*it);
+    queues_[(*it)->model_id()].push_front(*it);
   }
-  max_queue_length_ = std::max(max_queue_length_, static_cast<int64_t>(queue_.size()));
+  NoteQueueHighWater();
   Pump();
 }
 
+int Router::queue_length() const {
+  int total = 0;
+  for (const auto& [model_id, queue] : queues_) {
+    total += static_cast<int>(queue.size());
+  }
+  return total;
+}
+
+int Router::queue_length_for(int model_id) const {
+  auto it = queues_.find(model_id);
+  return it != queues_.end() ? static_cast<int>(it->second.size()) : 0;
+}
+
+void Router::NoteQueueHighWater() {
+  max_queue_length_ = std::max(max_queue_length_, static_cast<int64_t>(queue_length()));
+}
+
 PipelineInstance* Router::PickInstance(const Request& request) const {
-  // Prefer active instances by load; fall back to the loading instance that will
-  // activate soonest (its queue drains the moment it comes up).
+  // Least-loaded active instance serving the request's model. Requests are never
+  // parked on still-loading instances: they wait in the router queue — where any
+  // instance that frees capacity can claim them — and loading instances pump the
+  // router the moment they activate.
   PipelineInstance* best_active = nullptr;
-  double best_load = 2.0;
-  PipelineInstance* best_loading = nullptr;
-  TimeNs best_finish = 0;
+  double best_load = 0.0;
   for (PipelineInstance* inst : instances_) {
-    if (!inst->CanAdmit(request)) {
+    if (inst->model_id() != request.model_id() || !inst->CanAdmit(request)) {
       continue;
     }
-    if (inst->state() == InstanceState::kActive) {
-      double load = inst->LoadFraction();
-      if (load < best_load) {
-        best_load = load;
-        best_active = inst;
-      }
-    } else if (inst->state() == InstanceState::kLoading) {
-      if (best_loading == nullptr || inst->load_finish_time() < best_finish) {
-        best_loading = inst;
-        best_finish = inst->load_finish_time();
-      }
+    if (inst->state() != InstanceState::kActive) {
+      continue;
+    }
+    double load = inst->LoadFraction();
+    if (best_active == nullptr || load < best_load) {
+      best_load = load;
+      best_active = inst;
     }
   }
-  if (best_active != nullptr) {
-    return best_active;
-  }
-  return best_loading;
+  return best_active;
 }
 
 void Router::Pump() {
-  while (!queue_.empty()) {
-    Request* request = queue_.front();
-    PipelineInstance* target = PickInstance(*request);
-    if (target == nullptr) {
-      break;
+  // Models drain independently: one model's starved queue must not head-of-line block
+  // another model's dispatch.
+  for (auto& [model_id, queue] : queues_) {
+    while (!queue.empty()) {
+      Request* request = queue.front();
+      PipelineInstance* target = PickInstance(*request);
+      if (target == nullptr) {
+        break;
+      }
+      queue.pop_front();
+      target->Admit(request);
     }
-    queue_.pop_front();
-    target->Admit(request);
   }
 }
 
@@ -85,6 +102,16 @@ int Router::TotalOutstanding() const {
   int total = queue_length();
   for (const PipelineInstance* inst : instances_) {
     total += inst->inflight() + inst->pending();
+  }
+  return total;
+}
+
+int Router::OutstandingForModel(int model_id) const {
+  int total = queue_length_for(model_id);
+  for (const PipelineInstance* inst : instances_) {
+    if (inst->model_id() == model_id) {
+      total += inst->inflight() + inst->pending();
+    }
   }
   return total;
 }

@@ -1,14 +1,17 @@
-// Request router / gateway for one model's instances.
+// Request router / gateway for the instances of one serving system.
 //
-// Arriving requests are dispatched to the least-loaded instance that can admit them;
-// when every instance is full they wait in the router queue (this queue is what grows
-// 4x in Fig. 3b as CV rises). Refactoring updates routing by registering the new
-// instance and re-queueing whatever the old instance hands back ("update gateway" in
-// Fig. 6's sequence).
+// The router is model-aware: it keeps one FIFO queue per model and only dispatches a
+// request onto an instance serving the same model, so several models can contend for
+// one shared cluster without cross-talk. Within a model, arrivals go to the
+// least-loaded instance that can admit them; when every matching instance is full they
+// wait in that model's queue (this queue is what grows 4x in Fig. 3b as CV rises).
+// Refactoring updates routing by registering the new instance and re-queueing whatever
+// the old instance hands back ("update gateway" in Fig. 6's sequence).
 #ifndef FLEXPIPE_SRC_RUNTIME_ROUTER_H_
 #define FLEXPIPE_SRC_RUNTIME_ROUTER_H_
 
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "src/runtime/instance.h"
@@ -27,28 +30,34 @@ class Router {
   // New arrival from the workload.
   void Submit(Request* request);
 
-  // Returns requests (e.g. from a halted instance) to the head of the queue so they are
-  // not penalised twice.
+  // Returns requests (e.g. from a halted instance) to the head of their model's queue
+  // so they are not penalised twice.
   void RequeueFront(std::vector<Request*> requests);
 
-  // Dispatches as much of the queue as instances will admit. Instances call this via
-  // their pump callback whenever capacity frees up.
+  // Dispatches as much of every model queue as instances will admit. Instances call
+  // this via their pump callback whenever capacity frees up.
   void Pump();
 
-  int queue_length() const { return static_cast<int>(queue_.size()); }
+  // Total queued requests across all models / for one model.
+  int queue_length() const;
+  int queue_length_for(int model_id) const;
   int64_t total_submitted() const { return total_submitted_; }
   int64_t max_queue_length() const { return max_queue_length_; }
   const std::vector<PipelineInstance*>& instances() const { return instances_; }
 
   // Aggregate in-flight + queued work across the fleet (used by scaling controllers).
   int TotalOutstanding() const;
+  // Same, restricted to one model's queue and instances.
+  int OutstandingForModel(int model_id) const;
 
  private:
   PipelineInstance* PickInstance(const Request& request) const;
+  void NoteQueueHighWater();
 
   Simulation* sim_;
   std::vector<PipelineInstance*> instances_;
-  std::deque<Request*> queue_;
+  // Ordered by model id so Pump() drains models deterministically.
+  std::map<int, std::deque<Request*>> queues_;
   int64_t total_submitted_ = 0;
   int64_t max_queue_length_ = 0;
 };

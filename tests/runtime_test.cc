@@ -144,10 +144,11 @@ class InstanceTest : public ::testing::Test {
     return inst;
   }
 
-  Request MakeRequest(RequestId id, int prompt, int output) {
+  Request MakeRequest(RequestId id, int prompt, int output, int model_index = 0) {
     Request r;
     r.spec.id = id;
     r.spec.arrival = sim_.now();
+    r.spec.model_index = model_index;
     r.spec.prompt_tokens = prompt;
     r.spec.output_tokens = output;
     return r;
@@ -419,6 +420,79 @@ TEST_F(InstanceTest, RouterRequeueFrontPreservesOrder) {
   EXPECT_TRUE(a.done() && b.done() && c.done());
   EXPECT_LE(a.first_exec_start, b.first_exec_start);
   EXPECT_LE(b.first_exec_start, c.first_exec_start);
+}
+
+TEST_F(InstanceTest, RouterDeregisterPumpsQueue) {
+  // Regression: DeregisterInstance must re-dispatch the queue immediately. Here the
+  // queue is stuck from a stale state (B activated without a pump hook); removing A
+  // must pump the queued work onto B instead of leaving it to the next Submit.
+  InstanceConfig tiny;
+  tiny.per_group_capacity = 1;
+  auto a = MakeActiveInstance(2, tiny);  // capacity 2
+  auto b = std::make_unique<PipelineInstance>(&sim_, 2, MakePlan(2), PickGpus(2), &cost_,
+                                              &network_, InstanceConfig{});
+  Router router(&sim_);
+  router.RegisterInstance(a.get());
+  router.RegisterInstance(b.get());  // still loading: not a dispatch target yet
+
+  std::vector<Request> reqs;
+  reqs.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 32, 2000));
+  }
+  for (auto& r : reqs) {
+    router.Submit(&r);
+  }
+  EXPECT_EQ(router.queue_length(), 3);  // A holds 2, the rest wait
+
+  // B activates, but nothing pumps (no activation hook wired in this harness).
+  b->BeginLoading({});
+  sim_.RunUntil(b->load_finish_time() + kMillisecond);
+  ASSERT_EQ(b->state(), InstanceState::kActive);
+  EXPECT_EQ(router.queue_length(), 3);
+
+  router.DeregisterInstance(a->id());
+  EXPECT_EQ(router.queue_length(), 0) << "deregister did not pump the queue";
+  EXPECT_GT(b->inflight() + b->pending(), 0);
+}
+
+TEST_F(InstanceTest, RouterIsolatesModels) {
+  // Per-model routing: a model-0 request must never land on a model-1 instance.
+  InstanceConfig model0_config;
+  model0_config.model_id = 0;
+  InstanceConfig model1_config;
+  model1_config.model_id = 1;
+  auto a = MakeActiveInstance(4, model0_config);
+  auto b = MakeActiveInstance(4, model1_config);
+  Router router(&sim_);
+  router.RegisterInstance(a.get());
+  router.RegisterInstance(b.get());
+  a->set_pump_callback([&] { router.Pump(); });
+  b->set_pump_callback([&] { router.Pump(); });
+
+  std::vector<Request> reqs;
+  reqs.reserve(30);
+  for (int i = 0; i < 30; ++i) {
+    reqs.push_back(MakeRequest(static_cast<RequestId>(i + 1), 64, 8, /*model_index=*/i % 3));
+  }
+  for (auto& r : reqs) {
+    router.Submit(&r);
+  }
+  // Model 2 has no instance: its requests stay queued even though capacity exists.
+  EXPECT_EQ(router.queue_length_for(2), 10);
+  EXPECT_EQ(router.queue_length(), 10);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(a->stats().requests_completed, 10);  // exactly the model-0 stream
+  EXPECT_EQ(b->stats().requests_completed, 10);  // exactly the model-1 stream
+  for (const auto& r : reqs) {
+    if (r.spec.model_index == 2) {
+      EXPECT_FALSE(r.done());
+    } else {
+      EXPECT_TRUE(r.done());
+    }
+  }
+  EXPECT_EQ(router.OutstandingForModel(2), 10);
+  EXPECT_EQ(router.OutstandingForModel(0), 0);
 }
 
 // ---------- Recovery analysis ----------
