@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/sim/simulation.h"
 
 namespace flexpipe {
 namespace bench {
@@ -29,6 +30,8 @@ struct BenchRun {
   const BenchInfo* info = nullptr;
   int exit_code = 0;
   double wall_time_s = 0.0;
+  uint64_t executed_events = 0;  // DES events across every Simulation the bench ran
+  double events_per_sec = 0.0;
   std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -113,6 +116,8 @@ bool WriteJson(const std::string& path, const std::vector<BenchRun>& runs) {
     out << "      \"description\": \"" << JsonEscape(run.info->description) << "\",\n";
     out << "      \"exit_code\": " << run.exit_code << ",\n";
     out << "      \"wall_time_s\": " << JsonNumber(run.wall_time_s) << ",\n";
+    out << "      \"executed_events\": " << run.executed_events << ",\n";
+    out << "      \"events_per_sec\": " << JsonNumber(run.events_per_sec) << ",\n";
     out << "      \"metrics\": {";
     for (size_t m = 0; m < run.metrics.size(); ++m) {
       out << (m == 0 ? "\n" : ",\n");
@@ -194,14 +199,22 @@ int Main(int argc, char** argv) {
   int failures = 0;
   for (const BenchInfo* info : selected) {
     BenchReporter reporter;
+    // Every bench run reports its DES event throughput so BENCH_*.json accumulates a
+    // perf trajectory for the simulation substrate across PRs.
+    uint64_t events_before = Simulation::process_executed_events();
     auto start = std::chrono::steady_clock::now();
     int code = info->fn(reporter);
     std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-    std::printf("\n[%s] done in %.2fs (exit %d)\n\n", info->name, elapsed.count(), code);
+    uint64_t executed = Simulation::process_executed_events() - events_before;
+    std::printf("\n[%s] done in %.2fs (exit %d, %.2fM events, %.2fM events/s)\n\n",
+                info->name, elapsed.count(), code, static_cast<double>(executed) / 1e6,
+                static_cast<double>(executed) / elapsed.count() / 1e6);
     if (code != 0) {
       ++failures;
     }
-    runs.push_back(BenchRun{info, code, elapsed.count(), reporter.metrics()});
+    runs.push_back(BenchRun{info, code, elapsed.count(), executed,
+                            static_cast<double>(executed) / elapsed.count(),
+                            reporter.metrics()});
   }
 
   if (!json_path.empty() && !WriteJson(json_path, runs)) {

@@ -136,6 +136,48 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
                 TextTable::Num(chain_ns / kChainEvents / 1e3, 3)});
   reporter.Metric("event_queue_events_per_sec", events_per_sec);
 
+  // Same chain style with a 100k-event far-future backlog pending (the cluster-scale
+  // bench pre-schedules every arrival): measures how queue depth taxes the hot path.
+  // Timed manually as one long run so the backlog setup stays out of the measurement.
+  {
+    constexpr int kBacklog = 100000;
+    constexpr int kDeepChainEvents = 200000;
+    Simulation sim;
+    for (int i = 0; i < kBacklog; ++i) {
+      sim.ScheduleAt(kHour + static_cast<TimeNs>(i) * kMillisecond, [] {});
+    }
+    int remaining = kDeepChainEvents;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) {
+        sim.Schedule(10, chain);
+      }
+    };
+    sim.Schedule(10, chain);
+    sim.Step();  // first event pays the engine's one-time lazy backlog sort; exclude it
+    auto start = std::chrono::steady_clock::now();
+    sim.RunUntil(kMinute);  // drives the chain only; the backlog stays pending
+    auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    double per_event = static_cast<double>(elapsed) / kDeepChainEvents;
+    table.AddRow({"event_queue (100k backlog)", TextTable::Num(per_event, 0),
+                  TextTable::Num(per_event / 1e3, 3)});
+    reporter.Metric("event_queue_backlog_events_per_sec",
+                    1e9 * kDeepChainEvents / static_cast<double>(elapsed));
+  }
+
+  // Schedule+cancel churn: the arena must recycle slots and queue entries instead of
+  // accumulating tombstones (the pending-events regression test pins the bound; this
+  // measures the cost).
+  {
+    Simulation sim;
+    double churn_ns = MeasureNsPerOp([&] {
+      EventId id = sim.Schedule(kSecond, [] {});
+      sim.Cancel(id);
+    });
+    record("event_schedule_cancel", churn_ns);
+  }
+
   for (int capacity : {4096, 65536}) {
     KvValidityMask mask(capacity);
     mask.MarkValid(0, capacity * 3 / 4);

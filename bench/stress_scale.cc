@@ -1,0 +1,210 @@
+// Cluster-scale stress bench: 1024 fragmented GPUs, 4 models, >= 200k requests.
+//
+// Unlike the fig* benches (which reproduce paper plots on the 82-GPU testbed), this
+// bench exists to measure the *substrate*: how fast the discrete-event engine, router
+// and controllers push a production-scale workload through one shared cluster. It
+// reports executed_events and events_per_sec so the perf trajectory of the hot paths
+// accumulates in BENCH_*.json across PRs, and CI runs it at reduced scale
+// (FLEXPIPE_STRESS_SCALE=ci) against a checked-in events/sec floor.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace flexpipe;
+using namespace flexpipe::bench;
+
+struct StressParams {
+  const char* scale_name;
+  ClusterConfig cluster;
+  std::vector<double> qps;  // per EvaluationModels() entry
+  TimeNs duration;
+};
+
+StressParams FullScale() {
+  StressParams p;
+  p.scale_name = "full";
+  // 128 + 2*192 + 4*128 = 1024 GPUs across 448 servers; same mixed 1/2/4-GPU server
+  // shapes (and background fragmentation) as the 82-GPU testbed, scaled ~12x.
+  p.cluster.servers_1gpu = 128;
+  p.cluster.servers_2gpu = 192;
+  p.cluster.servers_4gpu = 128;
+  p.cluster.cpu_only_servers = 8;
+  p.cluster.racks = 32;
+  // WHISPER-9B, LLAMA2-7B, BERT-21B, OPT-66B: lighter models carry more traffic,
+  // mirroring the fig13/fig14 production mix. 1400 rps aggregate * 300 s = 420k.
+  p.qps = {450.0, 450.0, 300.0, 200.0};
+  p.duration = 300 * kSecond;
+  return p;
+}
+
+StressParams CiScale() {
+  StressParams p;
+  p.scale_name = "ci";
+  // 16 + 2*24 + 4*16 = 128 GPUs; ~1/8 of the traffic, so runner-sized machines finish
+  // in well under a minute while exercising the identical code paths.
+  p.cluster.servers_1gpu = 16;
+  p.cluster.servers_2gpu = 24;
+  p.cluster.servers_4gpu = 16;
+  p.cluster.cpu_only_servers = 2;
+  p.cluster.racks = 8;
+  p.qps = {56.0, 56.0, 38.0, 25.0};
+  p.duration = 60 * kSecond;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Engine storm: the serving run above measures the whole stack (instances, router,
+// controllers share the wall clock with the engine), so engine gains are diluted by
+// semantic simulation work. This phase isolates the substrate with the same shape the
+// serving run produces: a six-figure backlog of pre-scheduled one-shots (arrivals),
+// thousands of self-rescheduling short-delay chains (pipeline waves), and a watchdog
+// re-arm every 8th step (timeout churn — the pattern whose cancels the old engine
+// retained as heap tombstones forever).
+// ---------------------------------------------------------------------------
+
+struct StormResult {
+  uint64_t executed = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+};
+
+struct StormCtx {
+  Simulation sim;
+  uint64_t remaining = 0;
+  uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  std::vector<EventId> watchdogs;
+
+  // Deterministic inline LCG: identical event times on every engine implementation.
+  uint64_t Next() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  }
+
+  void Step(uint32_t chain) {
+    if (remaining == 0) {
+      return;
+    }
+    --remaining;
+    if ((remaining & 7) == 0) {
+      if (watchdogs[chain] != 0) {
+        sim.Cancel(watchdogs[chain]);
+      }
+      watchdogs[chain] = sim.Schedule(30 * kSecond, [] {});
+    }
+    // {this, chain} fits std::function's inline buffer: the chain itself allocates
+    // nothing, so the measurement isolates the engine rather than malloc.
+    sim.Schedule(kMillisecond + static_cast<TimeNs>(Next() % 2000) * kMicrosecond,
+                 [this, chain] { Step(chain); });
+  }
+};
+
+StormResult EngineStorm(size_t backlog, size_t chains, uint64_t chain_events) {
+  StormCtx ctx;
+  ctx.remaining = chain_events;
+  ctx.watchdogs.assign(chains, 0);
+  for (size_t i = 0; i < backlog; ++i) {
+    ctx.sim.ScheduleAt(
+        60 * kSecond + static_cast<TimeNs>(ctx.Next() % 300'000) * kMillisecond, [] {});
+  }
+  for (size_t c = 0; c < chains; ++c) {
+    uint32_t chain = static_cast<uint32_t>(c);
+    ctx.sim.Schedule(static_cast<TimeNs>(c + 1) * kMillisecond,
+                     [&ctx, chain] { ctx.Step(chain); });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  ctx.sim.RunUntilIdle();
+  std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+
+  StormResult result;
+  result.executed = ctx.sim.executed_events();
+  result.wall_s = wall.count();
+  result.events_per_sec = static_cast<double>(result.executed) / result.wall_s;
+  return result;
+}
+
+int Run(BenchReporter& reporter) {
+  const char* scale_env = std::getenv("FLEXPIPE_STRESS_SCALE");
+  const bool ci = scale_env != nullptr && std::strcmp(scale_env, "ci") == 0;
+  StressParams params = ci ? CiScale() : FullScale();
+
+  PrintHeader("Cluster-scale stress: shared multi-model serving",
+              "substrate throughput at production scale (not a paper figure)");
+
+  const std::vector<ModelSpec> models = EvaluationModels();
+  ExperimentEnvConfig env_config = DefaultEnvConfig(models);
+  env_config.cluster = params.cluster;
+  ExperimentEnv env(env_config);
+  std::printf("scale=%s: %d GPUs / %d servers, %zu models, CV=2 arrivals for %.0fs\n",
+              params.scale_name, env.cluster().gpu_count(), env.cluster().server_count(),
+              models.size(), ToSeconds(params.duration));
+
+  auto specs = MultiModelWorkload(models, params.qps, /*cv=*/2.0, params.duration);
+  std::printf("workload: %zu requests (%.0f rps aggregate)\n", specs.size(),
+              static_cast<double>(specs.size()) / ToSeconds(params.duration));
+
+  auto system = MakeSharedClusterSystem(SystemKind::kFlexPipe, env, params.qps);
+  std::vector<Request> storage;
+  auto wall_start = std::chrono::steady_clock::now();
+  RunReport report = RunWorkload(env, *system, specs, storage,
+                                 RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+
+  const MetricsCollector& m = system->metrics();
+  const double executed = static_cast<double>(env.sim().executed_events());
+  const double events_per_sec = executed / wall.count();
+  const double completion_rate =
+      static_cast<double>(m.completed()) / static_cast<double>(report.submitted);
+
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"requests submitted", std::to_string(report.submitted)});
+  table.AddRow({"requests completed", std::to_string(m.completed())});
+  table.AddRow({"goodput rate", TextTable::Num(m.GoodputRate(report.submitted), 3)});
+  table.AddRow({"simulated span (s)", TextTable::Num(ToSeconds(report.ran_until), 0)});
+  table.AddRow({"executed events", TextTable::Num(executed, 0)});
+  table.AddRow({"run wall time (s)", TextTable::Num(wall.count(), 2)});
+  table.AddRow({"events/sec", TextTable::Num(events_per_sec, 0)});
+  table.AddRow({"peak reserved GPUs", std::to_string(system->peak_reserved_gpus())});
+  table.Print();
+
+  if (auto* fp = dynamic_cast<FlexPipeSystem*>(system.get())) {
+    std::printf("\nrefactors: %" PRId64 "\n", static_cast<int64_t>(fp->refactor_count()));
+    reporter.Metric("refactors", static_cast<double>(fp->refactor_count()));
+  }
+
+  // Substrate-isolated engine storm, sized like the serving run above.
+  StormResult storm = ci ? EngineStorm(/*backlog=*/50'000, /*chains=*/512,
+                                       /*chain_events=*/600'000)
+                         : EngineStorm(/*backlog=*/400'000, /*chains=*/4096,
+                                       /*chain_events=*/5'000'000);
+  std::printf("\nengine storm: %" PRIu64 " events in %.2fs -> %.0f events/s\n",
+              storm.executed, storm.wall_s, storm.events_per_sec);
+
+  reporter.Metric("submitted", static_cast<double>(report.submitted));
+  reporter.Metric("completed", static_cast<double>(m.completed()));
+  reporter.Metric("completion_rate", completion_rate);
+  reporter.Metric("goodput_rate", m.GoodputRate(report.submitted));
+  reporter.Metric("executed_events", executed);
+  reporter.Metric("run_wall_time_s", wall.count());
+  reporter.Metric("events_per_sec", events_per_sec);
+  reporter.Metric("peak_reserved_gpus", static_cast<double>(system->peak_reserved_gpus()));
+  reporter.Metric("engine_executed_events", static_cast<double>(storm.executed));
+  reporter.Metric("engine_storm_wall_s", storm.wall_s);
+  reporter.Metric("engine_events_per_sec", storm.events_per_sec);
+
+  // The bench's contract is substrate health, not SLO attainment: it fails only if the
+  // cluster-scale run stalls outright (almost nothing completing indicates a lost pump
+  // or a wedged controller, not an under-provisioned fleet).
+  return completion_rate > 0.5 ? 0 : 1;
+}
+
+}  // namespace
+
+REGISTER_BENCH(stress_scale, "Cluster-scale stress: 1024 GPUs, 4 models, 200k+ requests",
+               Run);

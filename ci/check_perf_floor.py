@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a stress_scale --json run against checked-in floors.
+
+Usage: check_perf_floor.py <bench-json> <floor-json>
+
+Fails (exit 1) when any floored metric comes in more than `allowed_regression`
+below its floor, or when the bench itself failed. Prints every floored metric so
+the uploaded artifact is self-explanatory.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        floor_spec = json.load(f)
+
+    benches = [b for b in report["benches"] if b["name"] == "stress_scale"]
+    if len(benches) != 1:
+        print(f"expected exactly one stress_scale run, got {len(benches)}")
+        return 1
+    bench = benches[0]
+    if bench["exit_code"] != 0:
+        print(f"stress_scale exited with {bench['exit_code']}")
+        return 1
+
+    floors = floor_spec["floors"]
+    allowed = float(floor_spec["allowed_regression"])
+    failed = False
+    for metric, floor in floors.items():
+        value = bench["metrics"].get(metric)
+        if value is None:
+            print(f"FAIL {metric}: metric missing from bench output")
+            failed = True
+            continue
+        threshold = floor * (1.0 - allowed)
+        verdict = "ok" if value >= threshold else "FAIL"
+        print(f"{verdict} {metric}: {value:,.0f} events/s "
+              f"(floor {floor:,.0f}, trip below {threshold:,.0f})")
+        failed = failed or value < threshold
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,9 +122,10 @@ PipelineInstance* ServingSystemBase::LaunchInstance(const PipelinePlan& plan, in
     metrics_.OnComplete(*request);
     OnRequestComplete(request);
   });
-  raw->set_pump_callback([this] { router_.Pump(); });
+  // Capacity freed on this instance can only unblock its own model's queue.
+  raw->set_pump_callback([this, model_id] { router_.PumpModel(model_id); });
   // Queued requests flow in the moment the fleet gains capacity.
-  raw->set_activation_callback([this] { router_.Pump(); });
+  raw->set_activation_callback([this, model_id] { router_.PumpModel(model_id); });
 
   bool any_warm = false;
   for (bool w : warm_stages) {

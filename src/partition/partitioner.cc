@@ -17,67 +17,80 @@ Partitioner::Partitioner(const PartitionerConfig& config) : config_(config) {
   FLEXPIPE_CHECK(std::is_sorted(config_.ladder.begin(), config_.ladder.end()));
 }
 
-double Partitioner::GroupCost(const std::vector<Item>& items, int begin, int end,
-                              double mean_cost) const {
-  // Callers guarantee begin < end. Costs are in nanoseconds.
-  TimeNs compute = 0;
-  Bytes params = 0;
-  for (int i = begin; i < end; ++i) {
-    compute += items[static_cast<size_t>(i)].compute;
-    params += items[static_cast<size_t>(i)].params;
-  }
-  if (params > config_.gpu_memory) {
-    return kInfeasible;
-  }
-  const Item& last = items[static_cast<size_t>(end - 1)];
-  double cost = static_cast<double>(compute);
-  // Communication of the stage's output activation to its successor.
-  cost += static_cast<double>(TransferTime(last.activation_out, config_.interstage_bandwidth));
-  // (s_p / B - C)+ : parameter (re)load cost beyond what overlaps with compute.
-  double load_ns = static_cast<double>(params) / config_.interstage_bandwidth * 1e9;
-  double overlap_ns = static_cast<double>(config_.overlap_target);
-  cost += config_.load_weight * std::max(0.0, load_ns - overlap_ns);
-  // λ R(S_k): penalise cuts that land inside a transformer block.
-  if (!last.clean_boundary) {
-    cost += config_.lambda_refactor * mean_cost;
-  }
-  return cost;
-}
-
 std::vector<std::pair<int, int>> Partitioner::SolveChain(const std::vector<Item>& items,
                                                          int groups) const {
   const int n = static_cast<int>(items.size());
   FLEXPIPE_CHECK(groups >= 1);
   FLEXPIPE_CHECK_MSG(groups <= n, "more stages than partitionable units");
 
-  TimeNs total_compute = 0;
-  for (const Item& it : items) {
-    total_compute += it.compute;
+  // Prefix sums make any [j, i) group's compute/parameter totals O(1). Integer sums, so
+  // the differences are exact — group costs are bit-identical to direct accumulation.
+  std::vector<TimeNs> prefix_compute(static_cast<size_t>(n + 1), 0);
+  std::vector<Bytes> prefix_params(static_cast<size_t>(n + 1), 0);
+  for (int i = 0; i < n; ++i) {
+    prefix_compute[static_cast<size_t>(i + 1)] =
+        prefix_compute[static_cast<size_t>(i)] + items[static_cast<size_t>(i)].compute;
+    prefix_params[static_cast<size_t>(i + 1)] =
+        prefix_params[static_cast<size_t>(i)] + items[static_cast<size_t>(i)].params;
   }
-  double mean_cost = static_cast<double>(total_compute) / groups;
+  double mean_cost = static_cast<double>(prefix_compute[static_cast<size_t>(n)]) / groups;
 
-  // dp[k][i]: minimal max-group-cost splitting items [0, i) into k groups.
+  // Eq. 2's per-group cost for [begin, end); the caller has already established the
+  // memory cap holds. Matches the pre-optimization GroupCost arithmetic exactly.
+  auto group_cost = [&](int begin, int end, Bytes params) {
+    TimeNs compute = prefix_compute[static_cast<size_t>(end)] -
+                     prefix_compute[static_cast<size_t>(begin)];
+    const Item& last = items[static_cast<size_t>(end - 1)];
+    double cost = static_cast<double>(compute);
+    // Communication of the stage's output activation to its successor.
+    cost +=
+        static_cast<double>(TransferTime(last.activation_out, config_.interstage_bandwidth));
+    // (s_p / B - C)+ : parameter (re)load cost beyond what overlaps with compute.
+    double load_ns = static_cast<double>(params) / config_.interstage_bandwidth * 1e9;
+    double overlap_ns = static_cast<double>(config_.overlap_target);
+    cost += config_.load_weight * std::max(0.0, load_ns - overlap_ns);
+    // λ R(S_k): penalise cuts that land inside a transformer block.
+    if (!last.clean_boundary) {
+      cost += config_.lambda_refactor * mean_cost;
+    }
+    return cost;
+  };
+
+  // dp[k][i]: minimal max-group-cost splitting items [0, i) into k groups. The inner
+  // split-point loop runs j *descending* so the group [j, i) grows as it proceeds: its
+  // parameter total is monotonically non-decreasing, and the first cap violation ends
+  // the scan — O(G·n²) overall instead of the old O(G·n³). Accepting ties with <=
+  // leaves the smallest feasible j as the recorded parent, exactly like the old
+  // ascending strict-< scan, so returned plans are identical.
   std::vector<std::vector<double>> dp(static_cast<size_t>(groups + 1),
                                       std::vector<double>(static_cast<size_t>(n + 1), kInfeasible));
   std::vector<std::vector<int>> parent(static_cast<size_t>(groups + 1),
                                        std::vector<int>(static_cast<size_t>(n + 1), -1));
   dp[0][0] = 0.0;
   for (int k = 1; k <= groups; ++k) {
+    const std::vector<double>& prev = dp[static_cast<size_t>(k - 1)];
+    std::vector<double>& cur = dp[static_cast<size_t>(k)];
+    std::vector<int>& par = parent[static_cast<size_t>(k)];
     for (int i = k; i <= n - (groups - k); ++i) {
-      for (int j = k - 1; j < i; ++j) {
-        if (dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)] == kInfeasible) {
+      double best = kInfeasible;
+      int best_j = -1;
+      for (int j = i - 1; j >= k - 1; --j) {
+        Bytes params =
+            prefix_params[static_cast<size_t>(i)] - prefix_params[static_cast<size_t>(j)];
+        if (params > config_.gpu_memory) {
+          break;  // params only grow as j decreases: nothing below j is feasible either
+        }
+        if (prev[static_cast<size_t>(j)] == kInfeasible) {
           continue;
         }
-        double gc = GroupCost(items, j, i, mean_cost);
-        if (gc == kInfeasible) {
-          continue;
-        }
-        double candidate = std::max(dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)], gc);
-        if (candidate < dp[static_cast<size_t>(k)][static_cast<size_t>(i)]) {
-          dp[static_cast<size_t>(k)][static_cast<size_t>(i)] = candidate;
-          parent[static_cast<size_t>(k)][static_cast<size_t>(i)] = j;
+        double candidate = std::max(prev[static_cast<size_t>(j)], group_cost(j, i, params));
+        if (candidate <= best) {
+          best = candidate;
+          best_j = j;
         }
       }
+      cur[static_cast<size_t>(i)] = best;
+      par[static_cast<size_t>(i)] = best_j;
     }
   }
   if (dp[static_cast<size_t>(groups)][static_cast<size_t>(n)] == kInfeasible) {

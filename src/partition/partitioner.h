@@ -32,6 +32,17 @@ struct PartitionerConfig {
 
 class Partitioner {
  public:
+  // One partitionable unit of the chain (an operator, or a finest-plan stage when
+  // building coarser ladder rungs).
+  struct Item {
+    TimeNs compute = 0;
+    Bytes params = 0;
+    Bytes activation_out = 0;  // if a cut is placed after this item
+    bool clean_boundary = true;
+    int op_begin = 0;
+    int op_end = 0;
+  };
+
   Partitioner() : Partitioner(PartitionerConfig{}) {}
   explicit Partitioner(const PartitionerConfig& config);
 
@@ -46,20 +57,14 @@ class Partitioner {
   // nest by construction.
   GranularityLadder BuildLadder(const ModelProfile& profile) const;
 
- private:
-  struct Item {
-    TimeNs compute = 0;
-    Bytes params = 0;
-    Bytes activation_out = 0;  // if a cut is placed after this item
-    bool clean_boundary = true;
-    int op_begin = 0;
-    int op_end = 0;
-  };
-
-  // Shared min-max DP over a chain of items.
+  // Shared min-max DP over a chain of items: tiles the chain into exactly `groups`
+  // contiguous [begin, end) ranges minimizing the bottleneck group cost; empty result
+  // when the memory cap admits no tiling. Prefix sums plus a monotone early break keep
+  // it O(groups·n²); the randomized equivalence suite pins it to the naive O(groups·n³)
+  // reference DP. Public so tests can cross-check it on synthetic chains directly.
   std::vector<std::pair<int, int>> SolveChain(const std::vector<Item>& items, int groups) const;
-  double GroupCost(const std::vector<Item>& items, int begin, int end, double mean_cost) const;
 
+ private:
   PipelinePlan PlanFromGroups(const ModelProfile& profile, const std::vector<Item>& items,
                               const std::vector<std::pair<int, int>>& groups,
                               const std::vector<int>* item_fine_index) const;

@@ -122,8 +122,14 @@ void PipelineInstance::Admit(Request* request) {
   kv_.Admit(request->spec.id, request->spec.prompt_tokens + request->spec.output_tokens);
   request->phase = RequestPhase::kQueued;
   pending_.push_back(request);
-  if (state_ == InstanceState::kActive) {
-    PumpGroups();
+  if (state_ == InstanceState::kActive &&
+      busy_groups_ < static_cast<int>(groups_.size())) {
+    // Only distribute the new pending work: while active, a non-busy group with decode
+    // work left cannot exist outside FinishIteration (which restarts itself), so once
+    // `pending_` drains — or when every group is mid-wave — the TryStarts are no-ops.
+    for (size_t g = 0; g < groups_.size() && !pending_.empty(); ++g) {
+      TryStart(g);
+    }
   }
 }
 
@@ -143,7 +149,7 @@ void PipelineInstance::InjectDecoding(Request* request) {
   groups_[best].decoding.push_back(request);
   ++inflight_;
   if (state_ == InstanceState::kActive) {
-    PumpGroups();
+    TryStart(best);  // only the joined group gained work
   }
 }
 
@@ -165,14 +171,7 @@ void PipelineInstance::HaltAndExtract(HaltCallback cb) {
   CheckHaltAndDrain();
 }
 
-bool PipelineInstance::AnyGroupBusy() const {
-  for (const Group& g : groups_) {
-    if (g.busy) {
-      return true;
-    }
-  }
-  return false;
-}
+bool PipelineInstance::AnyGroupBusy() const { return busy_groups_ > 0; }
 
 void PipelineInstance::CheckHaltAndDrain() {
   if (state_ == InstanceState::kHalting && !AnyGroupBusy() && on_halt_) {
@@ -229,6 +228,35 @@ TimeNs PipelineInstance::StageCommTime(const StageRuntime& stage, int prefill_to
   return stage.comm_latency + TransferTime(bytes, stage.comm_bandwidth);
 }
 
+TimeNs PipelineInstance::DecodeIterationTime(const StageRuntime& stage,
+                                             int decode_batch) const {
+  if (decode_batch < 0 || decode_batch > config_.per_group_capacity) {
+    return StageIterationTime(stage, 0, decode_batch);  // InjectDecoding can overfill
+  }
+  if (stage.decode_cache.empty()) {
+    stage.decode_cache.assign(static_cast<size_t>(config_.per_group_capacity) + 1, {-1, -1});
+  }
+  TimeNs& slot = stage.decode_cache[static_cast<size_t>(decode_batch)].first;
+  if (slot < 0) {
+    slot = StageIterationTime(stage, 0, decode_batch);
+  }
+  return slot;
+}
+
+TimeNs PipelineInstance::DecodeCommTime(const StageRuntime& stage, int decode_batch) const {
+  if (decode_batch < 0 || decode_batch > config_.per_group_capacity) {
+    return StageCommTime(stage, 0, decode_batch);
+  }
+  if (stage.decode_cache.empty()) {
+    stage.decode_cache.assign(static_cast<size_t>(config_.per_group_capacity) + 1, {-1, -1});
+  }
+  TimeNs& slot = stage.decode_cache[static_cast<size_t>(decode_batch)].second;
+  if (slot < 0) {
+    slot = StageCommTime(stage, 0, decode_batch);
+  }
+  return slot;
+}
+
 void PipelineInstance::AdmitFromPending(Group& group) {
   int budget_requests = config_.max_prefill_requests_per_iteration;
   int budget_tokens = config_.prefill_token_budget_per_iteration;
@@ -271,16 +299,19 @@ void PipelineInstance::TryStart(size_t group_index) {
     return;
   }
   group.busy = true;
+  ++busy_groups_;
 
-  std::vector<Request*> prefilled = std::move(group.prefilling);
-  group.prefilling.clear();
-  std::vector<Request*> decoded = group.decoding;
+  // Take the wave's prompt batch (recycled buffer: the swap hands back the vector the
+  // previous wave released) and pin the decode batch as a prefix of `decoding` — see
+  // the Group comment for why appends cannot disturb it.
+  group.wave_prefilling.swap(group.prefilling);
+  group.wave_decode_count = group.decoding.size();
 
   int prefill_tokens = 0;
-  for (const Request* r : prefilled) {
+  for (const Request* r : group.wave_prefilling) {
     prefill_tokens += r->spec.prompt_tokens;
   }
-  int decode_batch = static_cast<int>(decoded.size());
+  int decode_batch = static_cast<int>(group.wave_decode_count);
 
   TimeNs t = sim_->now();
   TimeNs start0 = -1;
@@ -299,35 +330,35 @@ void PipelineInstance::TryStart(size_t group_index) {
     if (backlog && start > stage.busy_until && stage.busy_until >= last_all_idle_) {
       stage.stall_accum += start - stage.busy_until;
     }
-    TimeNs st = StageIterationTime(stage, prefill_tokens, decode_batch);
+    TimeNs st = prefill_tokens == 0 ? DecodeIterationTime(stage, decode_batch)
+                                    : StageIterationTime(stage, prefill_tokens, decode_batch);
     stage.busy_until = start + st;
     stage.busy_accum += st;
     exec_total += st;
     t = stage.busy_until;
     if (s + 1 < stages_.size()) {
-      TimeNs c = StageCommTime(stage, prefill_tokens, decode_batch);
+      TimeNs c = prefill_tokens == 0 ? DecodeCommTime(stage, decode_batch)
+                                     : StageCommTime(stage, prefill_tokens, decode_batch);
       t += c;
       comm_total += c;
     }
   }
 
-  for (Request* r : prefilled) {
+  for (Request* r : group.wave_prefilling) {
     if (r->first_exec_start < 0) {
       r->first_exec_start = start0;
     }
     r->exec_ns += exec_total;
     r->comm_ns += comm_total;
   }
-  for (Request* r : decoded) {
+  for (Request* r : group.decoding) {
     r->exec_ns += exec_total;
     r->comm_ns += comm_total;
   }
   ++stats_.iterations;
 
-  sim_->Schedule(t - sim_->now(), [this, group_index, prefilled = std::move(prefilled),
-                                   decoded = std::move(decoded)]() mutable {
-    FinishIteration(group_index, std::move(prefilled), std::move(decoded));
-  });
+  // The capture fits std::function's inline buffer: scheduling a wave allocates nothing.
+  sim_->Schedule(t - sim_->now(), [this, group_index] { FinishIteration(group_index); });
 }
 
 void PipelineInstance::CompleteRequest(Request* request) {
@@ -341,13 +372,18 @@ void PipelineInstance::CompleteRequest(Request* request) {
   }
 }
 
-void PipelineInstance::FinishIteration(size_t group_index, std::vector<Request*> prefilled,
-                                       std::vector<Request*> decoded) {
+void PipelineInstance::FinishIteration(size_t group_index) {
   Group& group = groups_[group_index];
   group.busy = false;
+  --busy_groups_;
   TimeNs now = sim_->now();
 
-  for (Request* r : prefilled) {
+  // The wave's decode batch is the first `wave_decode_count` entries; everything after
+  // (mid-wave injections, then the prompts promoted below) did not advance this wave.
+  const size_t advanced = group.wave_decode_count;
+  const int64_t completed_before = stats_.requests_completed;
+
+  for (Request* r : group.wave_prefilling) {
     r->phase = RequestPhase::kDecoding;
     r->first_token_time = now;
     r->tokens_generated = 1;
@@ -359,17 +395,13 @@ void PipelineInstance::FinishIteration(size_t group_index, std::vector<Request*>
       group.decoding.push_back(r);
     }
   }
-  std::vector<Request*> still_decoding;
-  still_decoding.reserve(group.decoding.size());
-  for (Request* r : group.decoding) {
-    bool advanced = false;
-    for (Request* d : decoded) {
-      if (d == r) {
-        advanced = true;
-        break;
-      }
-    }
-    if (advanced) {
+  group.wave_prefilling.clear();
+
+  // Compact in place: completed requests drop out, relative order is preserved.
+  size_t write = 0;
+  for (size_t i = 0; i < group.decoding.size(); ++i) {
+    Request* r = group.decoding[i];
+    if (i < advanced) {
       ++r->tokens_generated;
       ++stats_.tokens_generated;
       if (r->remaining_tokens() <= 0) {
@@ -377,12 +409,15 @@ void PipelineInstance::FinishIteration(size_t group_index, std::vector<Request*>
         continue;
       }
     }
-    still_decoding.push_back(r);
+    group.decoding[write++] = r;
   }
-  group.decoding = std::move(still_decoding);
+  group.decoding.resize(write);
 
   NoteMaybeIdle();
-  if (on_pump_) {
+  // Admissibility (capacity head-room, KV fit, load) only moves when a request
+  // completed; a wave that merely advanced tokens cannot unblock the router queue, so
+  // skip the (otherwise per-iteration) dispatch scan.
+  if (stats_.requests_completed != completed_before && on_pump_) {
     on_pump_();
   }
   CheckHaltAndDrain();
@@ -401,9 +436,9 @@ void PipelineInstance::NoteMaybeIdle() {
 TimeNs PipelineInstance::EstimateTraversal(int group_batch) const {
   TimeNs total = 0;
   for (size_t s = 0; s < stages_.size(); ++s) {
-    total += StageIterationTime(stages_[s], 0, group_batch);
+    total += DecodeIterationTime(stages_[s], group_batch);
     if (s + 1 < stages_.size()) {
-      total += StageCommTime(stages_[s], 0, group_batch);
+      total += DecodeCommTime(stages_[s], group_batch);
     }
   }
   return total;
@@ -412,7 +447,7 @@ TimeNs PipelineInstance::EstimateTraversal(int group_batch) const {
 TimeNs PipelineInstance::EstimateCadence(int group_batch) const {
   TimeNs worst = 0;
   for (const StageRuntime& s : stages_) {
-    worst = std::max(worst, StageIterationTime(s, 0, group_batch));
+    worst = std::max(worst, DecodeIterationTime(s, group_batch));
   }
   return worst;
 }

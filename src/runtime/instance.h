@@ -162,22 +162,37 @@ class PipelineInstance {
     TimeNs busy_until = 0;
     TimeNs busy_accum = 0;
     TimeNs stall_accum = 0;
+    // Lazily-filled decode-only {iteration, comm} times indexed by batch size
+    // (-1 = unset; one array so a wave's paired lookups share a cache line).
+    // Pure-decode waves dominate the event stream and their cost depends only on the
+    // batch, so the arithmetic runs once per (stage, batch); mixed prefill waves carry
+    // per-request token counts and stay on the arithmetic path.
+    mutable std::vector<std::pair<TimeNs, TimeNs>> decode_cache;
   };
 
   struct Group {
     std::vector<Request*> decoding;
     std::vector<Request*> prefilling;
+    // In-flight wave state. While `busy`, the wave's prompt batch lives in
+    // `wave_prefilling` (recycled across iterations — the hot loop allocates nothing)
+    // and the wave's decode batch is the first `wave_decode_count` entries of
+    // `decoding`: mid-wave arrivals (InjectDecoding, newly prefilled requests) only
+    // ever append, so a prefix index replaces the old per-request membership scan.
+    std::vector<Request*> wave_prefilling;
+    size_t wave_decode_count = 0;
     bool busy = false;
   };
 
   TimeNs StageIterationTime(const StageRuntime& stage, int prefill_tokens,
                             int decode_batch) const;
   TimeNs StageCommTime(const StageRuntime& stage, int prefill_tokens, int decode_batch) const;
+  // Cached wrappers for the decode-only (prefill_tokens == 0) case.
+  TimeNs DecodeIterationTime(const StageRuntime& stage, int decode_batch) const;
+  TimeNs DecodeCommTime(const StageRuntime& stage, int decode_batch) const;
 
   void PumpGroups();
   void TryStart(size_t group_index);
-  void FinishIteration(size_t group_index, std::vector<Request*> prefilled,
-                       std::vector<Request*> decoded);
+  void FinishIteration(size_t group_index);
   void AdmitFromPending(Group& group);
   void CompleteRequest(Request* request);
   void CheckHaltAndDrain();
@@ -199,6 +214,7 @@ class PipelineInstance {
 
   std::vector<StageRuntime> stages_;
   std::vector<Group> groups_;
+  int busy_groups_ = 0;  // count of groups with a wave in flight (== AnyGroupBusy())
   std::deque<Request*> pending_;
   KvTracker kv_;
   int inflight_ = 0;  // prefilling + decoding across groups

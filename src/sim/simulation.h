@@ -1,26 +1,45 @@
 // Deterministic discrete-event simulation engine.
 //
-// This is the substrate on which the whole reproduction runs: the 82-GPU cluster, the
-// network fabric, and the serving systems are all entities that schedule callbacks on
-// one virtual clock. The engine is single-threaded by design — determinism matters more
-// than parallel simulation speed for reproducing the paper's experiments, and every
-// bench finishes in seconds.
+// This is the substrate on which the whole reproduction runs: the cluster, the network
+// fabric, and the serving systems are all entities that schedule callbacks on one
+// virtual clock. The engine is single-threaded by design — determinism matters more
+// than parallel simulation speed for reproducing the paper's experiments — and the
+// cluster-scale stress benches push hundreds of thousands of requests through it, so
+// the hot path is allocation-free in steady state:
 //
-// Ordering guarantee: events fire in (time, scheduling order) — two events scheduled for
-// the same instant run in the order they were scheduled, so runs are bit-reproducible.
+//   * Callbacks live in a slab of recycled slots (a free list over one vector), not in
+//     per-event hash-map nodes. Scheduling reuses a dead slot; only a new high-water
+//     mark grows the slab. EventIds are generation-tagged slot references, so stale ids
+//     (already fired or canceled) fail validation in O(1). Cancel releases the callback
+//     immediately and reclaims its queue entry either eagerly (heap tier) or via
+//     bounded, compacted tombstones (staging tier) — unlike the old engine, which left
+//     every canceled entry in its heap forever, a real leak under PeriodicTask-heavy
+//     multi-model runs.
+//   * The pending queue is two-tier. Near-term events live in a vector-backed 4-ary
+//     heap of packed 16-byte {when, seq|slot} entries; far-future events (bench
+//     workloads pre-schedule hundreds of thousands of arrivals) wait in a lazily-sorted
+//     staging area and enter the heap in batches as the clock approaches them. This
+//     keeps the hot heap small and cache-resident instead of sifting every event
+//     through a quarter-million-entry heap. Firing order is decided purely by
+//     (when, seq), so the tiering is invisible: the staging area is always merged into
+//     the heap before any event at or beyond the staging threshold fires.
+//
+// Ordering guarantee: events fire in (time, scheduling order) — two events scheduled
+// for the same instant run in the order they were scheduled, so runs are
+// bit-reproducible.
 #ifndef FLEXPIPE_SRC_SIM_SIMULATION_H_
 #define FLEXPIPE_SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/units.h"
 
 namespace flexpipe {
 
 // Identifies a scheduled event so it can be canceled. Zero is never a valid id.
+// Layout: high 32 bits = slot generation, low 32 bits = slot index + 1.
 using EventId = uint64_t;
 
 class Simulation {
@@ -37,8 +56,8 @@ class Simulation {
   // Schedules `fn` at absolute virtual time `when` (>= now()).
   EventId ScheduleAt(TimeNs when, std::function<void()> fn);
 
-  // Cancels a pending event. Canceling an already-fired or unknown id is a no-op and
-  // returns false.
+  // Cancels a pending event, releasing its callback and queue entry immediately.
+  // Canceling an already-fired or unknown id is a no-op and returns false.
   bool Cancel(EventId id);
 
   // Runs events until the queue empties or `Stop()` is called.
@@ -55,33 +74,114 @@ class Simulation {
   void Stop() { stopped_ = true; }
   void ClearStop() { stopped_ = false; }
 
-  size_t pending_events() const { return callbacks_.size(); }
+  size_t pending_events() const {
+    return heap_.size() + StagedLive() + fresh_.size();
+  }
+  // Slots ever allocated: the high-water mark of concurrently pending events. Cancel
+  // recycles its slot immediately and its queue entry eagerly (heap) or via bounded
+  // compacted tombstones (staging), so this stays proportional to the live population
+  // under schedule/cancel churn — the old engine's tombstones grew without limit. The
+  // churn regression tests pin the bound.
+  size_t arena_slots() const { return slots_.size(); }
   uint64_t executed_events() const { return executed_; }
 
+  // Monotonic count of events executed by *all* Simulation instances in this process.
+  // The bench runner diffs it around each bench to report events/sec per run.
+  static uint64_t process_executed_events();
+
  private:
-  struct Entry {
+  static constexpr uint32_t kNil = 0xffffffffu;
+  // Events further than this past the staging threshold go to the staging area instead
+  // of the heap. Controller ticks and pipeline iterations (micro- to milli-second
+  // scale) stay on the fast heap path; pre-scheduled workload arrivals do not.
+  static constexpr TimeNs kNearWindow = 1 * kSecond;
+  // How many staged events each refill moves into the heap.
+  static constexpr size_t kRefillBatch = 1024;
+  // Fresh batches smaller than this are promoted straight to the heap at refill time
+  // rather than paying a re-merge of the whole staging array.
+  static constexpr size_t kMergeThreshold = 256;
+
+  enum class Where : uint8_t { kFree, kHeap, kStaged, kFresh };
+
+  // Queue entries are 16 bytes so sift paths touch half the cache lines a naive
+  // {when, seq, slot} triple would: `key` packs the FIFO tie-breaker sequence number
+  // into the high 40 bits (checked: engines run < 2^40 events) and the slot index into
+  // the low 24 (checked: < 2^24 concurrently pending events). Comparing `key` compares
+  // seq first, and seq is unique, so ordering is identical to comparing (seq, slot).
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  struct HeapEntry {
     TimeNs when;
-    uint64_t seq;  // tie-breaker: FIFO among same-time events
-    EventId id;
-    // Ordering for std::priority_queue (max-heap): invert so earliest fires first.
-    bool operator<(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
+    uint64_t key;  // (seq << kSlotBits) | slot
+    uint32_t slot() const { return static_cast<uint32_t>(key) & kSlotMask; }
   };
 
-  // Pops entries until one with a live callback is found and runs it.
+  // One arena slot. `generation` advances every time the slot is released, so EventIds
+  // referencing a previous tenancy fail validation.
+  struct Slot {
+    std::function<void()> fn;
+    uint32_t generation = 1;
+    uint32_t pos = kNil;  // index into the container named by `where`
+    uint32_t next_free = kNil;
+    Where where = Where::kFree;
+  };
+
+  // A canceled staging entry: slot bits all-ones (the slab is capped below kSlotMask).
+  static bool IsTombstone(const HeapEntry& e) {
+    return (static_cast<uint32_t>(e.key) & kSlotMask) == kSlotMask;
+  }
+
+  static bool EarlierThan(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.key < b.key;  // seq occupies the high bits: FIFO among same-time events
+  }
+
+  EventId IdOf(uint32_t slot) const {
+    return (static_cast<uint64_t>(slots_[slot].generation) << 32) |
+           static_cast<uint64_t>(slot + 1);
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+
+  // 4-ary heap primitives; every entry move updates the owning slot's backlink.
+  void PlaceEntry(size_t index, HeapEntry entry);
+  void SiftUp(size_t index);
+  void SiftDown(size_t index);
+  void PopRoot();
+  void RemoveHeapEntry(size_t index);
+
+  size_t StagedLive() const { return staged_.size() - staged_head_ - staged_dead_; }
+  // Drops canceled (tombstoned) entries from the staging array in one pass.
+  void CompactStaged();
+  // Merges `fresh_` into `staged_` (sorted) and moves the next batch into the heap,
+  // advancing `staging_threshold_`.
+  void Refill();
+  // Guarantees the next event to fire is at the heap top: refills while the staging
+  // area could still hold an earlier (or same-time, earlier-seq) event.
+  void EnsureNext();
+
+  // Pops the earliest heap entry and runs it; false when the heap is empty.
   bool PopAndRun();
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   bool stopped_ = false;
   uint64_t executed_ = 0;
-  std::priority_queue<Entry> heap_;
-  // Live (uncanceled, unfired) callbacks; heap entries without a map entry are skipped.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::vector<HeapEntry> heap_;
+  // Staging area: `staged_` is sorted by (when, seq) and consumed from `staged_head_`;
+  // newly scheduled far events collect unsorted in `fresh_` until the next refill.
+  // Invariant: no staged/fresh entry is earlier than `staging_threshold_`, and a refill
+  // happens before any heap entry at or past the threshold fires.
+  std::vector<HeapEntry> staged_;
+  size_t staged_head_ = 0;
+  size_t staged_dead_ = 0;  // tombstoned (canceled) entries past staged_head_
+  std::vector<HeapEntry> fresh_;
+  TimeNs staging_threshold_ = 0;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNil;
 };
 
 // Repeating task helper: runs `fn` every `interval` starting at now+interval until

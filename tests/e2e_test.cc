@@ -2,6 +2,9 @@
 // simulated cluster, and FlexPipe actually refactors under a CV shift.
 #include <gtest/gtest.h>
 
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "src/baselines/alpaserve.h"
@@ -174,6 +177,141 @@ TEST(EndToEnd, IdenticallySeededRunsAreBitIdentical) {
     EXPECT_EQ(a.completions[i].done_time, b.completions[i].done_time) << "sample " << i;
     EXPECT_EQ(a.completions[i].latency, b.completions[i].latency) << "sample " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden determinism: reduced fig9/fig13 scenarios with signatures recorded on the
+// pre-arena priority_queue+unordered_map engine. The arena rewrite must preserve the
+// (time, scheduling order) contract, so every metric — including the FNV-1a hash over
+// each completion's (done_time, latency) pair — must stay bit-identical.
+//
+// Regenerate after an *intentional* behavior change (or on a toolchain whose libm
+// rounds differently) with: FLEXPIPE_PRINT_GOLDEN=1 ./e2e_test
+// and paste the printed literals below.
+// ---------------------------------------------------------------------------
+
+struct GoldenSignature {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  uint64_t executed_events = 0;
+  uint64_t completion_hash = 0;  // FNV-1a over (done_time, latency) in completion order
+  uint64_t mean_latency_bits = 0;   // bit pattern of MeanLatencySec()
+  uint64_t mean_prefill_bits = 0;   // bit pattern of MeanPrefillSec()
+};
+
+uint64_t Fnv1aMix(uint64_t hash, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+GoldenSignature SignatureOf(ExperimentEnv& env, const FlexPipeSystem& system,
+                            const RunReport& report) {
+  GoldenSignature sig;
+  sig.submitted = report.submitted;
+  sig.completed = system.metrics().completed();
+  sig.executed_events = env.sim().executed_events();
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (const CompletionSample& s : system.metrics().completions()) {
+    hash = Fnv1aMix(hash, static_cast<uint64_t>(s.done_time));
+    hash = Fnv1aMix(hash, static_cast<uint64_t>(s.latency));
+  }
+  sig.completion_hash = hash;
+  sig.mean_latency_bits = DoubleBits(system.metrics().MeanLatencySec());
+  sig.mean_prefill_bits = DoubleBits(system.metrics().MeanPrefillSec());
+  return sig;
+}
+
+void CheckGolden(const char* name, const GoldenSignature& actual,
+                 const GoldenSignature& golden) {
+  if (std::getenv("FLEXPIPE_PRINT_GOLDEN") != nullptr) {
+    std::printf("golden %s = {%" PRId64 ", %" PRId64 ", %" PRIu64 "ull, %" PRIu64
+                "ull, %" PRIu64 "ull, %" PRIu64 "ull};\n",
+                name, actual.submitted, actual.completed, actual.executed_events,
+                actual.completion_hash, actual.mean_latency_bits, actual.mean_prefill_bits);
+    return;
+  }
+  EXPECT_EQ(actual.submitted, golden.submitted) << name;
+  EXPECT_EQ(actual.completed, golden.completed) << name;
+  EXPECT_EQ(actual.executed_events, golden.executed_events) << name;
+  EXPECT_EQ(actual.completion_hash, golden.completion_hash) << name;
+  EXPECT_EQ(actual.mean_latency_bits, golden.mean_latency_bits) << name;
+  EXPECT_EQ(actual.mean_prefill_bits, golden.mean_prefill_bits) << name;
+}
+
+// Mirrors bench/common.h's DefaultWorkloadConfig (§9 Splitwise-like lengths).
+WorkloadGenerator::Config BenchWorkloadConfig() {
+  WorkloadGenerator::Config config;
+  config.slo = 10 * kSecond;
+  config.lengths.prompt_median = 512;
+  config.lengths.prompt_sigma = 0.9;
+  config.lengths.prompt_max = 4096;
+  config.lengths.output_median = 24;
+  config.lengths.output_sigma = 0.7;
+  config.lengths.output_max = 256;
+  return config;
+}
+
+TEST(EngineGolden, Fig9ScenarioIsBitIdentical) {
+  // The FlexPipe cell of fig9 (CV=8 burst absorption, OPT-66B on the 82-GPU eval
+  // cluster) at one fifth of the bench duration.
+  ExperimentEnvConfig env_config;  // defaults: OPT-66B, eval cluster, seed 42
+  ExperimentEnv env(env_config);
+  FlexPipeConfig config;
+  config.initial_stages = env.ladder(0).coarsest();
+  config.target_peak_rps = 20.0;
+  config.default_slo = 10 * kSecond;
+  config.scaling.reclaim_idle = 45 * kSecond;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  WorkloadGenerator gen(BenchWorkloadConfig());
+  Rng rng(Rng(42).Child("workload").seed());
+  auto specs = gen.GenerateWithCv(rng, 20.0, 8.0, 60 * kSecond);
+  std::vector<Request> storage;
+  RunReport report = RunWorkload(
+      env, system, specs, storage,
+      RunOptions{.drain_grace = 60 * kSecond, .warmup = 90 * kSecond});
+
+  const GoldenSignature kFig9Golden = {1373, 1373, 6998ull, 15106322800334033574ull,
+                                       4617917881311703691ull, 4611023934549111266ull};
+  CheckGolden("kFig9Golden", SignatureOf(env, system, report), kFig9Golden);
+}
+
+TEST(EngineGolden, Fig13ScenarioIsBitIdentical) {
+  // The OPT-66B FlexPipe cell of fig13 sequential mode (production-like CV=2 trace,
+  // env seed kSeed + model index 3) at one quarter of the bench duration.
+  ExperimentEnvConfig env_config;
+  env_config.seed = 45;
+  ExperimentEnv env(env_config);
+  FlexPipeConfig config;
+  config.initial_stages = env.ladder(0).coarsest();
+  config.target_peak_rps = 10.0;
+  config.default_slo = 10 * kSecond;
+  config.scaling.reclaim_idle = 45 * kSecond;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  WorkloadGenerator::Config wconfig = BenchWorkloadConfig();
+  wconfig.lengths.prompt_max = Opt66B().context_window;
+  WorkloadGenerator gen(wconfig);
+  Rng rng(Rng(42).Child("OPT-66B").seed());
+  auto specs = gen.GenerateWithCv(rng, 10.0, 2.0, 60 * kSecond);
+  std::vector<Request> storage;
+  RunReport report = RunWorkload(
+      env, system, specs, storage,
+      RunOptions{.drain_grace = 60 * kSecond, .warmup = 90 * kSecond});
+
+  const GoldenSignature kFig13Golden = {594, 594, 4448ull, 3550150937863148032ull,
+                                        4612433669895666873ull, 4597110502577874036ull};
+  CheckGolden("kFig13Golden", SignatureOf(env, system, report), kFig13Golden);
 }
 
 TEST(EndToEnd, MigrationPreservesTokenProgress) {

@@ -1,10 +1,110 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "src/model/profiler.h"
 #include "src/partition/partitioner.h"
 
 namespace flexpipe {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Naive reference DP: the pre-optimization O(G·n³) solver, kept verbatim as ground
+// truth for the prefix-sum/early-break rewrite. Any divergence in boundaries or cost
+// on the randomized suite below is a bug in the fast path.
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double RefGroupCost(const std::vector<Partitioner::Item>& items, int begin, int end,
+                    double mean_cost, const PartitionerConfig& config) {
+  TimeNs compute = 0;
+  Bytes params = 0;
+  for (int i = begin; i < end; ++i) {
+    compute += items[static_cast<size_t>(i)].compute;
+    params += items[static_cast<size_t>(i)].params;
+  }
+  if (params > config.gpu_memory) {
+    return kInf;
+  }
+  const Partitioner::Item& last = items[static_cast<size_t>(end - 1)];
+  double cost = static_cast<double>(compute);
+  cost += static_cast<double>(TransferTime(last.activation_out, config.interstage_bandwidth));
+  double load_ns = static_cast<double>(params) / config.interstage_bandwidth * 1e9;
+  double overlap_ns = static_cast<double>(config.overlap_target);
+  cost += config.load_weight * std::max(0.0, load_ns - overlap_ns);
+  if (!last.clean_boundary) {
+    cost += config.lambda_refactor * mean_cost;
+  }
+  return cost;
+}
+
+std::vector<std::pair<int, int>> RefSolveChain(const std::vector<Partitioner::Item>& items,
+                                               int groups,
+                                               const PartitionerConfig& config) {
+  const int n = static_cast<int>(items.size());
+  TimeNs total_compute = 0;
+  for (const Partitioner::Item& it : items) {
+    total_compute += it.compute;
+  }
+  double mean_cost = static_cast<double>(total_compute) / groups;
+
+  std::vector<std::vector<double>> dp(static_cast<size_t>(groups + 1),
+                                      std::vector<double>(static_cast<size_t>(n + 1), kInf));
+  std::vector<std::vector<int>> parent(static_cast<size_t>(groups + 1),
+                                       std::vector<int>(static_cast<size_t>(n + 1), -1));
+  dp[0][0] = 0.0;
+  for (int k = 1; k <= groups; ++k) {
+    for (int i = k; i <= n - (groups - k); ++i) {
+      for (int j = k - 1; j < i; ++j) {
+        if (dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)] == kInf) {
+          continue;
+        }
+        double gc = RefGroupCost(items, j, i, mean_cost, config);
+        if (gc == kInf) {
+          continue;
+        }
+        double candidate = std::max(dp[static_cast<size_t>(k - 1)][static_cast<size_t>(j)], gc);
+        if (candidate < dp[static_cast<size_t>(k)][static_cast<size_t>(i)]) {
+          dp[static_cast<size_t>(k)][static_cast<size_t>(i)] = candidate;
+          parent[static_cast<size_t>(k)][static_cast<size_t>(i)] = j;
+        }
+      }
+    }
+  }
+  if (dp[static_cast<size_t>(groups)][static_cast<size_t>(n)] == kInf) {
+    return {};
+  }
+  std::vector<std::pair<int, int>> result(static_cast<size_t>(groups));
+  int i = n;
+  for (int k = groups; k >= 1; --k) {
+    int j = parent[static_cast<size_t>(k)][static_cast<size_t>(i)];
+    result[static_cast<size_t>(k - 1)] = {j, i};
+    i = j;
+  }
+  return result;
+}
+
+// Bottleneck cost of a concrete tiling under the reference cost model.
+double RefPlanCost(const std::vector<Partitioner::Item>& items,
+                   const std::vector<std::pair<int, int>>& groups,
+                   const PartitionerConfig& config) {
+  TimeNs total_compute = 0;
+  for (const Partitioner::Item& it : items) {
+    total_compute += it.compute;
+  }
+  double mean_cost = static_cast<double>(total_compute) / static_cast<double>(groups.size());
+  double worst = 0.0;
+  for (const auto& [begin, end] : groups) {
+    worst = std::max(worst,
+                     RefGroupCost(items, begin, end, mean_cost, config));
+  }
+  return worst;
+}
 
 ModelProfile MakeProfile(const ModelSpec& spec) {
   static CostModel cost;
@@ -135,6 +235,52 @@ TEST(Partitioner, SmallModelManyStagesStillFeasible) {
   PipelinePlan plan = partitioner.Partition(profile, 32);
   EXPECT_EQ(plan.num_stages(), 32);
   EXPECT_TRUE(plan.MaxStageParams() > 0);
+}
+
+TEST(Partitioner, SolveChainMatchesNaiveReferenceOnRandomChains) {
+  std::mt19937_64 rng(20260730);
+  int feasible_cases = 0;
+  int infeasible_cases = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::uniform_int_distribution<int> n_dist(2, 36);
+    const int n = n_dist(rng);
+    std::uniform_int_distribution<int> g_dist(1, std::min(n, 10));
+    const int groups = g_dist(rng);
+
+    PartitionerConfig config;
+    // Memory caps drawn tight enough that some trials are infeasible outright and many
+    // exercise the early-break path mid-scan.
+    std::uniform_int_distribution<Bytes> mem_dist(GiB(2), GiB(24));
+    config.gpu_memory = mem_dist(rng);
+
+    std::vector<Partitioner::Item> items(static_cast<size_t>(n));
+    std::uniform_int_distribution<TimeNs> compute_dist(10 * kMicrosecond, 20 * kMillisecond);
+    std::uniform_int_distribution<Bytes> param_dist(MiB(64), GiB(6));
+    std::uniform_int_distribution<Bytes> act_dist(0, MiB(512));
+    std::bernoulli_distribution clean_dist(0.7);
+    for (auto& item : items) {
+      item.compute = compute_dist(rng);
+      item.params = param_dist(rng);
+      item.activation_out = act_dist(rng);
+      item.clean_boundary = clean_dist(rng);
+    }
+
+    Partitioner partitioner(config);
+    auto fast = partitioner.SolveChain(items, groups);
+    auto reference = RefSolveChain(items, groups, config);
+    ASSERT_EQ(fast, reference) << "trial " << trial << " n=" << n << " groups=" << groups;
+    if (fast.empty()) {
+      ++infeasible_cases;
+      continue;
+    }
+    ++feasible_cases;
+    // Same boundaries imply the same cost, but assert it explicitly (exact equality —
+    // the rewrite must reproduce the reference arithmetic bit for bit).
+    EXPECT_EQ(RefPlanCost(items, fast, config), RefPlanCost(items, reference, config));
+  }
+  // The suite must genuinely exercise both outcomes.
+  EXPECT_GT(feasible_cases, 50);
+  EXPECT_GT(infeasible_cases, 20);
 }
 
 TEST(Partitioner, PlanDescribeIsHumanReadable) {
