@@ -31,6 +31,19 @@ namespace bench {
 
 // §9's headline arrival rate. Fig. 3/4/8 all sweep CV at this baseline.
 inline constexpr double kBaselineQps = 20.0;
+
+// The cluster-scale stress shape shared by stress_scale's serving phase and the
+// placement_storm microbench: 128 + 2*192 + 4*128 = 1024 GPUs across 448 servers,
+// the same mixed 1/2/4-GPU server mix as the 82-GPU testbed scaled ~12x.
+inline ClusterConfig StressClusterConfig() {
+  ClusterConfig c;
+  c.servers_1gpu = 128;
+  c.servers_2gpu = 192;
+  c.servers_4gpu = 128;
+  c.cpu_only_servers = 8;
+  c.racks = 32;
+  return c;
+}
 inline constexpr TimeNs kDefaultSlo = 10 * kSecond;
 inline constexpr TimeNs kDefaultDuration = 5 * kMinute;
 inline constexpr TimeNs kDrainGrace = 60 * kSecond;

@@ -35,7 +35,11 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
     max_ratio = std::max(max_ratio, ratio);
     max_cv = std::max(max_cv, r.cv_180s);
     if (r.day % 3 == 1) {  // print every third day; the summary uses all
-      table.AddRow({"D" + std::to_string(r.day), TextTable::Num(r.cv_180s, 2),
+      // Built with += : the `"D" + std::to_string(...)` rvalue concat trips a GCC 12
+      // libstdc++ -Wrestrict false positive under -Werror in some inlining contexts.
+      std::string day_label = "D";
+      day_label += std::to_string(r.day);
+      table.AddRow({day_label, TextTable::Num(r.cv_180s, 2),
                     TextTable::Num(r.cv_3h, 2), TextTable::Num(r.cv_12h, 2),
                     TextTable::Num(ratio, 1)});
     }

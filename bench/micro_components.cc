@@ -7,9 +7,13 @@
 // flow through the unified bench registry's JSON reporter like every other bench.
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <functional>
 
 #include "bench/common.h"
+#include "src/cluster/fragmentation.h"
+#include "src/core/allocation.h"
+#include "src/core/scaling.h"
 #include "src/core/cv_monitor.h"
 #include "src/core/granularity.h"
 #include "src/core/queueing.h"
@@ -52,6 +56,116 @@ double MeasureNsPerOp(const std::function<void()>& op) {
     }
     iters *= 4;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Placement storm: repeated PlaceStages + reserve/release churn on a 1024-GPU
+// fragmented cluster — the scaling path's hot loop at stress_scale shape. Runs the
+// same deterministic storm through the indexed placer and the naive full-scan
+// reference (same binary, same scoring), checks they commit identical GPUs, and
+// reports the speedup; ci/perf_floor.json floors the indexed placements/sec.
+// ---------------------------------------------------------------------------
+
+struct PlacementStorm {
+  struct ActivePlacement {
+    std::vector<GpuId> gpus;
+    std::vector<Bytes> bytes;
+    int model_id = 0;
+  };
+
+  PlacementStorm(const GranularityLadder* ladder, bool use_reference)
+      : cluster(bench::StressClusterConfig()),
+        network(&cluster, NetworkConfig{}),
+        registry(cluster.gpu_count()),
+        placer(&cluster, &network, &registry, PlacementConfig{}),
+        hrg(&cluster, HierarchicalResourceGraph::Config{}),
+        host_cache(&cluster),
+        affinity(&cluster, &host_cache, ScalingConfig{}),
+        ladder_(ladder),
+        reference_(use_reference) {
+    FragmentationGenerator frag(&cluster, ProfileClusterC2(), /*seed=*/17);
+    frag.ApplySnapshot();
+  }
+
+  void Op() {
+    // Same hook shape as FlexPipeSystem::LaunchAt: real HRG penalties (scaling events
+    // recorded on every commit) and real Eq. 13 affinity over the warm host cache.
+    const TimeNs now = static_cast<TimeNs>(ops) * 200 * kMillisecond;
+    const int stages = (ops & 1) == 0 ? 16 : 8;
+    const int model_id = static_cast<int>(ops % 4);
+    const double cv = 0.5 + static_cast<double>(ops % 8);
+    const PipelinePlan& plan = ladder_->plan(stages);
+    const Bytes threshold = plan.MaxStageParams();
+    TopologyAwarePlacer::ServerScoreFn hrg_hook = [this, now](ServerId s) {
+      return hrg.PlacementPenalty(s, now);
+    };
+    TopologyAwarePlacer::ServerScoreFn aff_hook = [this, now, model_id,
+                                                   threshold](ServerId s) {
+      return affinity.Score(s, model_id, now, threshold);
+    };
+
+    std::vector<GpuId> gpus =
+        reference_ ? placer.PlaceStagesReference(plan, model_id, cv, hrg_hook, aff_hook)
+                   : placer.PlaceStages(plan, model_id, cv, hrg_hook, aff_hook);
+    if (!gpus.empty()) {
+      ActivePlacement placement;
+      placement.model_id = model_id;
+      for (int s = 0; s < plan.num_stages(); ++s) {
+        GpuId g = gpus[static_cast<size_t>(s)];
+        const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+        cluster.gpu(g).Reserve(sp.param_bytes, 0.6);
+        registry.Add(g, model_id);
+        hrg.RecordScalingEvent(cluster.ServerOf(g), now);
+        host_cache.Put(cluster.ServerOf(g), model_id, sp.fine_begin, sp.fine_end,
+                       sp.param_bytes, now);
+        placement.gpus.push_back(g);
+        placement.bytes.push_back(sp.param_bytes);
+        // FNV-1a over committed GPU ids: pins indexed == reference placements.
+        hash = (hash ^ static_cast<uint64_t>(g)) * 1099511628211ull;
+      }
+      active.push_back(std::move(placement));
+    } else {
+      hash = (hash ^ 0xdeadull) * 1099511628211ull;
+    }
+    // Churn: bound the live fleet so reserve/release keeps exercising the free index.
+    while (active.size() > 40 || (gpus.empty() && !active.empty())) {
+      const ActivePlacement& victim = active.front();
+      for (size_t i = 0; i < victim.gpus.size(); ++i) {
+        cluster.gpu(victim.gpus[i]).Release(victim.bytes[i], 0.6);
+        registry.Remove(victim.gpus[i], victim.model_id);
+      }
+      active.pop_front();
+      if (gpus.empty()) {
+        break;  // freed room for the next attempt; keep the rest of the fleet
+      }
+    }
+    ++ops;
+  }
+
+  Cluster cluster;
+  NetworkModel network;
+  ModelPlacementRegistry registry;
+  TopologyAwarePlacer placer;
+  HierarchicalResourceGraph hrg;
+  HostParamCache host_cache;
+  AffinityScheduler affinity;
+  const GranularityLadder* ladder_;
+  bool reference_;
+  std::deque<ActivePlacement> active;
+  uint64_t ops = 0;
+  uint64_t hash = 1469598103934665603ull;
+};
+
+// Runs `op_count` storm ops and returns wall ns/op (setup excluded).
+double RunPlacementStorm(PlacementStorm& storm, int op_count) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  for (int i = 0; i < op_count; ++i) {
+    storm.Op();
+  }
+  auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+  return static_cast<double>(elapsed) / static_cast<double>(op_count);
 }
 
 }  // namespace
@@ -187,10 +301,36 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
            }));
   }
 
+  // Placement storm: indexed placer vs naive full-scan reference on a 1024-GPU
+  // fragmented cluster with reserve/release churn. Identical committed GPUs are a
+  // hard requirement (the indexed path must be a pure optimization).
+  bool placement_equivalent = true;
+  {
+    constexpr int kStormOps = 384;
+    PlacementStorm indexed(&ladder, /*use_reference=*/false);
+    PlacementStorm reference(&ladder, /*use_reference=*/true);
+    double indexed_ns = RunPlacementStorm(indexed, kStormOps);
+    double reference_ns = RunPlacementStorm(reference, kStormOps);
+    placement_equivalent = indexed.hash == reference.hash;
+    double speedup = reference_ns / indexed_ns;
+    record("placement_storm", indexed_ns);
+    record("placement_storm_reference", reference_ns);
+    reporter.Metric("placement_storm_speedup", speedup);
+    reporter.Metric("placement_storm_placements_per_sec", 1e9 / indexed_ns);
+    std::printf("placement storm: indexed %.0f us/op, naive scan %.0f us/op -> %.1fx "
+                "(placements identical: %s)\n",
+                indexed_ns / 1e3, reference_ns / 1e3, speedup,
+                placement_equivalent ? "yes" : "NO");
+  }
+
   table.Print();
   std::printf("\nDES throughput: %.1fM events/s\n", events_per_sec / 1e6);
   std::printf("granularity decision: %.1f us (paper budget: 5 ms) -> %s\n",
               decision_ns / 1e3, decision_ns < 5e6 ? "within budget" : "OVER BUDGET");
+  if (!placement_equivalent) {
+    std::printf("FAIL: indexed placer diverged from the naive-scan reference\n");
+    return 1;
+  }
   return decision_ns < 5e6 ? 0 : 1;
 }
 

@@ -29,13 +29,8 @@ struct StressParams {
 StressParams FullScale() {
   StressParams p;
   p.scale_name = "full";
-  // 128 + 2*192 + 4*128 = 1024 GPUs across 448 servers; same mixed 1/2/4-GPU server
-  // shapes (and background fragmentation) as the 82-GPU testbed, scaled ~12x.
-  p.cluster.servers_1gpu = 128;
-  p.cluster.servers_2gpu = 192;
-  p.cluster.servers_4gpu = 128;
-  p.cluster.cpu_only_servers = 8;
-  p.cluster.racks = 32;
+  // 1024 GPUs across 448 servers (shared with placement_storm — see bench/common.h).
+  p.cluster = StressClusterConfig();
   // WHISPER-9B, LLAMA2-7B, BERT-21B, OPT-66B: lighter models carry more traffic,
   // mirroring the fig13/fig14 production mix. 1400 rps aggregate * 300 s = 420k.
   p.qps = {450.0, 450.0, 300.0, 200.0};

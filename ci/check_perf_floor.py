@@ -1,48 +1,57 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare a stress_scale --json run against checked-in floors.
+"""Perf-smoke gate: compare bench --json runs against checked-in per-bench floors.
 
-Usage: check_perf_floor.py <bench-json> <floor-json>
+Usage: check_perf_floor.py <floor-json> <bench-json> [<bench-json> ...]
 
-Fails (exit 1) when any floored metric comes in more than `allowed_regression`
-below its floor, or when the bench itself failed. Prints every floored metric so
-the uploaded artifact is self-explanatory.
+Every bench named in the floor spec must appear exactly once across the given
+reports and have exited 0. Fails (exit 1) when any floored metric comes in more
+than `allowed_regression` below its floor. Prints every floored metric so the
+uploaded artifacts are self-explanatory.
 """
 import json
 import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3:
         print(__doc__)
         return 2
     with open(sys.argv[1]) as f:
-        report = json.load(f)
-    with open(sys.argv[2]) as f:
         floor_spec = json.load(f)
 
-    benches = [b for b in report["benches"] if b["name"] == "stress_scale"]
-    if len(benches) != 1:
-        print(f"expected exactly one stress_scale run, got {len(benches)}")
-        return 1
-    bench = benches[0]
-    if bench["exit_code"] != 0:
-        print(f"stress_scale exited with {bench['exit_code']}")
-        return 1
+    benches = {}
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            report = json.load(f)
+        for bench in report["benches"]:
+            if bench["name"] in benches:
+                print(f"duplicate bench {bench['name']} across reports")
+                return 1
+            benches[bench["name"]] = bench
 
-    floors = floor_spec["floors"]
     allowed = float(floor_spec["allowed_regression"])
     failed = False
-    for metric, floor in floors.items():
-        value = bench["metrics"].get(metric)
-        if value is None:
-            print(f"FAIL {metric}: metric missing from bench output")
+    for bench_name, floors in floor_spec["floors"].items():
+        bench = benches.get(bench_name)
+        if bench is None:
+            print(f"FAIL {bench_name}: bench missing from the given reports")
             failed = True
             continue
-        threshold = floor * (1.0 - allowed)
-        verdict = "ok" if value >= threshold else "FAIL"
-        print(f"{verdict} {metric}: {value:,.0f} events/s "
-              f"(floor {floor:,.0f}, trip below {threshold:,.0f})")
-        failed = failed or value < threshold
+        if bench["exit_code"] != 0:
+            print(f"FAIL {bench_name}: exited with {bench['exit_code']}")
+            failed = True
+            continue
+        for metric, floor in floors.items():
+            value = bench["metrics"].get(metric)
+            if value is None:
+                print(f"FAIL {bench_name}.{metric}: metric missing from bench output")
+                failed = True
+                continue
+            threshold = floor * (1.0 - allowed)
+            verdict = "ok" if value >= threshold else "FAIL"
+            print(f"{verdict} {bench_name}.{metric}: {value:,.1f} "
+                  f"(floor {floor:,.1f}, trip below {threshold:,.1f})")
+            failed = failed or value < threshold
     return 1 if failed else 0
 
 

@@ -8,12 +8,18 @@ void Gpu::Reserve(Bytes bytes, double sm_load) {
   FLEXPIPE_CHECK_MSG(CanReserve(bytes), "GPU memory overcommit by serving system");
   reserved_memory_ += bytes;
   reserved_sm_ += sm_load;
+  if (owner_ != nullptr) {
+    owner_->OnGpuFreeChanged(id_);
+  }
 }
 
 void Gpu::Release(Bytes bytes, double sm_load) {
   FLEXPIPE_CHECK(bytes <= reserved_memory_);
   reserved_memory_ -= bytes;
   reserved_sm_ = std::max(0.0, reserved_sm_ - sm_load);
+  if (owner_ != nullptr) {
+    owner_->OnGpuFreeChanged(id_);
+  }
 }
 
 void Gpu::SetBackground(Bytes memory, double sm_load, int tenants) {
@@ -22,6 +28,9 @@ void Gpu::SetBackground(Bytes memory, double sm_load, int tenants) {
   background_memory_ = std::clamp<Bytes>(memory, 0, max_bg);
   background_sm_ = std::clamp(sm_load, 0.0, 1.0);
   tenant_count_ = std::max(0, tenants);
+  if (owner_ != nullptr) {
+    owner_->OnGpuFreeChanged(id_);
+  }
 }
 
 Cluster::Cluster(const ClusterConfig& config) {
@@ -69,6 +78,85 @@ Cluster::Cluster(const ClusterConfig& config) {
       --remaining_0;
     }
   }
+
+  for (Gpu& g : gpus_) {
+    g.owner_ = this;
+  }
+  RebuildFreeIndex();
+}
+
+void Cluster::RebuildFreeIndex() {
+  Bytes max_capacity = 0;
+  for (const Gpu& g : gpus_) {
+    max_capacity = std::max(max_capacity, g.memory_capacity());
+  }
+  // One bucket per GiB of the largest device, plus bucket 0 for empty servers.
+  int buckets = static_cast<int>(max_capacity >> 30) + 2;
+  bucket_head_.assign(static_cast<size_t>(buckets), kInvalidServer);
+  bucket_next_.assign(servers_.size(), kInvalidServer);
+  bucket_prev_.assign(servers_.size(), kInvalidServer);
+  server_max_free_.assign(servers_.size(), 0);
+  server_max_headroom_.assign(servers_.size(), 0.0);
+  server_bucket_.assign(servers_.size(), -1);
+  for (const Server& s : servers_) {
+    Bytes mx = 0;
+    double headroom = 0.0;
+    for (GpuId g : s.gpus) {
+      mx = std::max(mx, gpu(g).free_memory());
+      headroom = std::max(headroom, std::max(0.0, 1.0 - gpu(g).sm_utilization()));
+    }
+    server_max_free_[static_cast<size_t>(s.id)] = mx;
+    server_max_headroom_[static_cast<size_t>(s.id)] = headroom;
+    BucketInsert(s.id, BucketFor(mx));
+  }
+}
+
+void Cluster::BucketInsert(ServerId id, int bucket) {
+  server_bucket_[static_cast<size_t>(id)] = bucket;
+  ServerId head = bucket_head_[static_cast<size_t>(bucket)];
+  bucket_next_[static_cast<size_t>(id)] = head;
+  bucket_prev_[static_cast<size_t>(id)] = kInvalidServer;
+  if (head != kInvalidServer) {
+    bucket_prev_[static_cast<size_t>(head)] = id;
+  }
+  bucket_head_[static_cast<size_t>(bucket)] = id;
+}
+
+void Cluster::BucketRemove(ServerId id) {
+  ServerId prev = bucket_prev_[static_cast<size_t>(id)];
+  ServerId next = bucket_next_[static_cast<size_t>(id)];
+  if (prev != kInvalidServer) {
+    bucket_next_[static_cast<size_t>(prev)] = next;
+  } else {
+    bucket_head_[static_cast<size_t>(server_bucket_[static_cast<size_t>(id)])] = next;
+  }
+  if (next != kInvalidServer) {
+    bucket_prev_[static_cast<size_t>(next)] = prev;
+  }
+}
+
+void Cluster::OnGpuFreeChanged(GpuId id) {
+  ServerId sid = gpus_[static_cast<size_t>(id)].server();
+  const Server& s = servers_[static_cast<size_t>(sid)];
+  // Per-server GPU counts are tiny (<= 4 in every config), so recomputing the maxima
+  // is cheaper than maintaining per-server heaps.
+  Bytes mx = 0;
+  double headroom = 0.0;
+  for (GpuId g : s.gpus) {
+    const Gpu& gpu = gpus_[static_cast<size_t>(g)];
+    mx = std::max(mx, gpu.free_memory());
+    headroom = std::max(headroom, std::max(0.0, 1.0 - gpu.sm_utilization()));
+  }
+  server_max_headroom_[static_cast<size_t>(sid)] = headroom;
+  if (mx == server_max_free_[static_cast<size_t>(sid)]) {
+    return;
+  }
+  server_max_free_[static_cast<size_t>(sid)] = mx;
+  int bucket = BucketFor(mx);
+  if (bucket != server_bucket_[static_cast<size_t>(sid)]) {
+    BucketRemove(sid);
+    BucketInsert(sid, bucket);
+  }
 }
 
 std::vector<GpuId> Cluster::AllGpuIds() const {
@@ -81,11 +169,16 @@ std::vector<GpuId> Cluster::AllGpuIds() const {
 
 std::vector<GpuId> Cluster::GpusWithFreeMemory(Bytes bytes) const {
   std::vector<GpuId> out;
-  for (const Gpu& g : gpus_) {
-    if (g.free_memory() >= bytes) {
-      out.push_back(g.id());
+  // Server-major enumeration through the free index: servers whose best GPU cannot
+  // fit are skipped wholesale. The final sort fixes a deterministic order, so the
+  // unordered bucket visit is invisible to callers.
+  ForEachServerWithFreeAtLeast(bytes, [&](ServerId sid) {
+    for (GpuId g : server(sid).gpus) {
+      if (gpu(g).free_memory() >= bytes) {
+        out.push_back(g);
+      }
     }
-  }
+  });
   std::sort(out.begin(), out.end(), [this](GpuId a, GpuId b) {
     Bytes fa = gpu(a).free_memory();
     Bytes fb = gpu(b).free_memory();
@@ -100,6 +193,9 @@ std::vector<GpuId> Cluster::GpusWithFreeMemory(Bytes bytes) const {
 std::vector<GpuId> Cluster::BestColocatedGroup(Bytes bytes_per_gpu) const {
   std::vector<GpuId> best;
   for (const Server& s : servers_) {
+    if (server_max_free_[static_cast<size_t>(s.id)] < bytes_per_gpu) {
+      continue;  // no GPU on this server fits even one
+    }
     std::vector<GpuId> eligible;
     for (GpuId g : s.gpus) {
       if (gpu(g).free_memory() >= bytes_per_gpu) {

@@ -6,6 +6,12 @@
 // made by the serving system under test. Control-plane code only sees free memory,
 // topology relations and link tiers, which is exactly the information a real scheduler
 // gets from the Kubernetes API + NVML.
+//
+// The cluster additionally maintains an incremental free-GPU index: a per-server
+// free-memory maximum plus bucketed lists of servers keyed by that maximum, updated on
+// every Reserve/Release/SetBackground. Placement-time candidate enumeration
+// (ForEachServerWithFreeAtLeast) then visits only servers that can possibly satisfy a
+// stage's memory need, instead of scanning every GPU in the cluster.
 #ifndef FLEXPIPE_SRC_CLUSTER_TOPOLOGY_H_
 #define FLEXPIPE_SRC_CLUSTER_TOPOLOGY_H_
 
@@ -35,6 +41,8 @@ struct BackgroundTenant {
   Bytes memory = 0;
   double sm_load = 0.0;     // fraction of SM capacity consumed
 };
+
+class Cluster;
 
 class Gpu {
  public:
@@ -70,6 +78,8 @@ class Gpu {
   void SetBackground(Bytes memory, double sm_load, int tenants);
 
  private:
+  friend class Cluster;
+
   GpuId id_;
   ServerId server_;
   GpuSpec spec_;
@@ -78,6 +88,8 @@ class Gpu {
   int tenant_count_ = 0;
   Bytes reserved_memory_ = 0;
   double reserved_sm_ = 0.0;
+  // Owning cluster for free-index maintenance; null for standalone Gpu objects.
+  Cluster* owner_ = nullptr;
 };
 
 struct Server {
@@ -107,6 +119,9 @@ struct ClusterConfig {
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
+  // GPUs hold a back-pointer into the cluster for index maintenance.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   int gpu_count() const { return static_cast<int>(gpus_.size()); }
   int server_count() const { return static_cast<int>(servers_.size()); }
@@ -140,6 +155,34 @@ class Cluster {
   // feasibility measurements); returns the GPU ids of the best server.
   std::vector<GpuId> BestColocatedGroup(Bytes bytes_per_gpu) const;
 
+  // -- Free-GPU index -------------------------------------------------------------------
+  // Largest single-GPU free memory on `id` (0 for CPU-only servers).
+  Bytes server_max_free(ServerId id) const {
+    return server_max_free_[static_cast<size_t>(id)];
+  }
+  // Largest single-GPU SM headroom (max over GPUs of max(0, 1 - sm_utilization)) on
+  // `id`; lets the placer bound per-server scores without touching each GPU.
+  double server_max_headroom(ServerId id) const {
+    return server_max_headroom_[static_cast<size_t>(id)];
+  }
+  // Visits every server whose free-memory maximum is >= `bytes`, via the bucketed
+  // index: servers that cannot host any stage of size `bytes` are never touched.
+  // Buckets are visited from most-free downward so score-bound pruning locks onto a
+  // strong incumbent early; visit order within a bucket is unspecified — callers
+  // needing determinism must make their selection order-invariant (e.g. argmax with
+  // an explicit id tie-break).
+  template <typename Fn>
+  void ForEachServerWithFreeAtLeast(Bytes bytes, Fn&& fn) const {
+    for (int b = static_cast<int>(bucket_head_.size()) - 1; b >= BucketFor(bytes); --b) {
+      for (ServerId s = bucket_head_[static_cast<size_t>(b)]; s != kInvalidServer;
+           s = bucket_next_[static_cast<size_t>(s)]) {
+        if (server_max_free_[static_cast<size_t>(s)] >= bytes) {
+          fn(s);
+        }
+      }
+    }
+  }
+
   // Host-memory accounting used by the parameter cache.
   bool TryReserveHostMemory(ServerId id, Bytes bytes);
   void ReleaseHostMemory(ServerId id, Bytes bytes);
@@ -150,9 +193,35 @@ class Cluster {
   double MeanSubscriptionRate() const;  // subscribers per GPU, 1.0 == 100%
 
  private:
+  friend class Gpu;
+
+  // Bucket granularity: 1 GiB per bucket, clamped to the largest GPU capacity. A
+  // server's bucket only depends on its free-memory maximum, so moves are O(1)
+  // intrusive-list splices and queries skip whole buckets below the need.
+  int BucketFor(Bytes bytes) const {
+    if (bytes <= 0) {
+      return 0;
+    }
+    int b = static_cast<int>(bytes >> 30);
+    int last = static_cast<int>(bucket_head_.size()) - 1;
+    return b < last ? b : last;
+  }
+  void OnGpuFreeChanged(GpuId id);
+  void BucketInsert(ServerId id, int bucket);
+  void BucketRemove(ServerId id);
+  void RebuildFreeIndex();
+
   std::vector<Gpu> gpus_;
   std::vector<Server> servers_;
   std::vector<Rack> racks_;
+
+  // Free-GPU index state (see ForEachServerWithFreeAtLeast).
+  std::vector<Bytes> server_max_free_;
+  std::vector<double> server_max_headroom_;
+  std::vector<int> server_bucket_;
+  std::vector<ServerId> bucket_head_;   // per bucket, head of intrusive list
+  std::vector<ServerId> bucket_next_;   // per server
+  std::vector<ServerId> bucket_prev_;   // per server
 };
 
 // The evaluation cluster from §9 (42 servers / 82 GPUs).

@@ -1,37 +1,63 @@
 #include "src/core/allocation.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/common/macros.h"
 
 namespace flexpipe {
 
-void ModelPlacementRegistry::Add(GpuId gpu, int model_id) { ++by_gpu_[gpu][model_id]; }
+ModelPlacementRegistry::ModelPlacementRegistry(int gpu_count_hint) {
+  if (gpu_count_hint > 0) {
+    by_gpu_.resize(static_cast<size_t>(gpu_count_hint));
+  }
+}
+
+void ModelPlacementRegistry::Add(GpuId gpu, int model_id) {
+  FLEXPIPE_CHECK(gpu >= 0);
+  if (static_cast<size_t>(gpu) >= by_gpu_.size()) {
+    by_gpu_.resize(static_cast<size_t>(gpu) + 1);
+  }
+  for (ModelCount& mc : by_gpu_[static_cast<size_t>(gpu)]) {
+    if (mc.model_id == model_id) {
+      ++mc.count;
+      return;
+    }
+  }
+  by_gpu_[static_cast<size_t>(gpu)].push_back(ModelCount{model_id, 1});
+}
 
 void ModelPlacementRegistry::Remove(GpuId gpu, int model_id) {
-  auto it = by_gpu_.find(gpu);
-  FLEXPIPE_CHECK(it != by_gpu_.end());
-  auto mit = it->second.find(model_id);
-  FLEXPIPE_CHECK(mit != it->second.end());
-  if (--mit->second == 0) {
-    it->second.erase(mit);
+  FLEXPIPE_CHECK(gpu >= 0 && static_cast<size_t>(gpu) < by_gpu_.size());
+  auto& models = by_gpu_[static_cast<size_t>(gpu)];
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (models[i].model_id == model_id) {
+      if (--models[i].count == 0) {
+        models.erase(models.begin() + static_cast<long>(i));
+      }
+      return;
+    }
   }
-  if (it->second.empty()) {
-    by_gpu_.erase(it);
-  }
+  FLEXPIPE_CHECK_MSG(false, "Remove of a (gpu, model) pair that was never Added");
 }
 
 bool ModelPlacementRegistry::HostsModel(GpuId gpu, int model_id) const {
-  auto it = by_gpu_.find(gpu);
-  if (it == by_gpu_.end()) {
+  if (gpu < 0 || static_cast<size_t>(gpu) >= by_gpu_.size()) {
     return false;
   }
-  return it->second.count(model_id) > 0;
+  for (const ModelCount& mc : by_gpu_[static_cast<size_t>(gpu)]) {
+    if (mc.model_id == model_id) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int ModelPlacementRegistry::ModelsOn(GpuId gpu) const {
-  auto it = by_gpu_.find(gpu);
-  return it == by_gpu_.end() ? 0 : static_cast<int>(it->second.size());
+  if (gpu < 0 || static_cast<size_t>(gpu) >= by_gpu_.size()) {
+    return 0;
+  }
+  return static_cast<int>(by_gpu_[static_cast<size_t>(gpu)].size());
 }
 
 TopologyAwarePlacer::TopologyAwarePlacer(Cluster* cluster, const NetworkModel* network,
@@ -80,6 +106,137 @@ double TopologyAwarePlacer::ScoreGpu(const Gpu& gpu, Bytes need, int /*model_id*
 std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, int model_id,
                                                     double cv, const ServerScoreFn& hrg_penalty,
                                                     const ServerScoreFn& affinity_bonus) const {
+  std::vector<GpuId> chosen;
+  chosen.reserve(static_cast<size_t>(plan.num_stages()));
+
+  if (scratch_.size() < static_cast<size_t>(cluster_->server_count())) {
+    scratch_.resize(static_cast<size_t>(cluster_->server_count()));
+  }
+  ++scratch_epoch_;
+  const uint64_t epoch = scratch_epoch_;
+
+  // Eq. 9 penalty depends only on (config, cv): hoist it out of the candidate loop.
+  // The expression matches ScoreGpu's verbatim, so the value is bit-identical.
+  const double gamma = config_.gamma0 * (1.0 + config_.alpha_cv * cv * cv);
+
+  GpuId prev = kInvalidGpu;
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    const Bytes need = plan.stages[static_cast<size_t>(s)].param_bytes;
+    const ServerId prev_server = prev == kInvalidGpu ? kInvalidServer : cluster_->ServerOf(prev);
+    const RackId prev_rack = prev == kInvalidGpu ? -1 : cluster_->RackOf(prev_server);
+
+    GpuId best = kInvalidGpu;
+    double best_score = -1e18;
+
+    cluster_->ForEachServerWithFreeAtLeast(need, [&](ServerId sid) {
+      const Server& server = cluster_->server(sid);
+      if (server.gpus.empty()) {
+        return;
+      }
+      // Topology bonus is a per-server constant for this stage (prev is excluded from
+      // candidacy, so the kSameGpu tier cannot occur).
+      double topo_bonus = 0.0;
+      if (prev != kInvalidGpu) {
+        if (sid == prev_server) {
+          topo_bonus = config_.topo_bonus_server;
+        } else if (cluster_->RackOf(sid) == prev_rack) {
+          topo_bonus = config_.topo_bonus_rack;
+        }
+      }
+
+      // Upper bound on any score this server can produce, built with the same operation
+      // order as ScoreGpu (fp add/mul by non-negative constants are monotone, so each
+      // step keeps bound >= score): headroom <= 1, mem_slack <= server-max slack, the
+      // multiplexing penalty only subtracts (a negative gamma is credited instead).
+      // Phase 1 is hook-free — the HRG penalty only subtracts and the affinity bonus
+      // is at most config.affinity_weight (hooks return values in [0, 1]) — so servers
+      // that cannot beat the incumbent skip the hook snapshot entirely. Both prunes
+      // are strict <: a server whose bound ties the incumbent could still hold an
+      // equal-scoring GPU with a lower id, which the tie-break must see.
+      const Gpu& first_gpu = cluster_->gpu(server.gpus.front());
+      double slack_max = static_cast<double>(cluster_->server_max_free(sid) - need) /
+                         static_cast<double>(first_gpu.memory_capacity());
+      double base_bound =
+          cluster_->server_max_headroom(sid) * 0.7 + slack_max * 0.3;
+      if (gamma < 0.0) {
+        base_bound -= gamma;
+      }
+      if (prev != kInvalidGpu) {
+        base_bound += topo_bonus;
+      }
+      const double max_affinity = std::max(config_.affinity_weight, 0.0);
+      if ((affinity_bonus ? base_bound + max_affinity : base_bound) < best_score) {
+        return;
+      }
+
+      // Snapshot the scaling-layer hook values once per server per placement call.
+      ServerScratch& scratch = scratch_[static_cast<size_t>(sid)];
+      if (scratch.epoch != epoch) {
+        scratch.epoch = epoch;
+        scratch.hrg_term = hrg_penalty ? config_.hrg_weight * hrg_penalty(sid) : 0.0;
+        scratch.affinity_term =
+            affinity_bonus ? config_.affinity_weight * affinity_bonus(sid) : 0.0;
+      }
+
+      // Phase 2: tighten with the snapshotted terms.
+      double bound = base_bound;
+      if (hrg_penalty) {
+        bound -= scratch.hrg_term;
+      }
+      if (affinity_bonus) {
+        bound += scratch.affinity_term;
+      }
+      if (bound < best_score) {
+        return;
+      }
+
+      for (GpuId id : server.gpus) {
+        const Gpu& gpu = cluster_->gpu(id);
+        if (gpu.free_memory() < need) {
+          continue;  // Eq. 7
+        }
+        if (registry_->HostsModel(id, model_id) ||
+            std::find(chosen.begin(), chosen.end(), id) != chosen.end()) {
+          continue;  // same-model anti-colocation (hard rule, §6.2)
+        }
+        // Same expression sequence as ScoreGpu, with the per-server terms snapshotted.
+        double headroom = std::max(0.0, 1.0 - gpu.sm_utilization());
+        double mem_slack = static_cast<double>(gpu.free_memory() - need) /
+                           static_cast<double>(gpu.memory_capacity());
+        double score = headroom * 0.7 + mem_slack * 0.3;
+        if (registry_->ModelsOn(id) > 0) {
+          score -= gamma;
+        }
+        if (prev != kInvalidGpu) {
+          score += topo_bonus;
+        }
+        if (hrg_penalty) {
+          score -= scratch.hrg_term;
+        }
+        if (affinity_bonus) {
+          score += scratch.affinity_term;
+        }
+        // Argmax with lowest-id tie-break: order-invariant, so the unordered bucket
+        // visit yields the exact GPU the id-ascending full scan used to pick.
+        if (score > best_score || (score == best_score && id < best)) {
+          best_score = score;
+          best = id;
+        }
+      }
+    });
+
+    if (best == kInvalidGpu) {
+      return {};
+    }
+    chosen.push_back(best);
+    prev = best;
+  }
+  return chosen;
+}
+
+std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
+    const PipelinePlan& plan, int model_id, double cv, const ServerScoreFn& hrg_penalty,
+    const ServerScoreFn& affinity_bonus) const {
   std::vector<GpuId> chosen;
   chosen.reserve(static_cast<size_t>(plan.num_stages()));
   std::unordered_set<GpuId> used_here;

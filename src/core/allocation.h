@@ -9,12 +9,19 @@
 // and boosted by affinity (Eq. 13) when the server holds warm parameters.
 // Hard constraints: per-GPU memory (Eq. 7) and the same-model anti-colocation rule —
 // two stages of one model never share a GPU, across all of that model's instances.
+//
+// The production path (PlaceStages) runs in O(candidates), not O(cluster): stages
+// enumerate servers through the cluster's bucketed free-GPU index, per-server score
+// terms (HRG penalty, affinity, topology bonus) are snapshotted into a scratch array
+// once per server per call instead of per-candidate std::function invocations, and a
+// per-server score upper bound prunes whole servers that cannot beat the incumbent.
+// PlaceStagesReference keeps the naive full-scan argmax; both pick bit-identical GPUs
+// (argmax with an explicit lowest-id tie-break), which the randomized equivalence
+// suite and the placement_storm bench's speedup measurement both rely on.
 #ifndef FLEXPIPE_SRC_CORE_ALLOCATION_H_
 #define FLEXPIPE_SRC_CORE_ALLOCATION_H_
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/cluster/network.h"
@@ -35,15 +42,24 @@ struct PlacementConfig {
 
 // Tracks which GPUs host which models' stages (for the anti-colocation rule and the
 // multiplexing penalty). The serving system updates it on placement and release.
+// Storage is a flat per-GPU vector of (model, count) pairs — GPUs host at most a
+// handful of models, so a linear scan beats hashing on the placement hot path.
 class ModelPlacementRegistry {
  public:
+  // Pre-sizes the per-GPU table; Add() grows it on demand for ids beyond the hint.
+  explicit ModelPlacementRegistry(int gpu_count_hint = 0);
+
   void Add(GpuId gpu, int model_id);
   void Remove(GpuId gpu, int model_id);
   bool HostsModel(GpuId gpu, int model_id) const;
   int ModelsOn(GpuId gpu) const;
 
  private:
-  std::unordered_map<GpuId, std::unordered_map<int, int>> by_gpu_;
+  struct ModelCount {
+    int model_id = 0;
+    int count = 0;
+  };
+  std::vector<std::vector<ModelCount>> by_gpu_;
 };
 
 class TopologyAwarePlacer {
@@ -51,6 +67,8 @@ class TopologyAwarePlacer {
   // Optional scoring hooks supplied by the scaling layer:
   //   hrg_penalty(server)    in [0, 1], 1 = heavily contended
   //   affinity_bonus(server) in [0, 1], 1 = fully warm
+  // Invoked at most once per candidate server per PlaceStages call (the results are
+  // snapshotted), so they may close over per-call state cheaply.
   using ServerScoreFn = std::function<double(ServerId)>;
 
   TopologyAwarePlacer(Cluster* cluster, const NetworkModel* network,
@@ -63,9 +81,23 @@ class TopologyAwarePlacer {
                                  const ServerScoreFn& hrg_penalty,
                                  const ServerScoreFn& affinity_bonus) const;
 
+  // Naive full-cluster scan (the pre-index implementation, kept verbatim): reference
+  // for the randomized equivalence suite and the placement_storm bench's baseline mode.
+  std::vector<GpuId> PlaceStagesReference(const PipelinePlan& plan, int model_id, double cv,
+                                          const ServerScoreFn& hrg_penalty,
+                                          const ServerScoreFn& affinity_bonus) const;
+
   const PlacementConfig& config() const { return config_; }
 
  private:
+  // Per-server score terms snapshotted once per PlaceStages call; `epoch` tags
+  // validity so the scratch array never needs clearing between calls.
+  struct ServerScratch {
+    uint64_t epoch = 0;
+    double hrg_term = 0.0;       // config.hrg_weight * hrg_penalty(server)
+    double affinity_term = 0.0;  // config.affinity_weight * affinity_bonus(server)
+  };
+
   double ScoreGpu(const Gpu& gpu, Bytes need, int model_id, double cv, GpuId prev_gpu,
                   const ServerScoreFn& hrg_penalty, const ServerScoreFn& affinity_bonus) const;
 
@@ -73,6 +105,9 @@ class TopologyAwarePlacer {
   const NetworkModel* network_;
   const ModelPlacementRegistry* registry_;
   PlacementConfig config_;
+
+  mutable std::vector<ServerScratch> scratch_;
+  mutable uint64_t scratch_epoch_ = 0;
 };
 
 }  // namespace flexpipe

@@ -444,8 +444,7 @@ void FlexPipeSystem::TickModel(ModelContext& model) {
     const GranularityOption& opt = model.granularity.OptionFor(model.current_stages);
     int queued = router_.queue_length_for(model_id);
     bool feasible = SloFeasible(model.config.default_slo, FromSeconds(3.0),
-                                opt.throughput_rps, ActiveOrLoadingForModel(model_id),
-                                queued, queued);
+                                opt.throughput_rps, ActiveOrLoadingForModel(model_id), queued);
     if (!feasible || qnorm > 0.25) {
       needed = std::max(needed, ActiveOrLoadingForModel(model_id) + (qnorm > 0.6 ? 2 : 1));
     }

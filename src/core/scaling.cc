@@ -16,7 +16,7 @@ int ScalingGranularity(double cv, double queue_normalized, const ScalingConfig& 
 }
 
 bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, int m,
-                 int queue_length, int required) {
+                 int required) {
   if (required <= 0) {
     return true;
   }
@@ -24,15 +24,19 @@ bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, in
   if (usable_s <= 0.0) {
     return false;
   }
+  // Eq. 12 as written divides both sides by the backlog Q_j; the divisor cancels.
   double capacity = usable_s * per_stage_rps * static_cast<double>(m);
-  double backlog = std::max(1.0, static_cast<double>(queue_length));
-  return capacity / backlog >= static_cast<double>(required) / backlog;
+  return capacity >= static_cast<double>(required);
 }
 
 HierarchicalResourceGraph::HierarchicalResourceGraph(const Cluster* cluster,
                                                      const Config& config)
     : cluster_(cluster), config_(config) {
   FLEXPIPE_CHECK(cluster != nullptr);
+  server_events_.resize(static_cast<size_t>(cluster->server_count()));
+  rack_events_.resize(static_cast<size_t>(cluster->rack_count()));
+  server_streams_.assign(static_cast<size_t>(cluster->server_count()), 0);
+  rack_streams_.assign(static_cast<size_t>(cluster->rack_count()), 0);
 }
 
 double HierarchicalResourceGraph::Read(const DecayedCounter& counter, TimeNs now) const {
@@ -47,25 +51,17 @@ void HierarchicalResourceGraph::Bump(DecayedCounter& counter, TimeNs now) {
 }
 
 void HierarchicalResourceGraph::RecordScalingEvent(ServerId server, TimeNs now) {
-  Bump(server_events_[server], now);
-  Bump(rack_events_[cluster_->RackOf(server)], now);
+  Bump(server_events_[static_cast<size_t>(server)], now);
+  Bump(rack_events_[static_cast<size_t>(cluster_->RackOf(server))], now);
 }
 
 double HierarchicalResourceGraph::ServerContention(ServerId server, TimeNs now) const {
-  auto it = server_events_.find(server);
-  if (it == server_events_.end()) {
-    return 0.0;
-  }
-  double v = Read(it->second, now);
+  double v = Read(server_events_[static_cast<size_t>(server)], now);
   return v / (v + 1.0);  // squash to [0, 1)
 }
 
 double HierarchicalResourceGraph::RackContention(RackId rack, TimeNs now) const {
-  auto it = rack_events_.find(rack);
-  if (it == rack_events_.end()) {
-    return 0.0;
-  }
-  double v = Read(it->second, now);
+  double v = Read(rack_events_[static_cast<size_t>(rack)], now);
   return v / (v + 3.0);  // racks tolerate more concurrency before contending
 }
 
@@ -75,18 +71,18 @@ double HierarchicalResourceGraph::PlacementPenalty(ServerId server, TimeNs now) 
 }
 
 void HierarchicalResourceGraph::AddLoadStream(ServerId server) {
-  ++server_streams_[server];
-  ++rack_streams_[cluster_->RackOf(server)];
+  ++server_streams_[static_cast<size_t>(server)];
+  ++rack_streams_[static_cast<size_t>(cluster_->RackOf(server))];
   ++cluster_streams_;
 }
 
 void HierarchicalResourceGraph::RemoveLoadStream(ServerId server) {
-  auto sit = server_streams_.find(server);
-  FLEXPIPE_CHECK(sit != server_streams_.end() && sit->second > 0);
-  --sit->second;
-  auto rit = rack_streams_.find(cluster_->RackOf(server));
-  FLEXPIPE_CHECK(rit != rack_streams_.end() && rit->second > 0);
-  --rit->second;
+  int& s_streams = server_streams_[static_cast<size_t>(server)];
+  FLEXPIPE_CHECK(s_streams > 0);
+  --s_streams;
+  int& r_streams = rack_streams_[static_cast<size_t>(cluster_->RackOf(server))];
+  FLEXPIPE_CHECK(r_streams > 0);
+  --r_streams;
   FLEXPIPE_CHECK(cluster_streams_ > 0);
   --cluster_streams_;
 }
@@ -95,12 +91,10 @@ double HierarchicalResourceGraph::LoadSlowdown(ServerId server) const {
   auto level = [](int streams, int capacity) {
     return std::max(1.0, static_cast<double>(streams + 1) / capacity);
   };
-  auto sit = server_streams_.find(server);
-  int s_streams = sit == server_streams_.end() ? 0 : sit->second;
-  auto rit = rack_streams_.find(cluster_->RackOf(server));
-  int r_streams = rit == rack_streams_.end() ? 0 : rit->second;
-  double worst = level(s_streams, config_.server_stream_capacity);
-  worst = std::max(worst, level(r_streams, config_.rack_stream_capacity));
+  double worst = level(server_streams_[static_cast<size_t>(server)],
+                       config_.server_stream_capacity);
+  worst = std::max(worst, level(rack_streams_[static_cast<size_t>(cluster_->RackOf(server))],
+                                config_.rack_stream_capacity));
   worst = std::max(worst, level(cluster_streams_, config_.cluster_stream_capacity));
   return worst;
 }

@@ -28,11 +28,12 @@ struct ScalingConfig {
 // coarse to fine scaling as burstiness times backlog grows.
 int ScalingGranularity(double cv, double queue_normalized, const ScalingConfig& config);
 
-// Eq. 12: (T_j - S_j) Σ μ_jk / Q_j >= r_j — can `m` expanded stages, each with
-// throughput `per_stage_rps`, work off `required` requests before the SLO deadline,
-// accounting for initialization time?
+// Eq. 12: (T_j - S_j) Σ μ_jk >= r_j — can `m` expanded stages, each with throughput
+// `per_stage_rps`, work off `required` requests before the SLO deadline, accounting
+// for initialization time? (The paper normalizes both sides by the backlog Q_j; the
+// divisor cancels, so the comparison is capacity >= required directly.)
 bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, int m,
-                 int queue_length, int required);
+                 int required);
 
 // Hierarchical Resource Graph (§7): tracks scaling events and parameter-load streams at
 // server, rack and cluster levels so concurrent scale-ups spread across the fabric
@@ -72,10 +73,12 @@ class HierarchicalResourceGraph {
 
   const Cluster* cluster_;
   Config config_;
-  std::unordered_map<ServerId, DecayedCounter> server_events_;
-  std::unordered_map<RackId, DecayedCounter> rack_events_;
-  std::unordered_map<ServerId, int> server_streams_;
-  std::unordered_map<RackId, int> rack_streams_;
+  // Flat per-server / per-rack state (cluster shape is fixed at construction): the
+  // placer reads these once per candidate server, so lookups must be loads, not hashes.
+  std::vector<DecayedCounter> server_events_;
+  std::vector<DecayedCounter> rack_events_;
+  std::vector<int> server_streams_;
+  std::vector<int> rack_streams_;
   int cluster_streams_ = 0;
 };
 

@@ -9,7 +9,11 @@ namespace flexpipe {
 
 ServingSystemBase::ServingSystemBase(const SystemContext& ctx, std::string name,
                                      TimeNs default_slo)
-    : ctx_(ctx), name_(std::move(name)), router_(ctx.sim), metrics_(default_slo) {
+    : ctx_(ctx),
+      name_(std::move(name)),
+      router_(ctx.sim),
+      metrics_(default_slo),
+      placement_registry_(ctx.cluster != nullptr ? ctx.cluster->gpu_count() : 0) {
   FLEXPIPE_CHECK(ctx.sim != nullptr && ctx.cluster != nullptr && ctx.network != nullptr &&
                  ctx.transfer != nullptr && ctx.allocator != nullptr &&
                  ctx.cost_model != nullptr);

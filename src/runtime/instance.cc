@@ -37,9 +37,12 @@ PipelineInstance::PipelineInstance(Simulation* sim, int id, const PipelinePlan& 
   TimeNs overhead = FromMillis(cost_model_->config().per_stage_overhead_ms);
 
   stages_.resize(static_cast<size_t>(plan_.num_stages()));
+  stage_busy_until_.assign(stages_.size(), 0);
+  stage_busy_accum_.assign(stages_.size(), 0);
+  stage_stall_accum_.assign(stages_.size(), 0);
   for (int s = 0; s < plan_.num_stages(); ++s) {
     const StagePlan& sp = plan_.stages[static_cast<size_t>(s)];
-    StageRuntime& rt = stages_[static_cast<size_t>(s)];
+    StageConfig& rt = stages_[static_cast<size_t>(s)];
     rt.gpu = gpus_[static_cast<size_t>(s)];
     rt.overhead = overhead;
     rt.prefill_per_token = sp.compute_time / std::max(1, spec.context_window);
@@ -84,8 +87,8 @@ void PipelineInstance::ActivateNow() {
   state_ = InstanceState::kActive;
   activated_at_ = sim_->now();
   last_all_idle_ = sim_->now();
-  for (StageRuntime& s : stages_) {
-    s.busy_until = sim_->now();
+  for (TimeNs& busy_until : stage_busy_until_) {
+    busy_until = sim_->now();
   }
   for (const auto& callback : on_activate_) {
     callback();
@@ -207,50 +210,53 @@ void PipelineInstance::CheckHaltAndDrain() {
   }
 }
 
-TimeNs PipelineInstance::StageIterationTime(const StageRuntime& stage, int prefill_tokens,
+TimeNs PipelineInstance::StageIterationTime(size_t stage, int prefill_tokens,
                                             int decode_batch) const {
-  TimeNs t = stage.overhead;
+  const StageConfig& cfg = stages_[stage];
+  TimeNs t = cfg.overhead;
   if (prefill_tokens > 0) {
-    t += stage.prefill_per_token * prefill_tokens;
+    t += cfg.prefill_per_token * prefill_tokens;
   }
   if (decode_batch > 0) {
     double slope = cost_model_->config().decode_batch_slope;
-    t += static_cast<TimeNs>(static_cast<double>(stage.decode_base) *
+    t += static_cast<TimeNs>(static_cast<double>(cfg.decode_base) *
                              (1.0 + slope * static_cast<double>(decode_batch - 1)));
   }
   return static_cast<TimeNs>(static_cast<double>(t) * config_.compute_dilation);
 }
 
-TimeNs PipelineInstance::StageCommTime(const StageRuntime& stage, int prefill_tokens,
+TimeNs PipelineInstance::StageCommTime(size_t stage, int prefill_tokens,
                                        int decode_batch) const {
-  Bytes bytes = stage.prefill_act_per_token * prefill_tokens +
-                stage.decode_act_per_req * decode_batch;
-  return stage.comm_latency + TransferTime(bytes, stage.comm_bandwidth);
+  const StageConfig& cfg = stages_[stage];
+  Bytes bytes = cfg.prefill_act_per_token * prefill_tokens +
+                cfg.decode_act_per_req * decode_batch;
+  return cfg.comm_latency + TransferTime(bytes, cfg.comm_bandwidth);
 }
 
-TimeNs PipelineInstance::DecodeIterationTime(const StageRuntime& stage,
-                                             int decode_batch) const {
+TimeNs PipelineInstance::DecodeIterationTime(size_t stage, int decode_batch) const {
   if (decode_batch < 0 || decode_batch > config_.per_group_capacity) {
     return StageIterationTime(stage, 0, decode_batch);  // InjectDecoding can overfill
   }
-  if (stage.decode_cache.empty()) {
-    stage.decode_cache.assign(static_cast<size_t>(config_.per_group_capacity) + 1, {-1, -1});
+  const size_t stride = static_cast<size_t>(config_.per_group_capacity) + 1;
+  if (decode_cache_.empty()) {
+    decode_cache_.assign(stages_.size() * stride, {-1, -1});
   }
-  TimeNs& slot = stage.decode_cache[static_cast<size_t>(decode_batch)].first;
+  TimeNs& slot = decode_cache_[stage * stride + static_cast<size_t>(decode_batch)].first;
   if (slot < 0) {
     slot = StageIterationTime(stage, 0, decode_batch);
   }
   return slot;
 }
 
-TimeNs PipelineInstance::DecodeCommTime(const StageRuntime& stage, int decode_batch) const {
+TimeNs PipelineInstance::DecodeCommTime(size_t stage, int decode_batch) const {
   if (decode_batch < 0 || decode_batch > config_.per_group_capacity) {
     return StageCommTime(stage, 0, decode_batch);
   }
-  if (stage.decode_cache.empty()) {
-    stage.decode_cache.assign(static_cast<size_t>(config_.per_group_capacity) + 1, {-1, -1});
+  const size_t stride = static_cast<size_t>(config_.per_group_capacity) + 1;
+  if (decode_cache_.empty()) {
+    decode_cache_.assign(stages_.size() * stride, {-1, -1});
   }
-  TimeNs& slot = stage.decode_cache[static_cast<size_t>(decode_batch)].second;
+  TimeNs& slot = decode_cache_[stage * stride + static_cast<size_t>(decode_batch)].second;
   if (slot < 0) {
     slot = StageCommTime(stage, 0, decode_batch);
   }
@@ -321,24 +327,25 @@ void PipelineInstance::TryStart(size_t group_index) {
   // bubbles with work waiting are lost capacity; bubbles without backlog are just the
   // pipeline's natural fill/drain behaviour.
   const bool backlog = !pending_.empty();
-  for (size_t s = 0; s < stages_.size(); ++s) {
-    StageRuntime& stage = stages_[s];
-    TimeNs start = std::max(t, stage.busy_until);
+  const size_t num_stages = stages_.size();
+  for (size_t s = 0; s < num_stages; ++s) {
+    const TimeNs busy_until = stage_busy_until_[s];
+    TimeNs start = std::max(t, busy_until);
     if (s == 0) {
       start0 = start;
     }
-    if (backlog && start > stage.busy_until && stage.busy_until >= last_all_idle_) {
-      stage.stall_accum += start - stage.busy_until;
+    if (backlog && start > busy_until && busy_until >= last_all_idle_) {
+      stage_stall_accum_[s] += start - busy_until;
     }
-    TimeNs st = prefill_tokens == 0 ? DecodeIterationTime(stage, decode_batch)
-                                    : StageIterationTime(stage, prefill_tokens, decode_batch);
-    stage.busy_until = start + st;
-    stage.busy_accum += st;
+    TimeNs st = prefill_tokens == 0 ? DecodeIterationTime(s, decode_batch)
+                                    : StageIterationTime(s, prefill_tokens, decode_batch);
+    stage_busy_until_[s] = start + st;
+    stage_busy_accum_[s] += st;
     exec_total += st;
-    t = stage.busy_until;
-    if (s + 1 < stages_.size()) {
-      TimeNs c = prefill_tokens == 0 ? DecodeCommTime(stage, decode_batch)
-                                     : StageCommTime(stage, prefill_tokens, decode_batch);
+    t = start + st;
+    if (s + 1 < num_stages) {
+      TimeNs c = prefill_tokens == 0 ? DecodeCommTime(s, decode_batch)
+                                     : StageCommTime(s, prefill_tokens, decode_batch);
       t += c;
       comm_total += c;
     }
@@ -436,9 +443,9 @@ void PipelineInstance::NoteMaybeIdle() {
 TimeNs PipelineInstance::EstimateTraversal(int group_batch) const {
   TimeNs total = 0;
   for (size_t s = 0; s < stages_.size(); ++s) {
-    total += DecodeIterationTime(stages_[s], group_batch);
+    total += DecodeIterationTime(s, group_batch);
     if (s + 1 < stages_.size()) {
-      total += DecodeCommTime(stages_[s], group_batch);
+      total += DecodeCommTime(s, group_batch);
     }
   }
   return total;
@@ -446,7 +453,7 @@ TimeNs PipelineInstance::EstimateTraversal(int group_batch) const {
 
 TimeNs PipelineInstance::EstimateCadence(int group_batch) const {
   TimeNs worst = 0;
-  for (const StageRuntime& s : stages_) {
+  for (size_t s = 0; s < stages_.size(); ++s) {
     worst = std::max(worst, DecodeIterationTime(s, group_batch));
   }
   return worst;
@@ -454,16 +461,16 @@ TimeNs PipelineInstance::EstimateCadence(int group_batch) const {
 
 TimeNs PipelineInstance::TotalStall() const {
   TimeNs total = 0;
-  for (const StageRuntime& s : stages_) {
-    total += s.stall_accum;
+  for (TimeNs stall : stage_stall_accum_) {
+    total += stall;
   }
   return total;
 }
 
 TimeNs PipelineInstance::TotalBusy() const {
   TimeNs total = 0;
-  for (const StageRuntime& s : stages_) {
-    total += s.busy_accum;
+  for (TimeNs busy : stage_busy_accum_) {
+    total += busy;
   }
   return total;
 }

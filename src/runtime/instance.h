@@ -150,7 +150,11 @@ class PipelineInstance {
   TimeNs activated_at() const { return activated_at_; }
 
  private:
-  struct StageRuntime {
+  // Per-stage cold configuration, written once at construction. The per-wave hot
+  // state (busy_until / busy_accum / stall_accum) lives in packed parallel arrays
+  // below so TryStart/FinishIteration walk dense memory instead of striding over
+  // this config (SoA split of the former StageRuntime struct).
+  struct StageConfig {
     GpuId gpu = kInvalidGpu;
     TimeNs prefill_per_token = 0;  // compute per prompt token
     TimeNs decode_base = 0;        // batch-1 decode compute
@@ -159,15 +163,6 @@ class PipelineInstance {
     Bytes decode_act_per_req = 0;
     TimeNs comm_latency = 0;       // to the next stage (unused on the last)
     BytesPerSec comm_bandwidth = 0.0;
-    TimeNs busy_until = 0;
-    TimeNs busy_accum = 0;
-    TimeNs stall_accum = 0;
-    // Lazily-filled decode-only {iteration, comm} times indexed by batch size
-    // (-1 = unset; one array so a wave's paired lookups share a cache line).
-    // Pure-decode waves dominate the event stream and their cost depends only on the
-    // batch, so the arithmetic runs once per (stage, batch); mixed prefill waves carry
-    // per-request token counts and stay on the arithmetic path.
-    mutable std::vector<std::pair<TimeNs, TimeNs>> decode_cache;
   };
 
   struct Group {
@@ -183,12 +178,11 @@ class PipelineInstance {
     bool busy = false;
   };
 
-  TimeNs StageIterationTime(const StageRuntime& stage, int prefill_tokens,
-                            int decode_batch) const;
-  TimeNs StageCommTime(const StageRuntime& stage, int prefill_tokens, int decode_batch) const;
+  TimeNs StageIterationTime(size_t stage, int prefill_tokens, int decode_batch) const;
+  TimeNs StageCommTime(size_t stage, int prefill_tokens, int decode_batch) const;
   // Cached wrappers for the decode-only (prefill_tokens == 0) case.
-  TimeNs DecodeIterationTime(const StageRuntime& stage, int decode_batch) const;
-  TimeNs DecodeCommTime(const StageRuntime& stage, int decode_batch) const;
+  TimeNs DecodeIterationTime(size_t stage, int decode_batch) const;
+  TimeNs DecodeCommTime(size_t stage, int decode_batch) const;
 
   void PumpGroups();
   void TryStart(size_t group_index);
@@ -212,7 +206,18 @@ class PipelineInstance {
   TimeNs load_finish_time_ = -1;
   TimeNs activated_at_ = -1;
 
-  std::vector<StageRuntime> stages_;
+  std::vector<StageConfig> stages_;
+  // Hot per-stage wave state, SoA: the decode-only wave loop touches exactly these
+  // arrays plus the flat decode cache, all packed and indexed by stage.
+  std::vector<TimeNs> stage_busy_until_;
+  std::vector<TimeNs> stage_busy_accum_;
+  std::vector<TimeNs> stage_stall_accum_;
+  // Lazily-filled decode-only {iteration, comm} times, one flat array indexed
+  // [stage * (per_group_capacity + 1) + batch] (-1 = unset; pairs so a wave's paired
+  // lookups share a cache line). Pure-decode waves dominate the event stream and their
+  // cost depends only on the batch, so the arithmetic runs once per (stage, batch);
+  // mixed prefill waves carry per-request token counts and stay on the arithmetic path.
+  mutable std::vector<std::pair<TimeNs, TimeNs>> decode_cache_;
   std::vector<Group> groups_;
   int busy_groups_ = 0;  // count of groups with a wave in flight (== AnyGroupBusy())
   std::deque<Request*> pending_;

@@ -178,10 +178,23 @@ TEST(Scaling, GranularityDecisionSigmoid) {
 
 TEST(Scaling, SloFeasibility) {
   // 10 s deadline, 2 s init, 2 rps per stage, 4 stages -> 64 request capacity.
-  EXPECT_TRUE(SloFeasible(10 * kSecond, 2 * kSecond, 2.0, 4, 32, 32));
+  EXPECT_TRUE(SloFeasible(10 * kSecond, 2 * kSecond, 2.0, 4, 32));
   // 1 s deadline with 2 s init is hopeless.
-  EXPECT_FALSE(SloFeasible(1 * kSecond, 2 * kSecond, 2.0, 4, 32, 32));
-  EXPECT_TRUE(SloFeasible(1 * kSecond, 2 * kSecond, 2.0, 4, 32, 0));
+  EXPECT_FALSE(SloFeasible(1 * kSecond, 2 * kSecond, 2.0, 4, 32));
+  EXPECT_TRUE(SloFeasible(1 * kSecond, 2 * kSecond, 2.0, 4, 0));
+}
+
+TEST(Scaling, SloFeasibilityBoundary) {
+  // Eq. 12's backlog divisor cancels out of both sides, so feasibility is exactly
+  // capacity >= required. Pin the boundary: 4 s usable * 2 rps * 4 stages = 32.
+  EXPECT_TRUE(SloFeasible(6 * kSecond, 2 * kSecond, 2.0, 4, 32));   // capacity == required
+  EXPECT_FALSE(SloFeasible(6 * kSecond, 2 * kSecond, 2.0, 4, 33));  // one over
+  EXPECT_TRUE(SloFeasible(6 * kSecond, 2 * kSecond, 2.0, 4, 31));   // one under
+  // Zero (or negative) required work is always feasible, even with no usable window.
+  EXPECT_TRUE(SloFeasible(2 * kSecond, 2 * kSecond, 2.0, 4, 0));
+  EXPECT_TRUE(SloFeasible(2 * kSecond, 3 * kSecond, 2.0, 4, -1));
+  // Exactly zero usable time with work pending is infeasible.
+  EXPECT_FALSE(SloFeasible(2 * kSecond, 2 * kSecond, 2.0, 4, 1));
 }
 
 // ---------- HRG ----------

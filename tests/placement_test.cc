@@ -1,0 +1,247 @@
+// Randomized equivalence suite for the indexed placement path.
+//
+// PlaceStages must be a pure optimization of the naive full-scan argmax: on any
+// cluster, fragmentation pattern, plan, CV, registry state and scaling-layer hooks,
+// it must pick the exact same GPUs as PlaceStagesReference (same-score ties broken
+// toward the lowest GPU id), including agreeing on infeasibility. The suite also
+// cross-checks the cluster's incremental free-GPU index against brute-force recomputes
+// under reserve/release/background churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/fragmentation.h"
+#include "src/common/rng.h"
+#include "src/core/allocation.h"
+
+namespace flexpipe {
+namespace {
+
+ClusterConfig RandomClusterConfig(Rng& rng) {
+  ClusterConfig config;
+  config.servers_1gpu = static_cast<int>(rng.UniformInt(0, 20));
+  config.servers_2gpu = static_cast<int>(rng.UniformInt(0, 14));
+  config.servers_4gpu = static_cast<int>(rng.UniformInt(0, 8));
+  config.cpu_only_servers = static_cast<int>(rng.UniformInt(0, 3));
+  config.racks = static_cast<int>(rng.UniformInt(1, 8));
+  if (config.servers_1gpu + config.servers_2gpu + config.servers_4gpu == 0) {
+    config.servers_1gpu = 1;  // keep at least one GPU in the cluster
+  }
+  return config;
+}
+
+PipelinePlan RandomPlan(Rng& rng, bool force_infeasible) {
+  PipelinePlan plan;
+  int stages = static_cast<int>(rng.UniformInt(1, 12));
+  for (int s = 0; s < stages; ++s) {
+    StagePlan sp;
+    sp.param_bytes = force_infeasible
+                         ? GiB(100)  // larger than any GPU: no placement can exist
+                         : static_cast<Bytes>(rng.Uniform(0.5, 30.0) * static_cast<double>(GiB(1)));
+    plan.stages.push_back(sp);
+  }
+  return plan;
+}
+
+// Per-server hook values drawn once per case; hooks must honour the [0, 1] contract
+// the placer's bound pruning relies on.
+std::vector<double> RandomServerValues(Rng& rng, int servers) {
+  std::vector<double> values(static_cast<size_t>(servers));
+  for (double& v : values) {
+    v = rng.Uniform();
+  }
+  return values;
+}
+
+TEST(PlacementEquivalence, IndexedMatchesNaiveScanOnRandomClusters) {
+  constexpr int kCases = 320;
+  Rng rng(20260730);
+  int feasible_cases = 0;
+  int infeasible_cases = 0;
+
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    Cluster cluster(RandomClusterConfig(rng));
+    NetworkModel network(&cluster, NetworkConfig{});
+    ModelPlacementRegistry registry(cluster.gpu_count());
+
+    // Random fragmentation: direct background sampling spanning idle to saturated.
+    for (GpuId g = 0; g < cluster.gpu_count(); ++g) {
+      double util = rng.Uniform();
+      if (rng.Bernoulli(0.15)) {
+        util = rng.Uniform(0.9, 1.0);  // saturated tail
+      }
+      cluster.gpu(g).SetBackground(
+          static_cast<Bytes>(util * static_cast<double>(cluster.gpu(g).memory_capacity())),
+          rng.Uniform(), static_cast<int>(rng.UniformInt(0, 4)));
+    }
+
+    // Random pre-existing placements (anti-colocation + multiplexing-penalty state).
+    int pre = static_cast<int>(rng.UniformInt(0, cluster.gpu_count() / 2));
+    for (int i = 0; i < pre; ++i) {
+      GpuId g = static_cast<GpuId>(rng.UniformInt(0, cluster.gpu_count() - 1));
+      Bytes bytes = static_cast<Bytes>(rng.Uniform(0.5, 8.0) * static_cast<double>(GiB(1)));
+      if (cluster.gpu(g).CanReserve(bytes)) {
+        cluster.gpu(g).Reserve(bytes, rng.Uniform(0.0, 0.4));
+        registry.Add(g, static_cast<int>(rng.UniformInt(0, 3)));
+      }
+    }
+
+    // Random placement knobs (weights stay non-negative per the config contract).
+    PlacementConfig config;
+    config.gamma0 = rng.Uniform(0.0, 0.2);
+    config.alpha_cv = rng.Uniform(0.0, 1.0);
+    config.topo_bonus_server = rng.Uniform(0.0, 0.5);
+    config.topo_bonus_rack = rng.Uniform(0.0, 0.3);
+    config.affinity_weight = rng.Uniform(0.0, 0.5);
+    config.hrg_weight = rng.Uniform(0.0, 0.5);
+    TopologyAwarePlacer placer(&cluster, &network, &registry, config);
+
+    bool infeasible = rng.Bernoulli(0.15);
+    PipelinePlan plan = RandomPlan(rng, infeasible);
+    int model_id = static_cast<int>(rng.UniformInt(0, 3));
+    double cv = rng.Uniform(0.0, 8.0);
+
+    TopologyAwarePlacer::ServerScoreFn hrg_hook;
+    TopologyAwarePlacer::ServerScoreFn affinity_hook;
+    std::vector<double> hrg_values = RandomServerValues(rng, cluster.server_count());
+    std::vector<double> affinity_values = RandomServerValues(rng, cluster.server_count());
+    if (rng.Bernoulli(0.8)) {
+      hrg_hook = [&hrg_values](ServerId s) { return hrg_values[static_cast<size_t>(s)]; };
+    }
+    if (rng.Bernoulli(0.8)) {
+      affinity_hook = [&affinity_values](ServerId s) {
+        return affinity_values[static_cast<size_t>(s)];
+      };
+    }
+
+    std::vector<GpuId> indexed =
+        placer.PlaceStages(plan, model_id, cv, hrg_hook, affinity_hook);
+    std::vector<GpuId> reference =
+        placer.PlaceStagesReference(plan, model_id, cv, hrg_hook, affinity_hook);
+    EXPECT_EQ(indexed, reference);
+    if (infeasible) {
+      EXPECT_TRUE(indexed.empty());
+    }
+    if (reference.empty()) {
+      ++infeasible_cases;
+    } else {
+      ++feasible_cases;
+    }
+  }
+  // The sweep must genuinely exercise both outcomes.
+  EXPECT_GT(feasible_cases, kCases / 4);
+  EXPECT_GT(infeasible_cases, kCases / 10);
+}
+
+TEST(PlacementEquivalence, EquivalenceHoldsAcrossReserveReleaseChurn) {
+  // One long-lived cluster with interleaved placements and releases: the incremental
+  // index must stay coherent across churn, not just on freshly built clusters.
+  Rng rng(77);
+  Cluster cluster(EvalClusterConfig());
+  NetworkModel network(&cluster, NetworkConfig{});
+  ModelPlacementRegistry registry(cluster.gpu_count());
+  TopologyAwarePlacer placer(&cluster, &network, &registry, PlacementConfig{});
+  FragmentationGenerator frag(&cluster, ProfileClusterC1(), /*seed=*/5);
+  frag.ApplySnapshot();
+
+  struct Active {
+    std::vector<GpuId> gpus;
+    Bytes bytes = 0;
+    int model_id = 0;
+  };
+  std::vector<Active> active;
+  for (int step = 0; step < 120; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    if (rng.Bernoulli(0.2)) {
+      frag.ChurnStep(0.1);  // background tenants come and go mid-run
+    }
+    PipelinePlan plan = RandomPlan(rng, /*force_infeasible=*/false);
+    int model_id = static_cast<int>(rng.UniformInt(0, 3));
+    std::vector<GpuId> indexed = placer.PlaceStages(plan, model_id, 1.5, nullptr, nullptr);
+    std::vector<GpuId> reference =
+        placer.PlaceStagesReference(plan, model_id, 1.5, nullptr, nullptr);
+    ASSERT_EQ(indexed, reference);
+    if (!indexed.empty() && rng.Bernoulli(0.8)) {
+      Active a;
+      a.gpus = indexed;
+      a.bytes = GiB(2);
+      a.model_id = model_id;
+      for (GpuId g : a.gpus) {
+        cluster.gpu(g).Reserve(a.bytes, 0.3);
+        registry.Add(g, model_id);
+      }
+      active.push_back(std::move(a));
+    }
+    if (active.size() > 6 || (indexed.empty() && !active.empty())) {
+      size_t victim = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(active.size()) - 1));
+      for (GpuId g : active[victim].gpus) {
+        cluster.gpu(g).Release(active[victim].bytes, 0.3);
+        registry.Remove(g, active[victim].model_id);
+      }
+      active.erase(active.begin() + static_cast<long>(victim));
+    }
+  }
+}
+
+TEST(FreeGpuIndex, MatchesBruteForceUnderChurn) {
+  Rng rng(31);
+  Cluster cluster(MeasurementClusterC1());
+  FragmentationGenerator frag(&cluster, ProfileClusterC2(), /*seed=*/9);
+  frag.ApplySnapshot();
+
+  auto check_index = [&] {
+    for (ServerId s = 0; s < cluster.server_count(); ++s) {
+      Bytes expect_free = 0;
+      double expect_headroom = 0.0;
+      for (GpuId g : cluster.server(s).gpus) {
+        expect_free = std::max(expect_free, cluster.gpu(g).free_memory());
+        expect_headroom = std::max(
+            expect_headroom, std::max(0.0, 1.0 - cluster.gpu(g).sm_utilization()));
+      }
+      ASSERT_EQ(cluster.server_max_free(s), expect_free) << "server " << s;
+      ASSERT_EQ(cluster.server_max_headroom(s), expect_headroom) << "server " << s;
+    }
+    // Enumeration through the bucket lists must agree with a full scan.
+    for (Bytes need : {GiB(1), GiB(8), GiB(20), GiB(39)}) {
+      std::vector<ServerId> via_index;
+      cluster.ForEachServerWithFreeAtLeast(need, [&](ServerId s) { via_index.push_back(s); });
+      std::sort(via_index.begin(), via_index.end());
+      std::vector<ServerId> brute;
+      for (ServerId s = 0; s < cluster.server_count(); ++s) {
+        if (cluster.server_max_free(s) >= need) {
+          brute.push_back(s);
+        }
+      }
+      ASSERT_EQ(via_index, brute) << "need " << need;
+    }
+  };
+
+  check_index();
+  std::vector<std::pair<GpuId, Bytes>> reserved;
+  for (int step = 0; step < 400; ++step) {
+    double roll = rng.Uniform();
+    if (roll < 0.45) {
+      GpuId g = static_cast<GpuId>(rng.UniformInt(0, cluster.gpu_count() - 1));
+      Bytes bytes = static_cast<Bytes>(rng.Uniform(0.5, 20.0) * static_cast<double>(GiB(1)));
+      if (cluster.gpu(g).CanReserve(bytes)) {
+        cluster.gpu(g).Reserve(bytes, rng.Uniform(0.0, 0.5));
+        reserved.push_back({g, bytes});
+      }
+    } else if (roll < 0.8 && !reserved.empty()) {
+      size_t i = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(reserved.size()) - 1));
+      cluster.gpu(reserved[i].first).Release(reserved[i].second, 0.0);
+      reserved.erase(reserved.begin() + static_cast<long>(i));
+    } else {
+      frag.ChurnStep(0.05);
+    }
+    if (step % 40 == 0) {
+      check_index();
+    }
+  }
+  check_index();
+}
+
+}  // namespace
+}  // namespace flexpipe
