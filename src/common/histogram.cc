@@ -9,7 +9,7 @@
 namespace flexpipe {
 
 Histogram::Histogram(double min_value, double growth)
-    : min_value_(min_value), growth_(growth), log_growth_(std::log(growth)) {
+    : min_value_(min_value), growth_(growth), inv_log_growth_(1.0 / std::log(growth)) {
   FLEXPIPE_CHECK(min_value > 0.0);
   FLEXPIPE_CHECK(growth > 1.0);
 }
@@ -18,7 +18,7 @@ size_t Histogram::BucketFor(double value) const {
   if (value <= min_value_) {
     return 0;
   }
-  double idx = std::log(value / min_value_) / log_growth_;
+  double idx = std::log(value / min_value_) * inv_log_growth_;
   return static_cast<size_t>(idx) + 1;
 }
 

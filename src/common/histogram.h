@@ -38,7 +38,7 @@ class Histogram {
 
   double min_value_;
   double growth_;
-  double log_growth_;
+  double inv_log_growth_;  // 1/log(growth): Add pays one log and one multiply, no divide
   std::vector<int64_t> buckets_;
   int64_t count_ = 0;
   double sum_ = 0.0;

@@ -12,6 +12,20 @@ MetricsCollector::MetricsCollector(TimeNs default_slo)
 MetricsCollector::MetricsCollector(TimeNs default_slo, bool track_per_model)
     : default_slo_(default_slo), track_per_model_(track_per_model) {}
 
+void MetricsCollector::ReserveModels(int model_count) {
+  if (!track_per_model_ || model_count <= 0) {
+    return;
+  }
+  if (per_model_.size() < static_cast<size_t>(model_count)) {
+    per_model_.resize(static_cast<size_t>(model_count));
+  }
+}
+
+void MetricsCollector::SetKeepCompletionSeries(bool keep) {
+  FLEXPIPE_CHECK_MSG(completed_ == 0, "series mode must be set before completions");
+  keep_completion_series_ = keep;
+}
+
 void MetricsCollector::OnComplete(const Request& request) {
   FLEXPIPE_CHECK(request.done());
   TimeNs latency = request.TotalLatency();
@@ -27,29 +41,43 @@ void MetricsCollector::OnComplete(const Request& request) {
   queue_s_.Add(ToSeconds(request.QueueTime()));
   exec_s_.Add(ToSeconds(request.exec_ns));
   comm_s_.Add(ToSeconds(request.comm_ns));
-  completions_.push_back(CompletionSample{request.done_time, latency});
-  if (track_per_model_) {
-    auto it = per_model_.find(request.model_id());
-    if (it == per_model_.end()) {
-      it = per_model_
-               .emplace(request.model_id(),
-                        MetricsCollector(default_slo_, /*track_per_model=*/false))
-               .first;
+  if (keep_completion_series_) {
+    FLEXPIPE_DCHECK(completions_.empty() ||
+                    completions_.back().done_time <= request.done_time);
+    if (latency_prefix_s_.empty()) {
+      latency_prefix_s_.push_back(0.0);
     }
-    it->second.OnComplete(request);
+    latency_prefix_s_.push_back(latency_prefix_s_.back() + ToSeconds(latency));
+    completions_.push_back(CompletionSample{request.done_time, latency});
+  }
+  if (track_per_model_) {
+    int model_id = request.model_id();
+    FLEXPIPE_CHECK(model_id >= 0);
+    if (static_cast<size_t>(model_id) >= per_model_.size()) {
+      per_model_.resize(static_cast<size_t>(model_id) + 1);
+    }
+    std::unique_ptr<MetricsCollector>& child = per_model_[static_cast<size_t>(model_id)];
+    if (child == nullptr) {
+      child.reset(new MetricsCollector(default_slo_, /*track_per_model=*/false));
+      child->keep_completion_series_ = keep_completion_series_;
+    }
+    child->OnComplete(request);
   }
 }
 
 const MetricsCollector* MetricsCollector::ForModel(int model_id) const {
-  auto it = per_model_.find(model_id);
-  return it != per_model_.end() ? &it->second : nullptr;
+  if (model_id < 0 || static_cast<size_t>(model_id) >= per_model_.size()) {
+    return nullptr;
+  }
+  return per_model_[static_cast<size_t>(model_id)].get();
 }
 
 std::vector<int> MetricsCollector::ModelsSeen() const {
   std::vector<int> models;
-  models.reserve(per_model_.size());
-  for (const auto& [model_id, collector] : per_model_) {
-    models.push_back(model_id);
+  for (size_t i = 0; i < per_model_.size(); ++i) {
+    if (per_model_[i] != nullptr) {
+      models.push_back(static_cast<int>(i));
+    }
   }
   return models;
 }
@@ -78,13 +106,16 @@ LatencyBreakdown MetricsCollector::MeanBreakdown() const {
 }
 
 double MetricsCollector::MeanLatencyInWindowSec(TimeNs begin, TimeNs end) const {
-  auto lo = std::lower_bound(completions_.begin(), completions_.end(), begin,
-                             [](const CompletionSample& s, TimeNs t) { return s.done_time < t; });
-  RunningStats stats;
-  for (auto it = lo; it != completions_.end() && it->done_time < end; ++it) {
-    stats.Add(ToSeconds(it->latency));
+  auto by_time = [](const CompletionSample& s, TimeNs t) { return s.done_time < t; };
+  auto lo = std::lower_bound(completions_.begin(), completions_.end(), begin, by_time);
+  auto hi = std::lower_bound(lo, completions_.end(), end, by_time);
+  if (lo == hi) {
+    return 0.0;
   }
-  return stats.mean();
+  size_t lo_i = static_cast<size_t>(lo - completions_.begin());
+  size_t hi_i = static_cast<size_t>(hi - completions_.begin());
+  return (latency_prefix_s_[hi_i] - latency_prefix_s_[lo_i]) /
+         static_cast<double>(hi_i - lo_i);
 }
 
 }  // namespace flexpipe
