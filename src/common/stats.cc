@@ -65,32 +65,36 @@ SlidingWindowStats::SlidingWindowStats(size_t capacity) : capacity_(capacity) {
 }
 
 void SlidingWindowStats::Add(double x) {
-  if (window_.size() == capacity_) {
-    double old = window_.front();
-    window_.pop_front();
+  if (ring_.size() == capacity_) {
+    // Warm path: evict the oldest sample in place (next_ walks the ring FIFO-wise).
+    double old = ring_[next_];
     sum_ -= old;
     sum_sq_ -= old * old;
+    ring_[next_] = x;
+    next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
+  } else {
+    ring_.push_back(x);
   }
-  window_.push_back(x);
   sum_ += x;
   sum_sq_ += x * x;
 }
 
 void SlidingWindowStats::Reset() {
-  window_.clear();
+  ring_.clear();
+  next_ = 0;
   sum_ = 0.0;
   sum_sq_ = 0.0;
 }
 
 double SlidingWindowStats::mean() const {
-  if (window_.empty()) {
+  if (ring_.empty()) {
     return 0.0;
   }
-  return sum_ / static_cast<double>(window_.size());
+  return sum_ / static_cast<double>(size());
 }
 
 double SlidingWindowStats::variance() const {
-  size_t n = window_.size();
+  size_t n = size();
   if (n < 2) {
     return 0.0;
   }

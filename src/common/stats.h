@@ -8,7 +8,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace flexpipe {
@@ -38,7 +37,9 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-// Fixed-capacity FIFO of samples with O(1) amortized mean/variance updates.
+// Fixed-capacity FIFO of samples with O(1) mean/variance updates. Samples live in a
+// flat ring buffer (grown lazily up to `capacity`), so Add never touches an allocator
+// once the window is warm — this sits on the per-arrival path of every CvMonitor.
 class SlidingWindowStats {
  public:
   explicit SlidingWindowStats(size_t capacity);
@@ -46,9 +47,9 @@ class SlidingWindowStats {
   void Add(double x);
   void Reset();
 
-  size_t size() const { return window_.size(); }
+  size_t size() const { return ring_.size(); }
   size_t capacity() const { return capacity_; }
-  bool full() const { return window_.size() == capacity_; }
+  bool full() const { return ring_.size() == capacity_; }
   double mean() const;
   double variance() const;
   double stddev() const;
@@ -56,7 +57,8 @@ class SlidingWindowStats {
 
  private:
   size_t capacity_;
-  std::deque<double> window_;
+  std::vector<double> ring_;  // grows to capacity_, then overwrites at next_
+  size_t next_ = 0;           // slot the next sample lands in once full
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
 };

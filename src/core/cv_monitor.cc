@@ -1,10 +1,12 @@
 #include "src/core/cv_monitor.h"
 
-#include <algorithm>
-
 #include "src/common/macros.h"
 
 namespace flexpipe {
+
+namespace {
+constexpr size_t kInitialRingCapacity = 64;  // power of two; doubles as traffic grows
+}  // namespace
 
 CvMonitor::CvMonitor(const Config& config)
     : config_(config), gaps_(config.window_arrivals) {
@@ -14,32 +16,66 @@ CvMonitor::CvMonitor(const Config& config)
 
 void CvMonitor::RecordArrival(TimeNs now) {
   if (last_arrival_ >= 0) {
+    FLEXPIPE_DCHECK(now >= last_arrival_);
     gaps_.Add(ToSeconds(now - last_arrival_));
   }
   last_arrival_ = now;
-  recent_.push_back(now);
+
+  if (count_ == ring_.size()) {
+    // Grow and linearize: the ring only ever holds ~2 windows of arrivals, so growth
+    // stops once the steady-state arrival rate is seen.
+    std::vector<TimeNs> bigger(ring_.empty() ? kInitialRingCapacity : ring_.size() * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      bigger[i] = At(i);
+    }
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) & (ring_.size() - 1)] = now;
+  ++count_;
+
+  // Two-pointer prune: drop arrivals older than two rate windows, shifting the cached
+  // cursors with the window so they keep naming the same timestamps.
   TimeNs horizon = now - 2 * config_.rate_window;
-  while (!recent_.empty() && recent_.front() < horizon) {
-    recent_.pop_front();
+  size_t pruned = 0;
+  while (pruned < count_ && At(pruned) < horizon) {
+    ++pruned;
+  }
+  if (pruned > 0) {
+    head_ = (head_ + pruned) & (ring_.size() - 1);
+    count_ -= pruned;
+    old_cursor_ -= old_cursor_ < pruned ? old_cursor_ : pruned;
+    mid_cursor_ -= mid_cursor_ < pruned ? mid_cursor_ : pruned;
+    new_cursor_ -= new_cursor_ < pruned ? new_cursor_ : pruned;
   }
 }
 
-size_t CvMonitor::CountIn(TimeNs begin, TimeNs end) const {
-  auto lo = std::lower_bound(recent_.begin(), recent_.end(), begin);
-  auto hi = std::lower_bound(recent_.begin(), recent_.end(), end);
-  return static_cast<size_t>(hi - lo);
+size_t CvMonitor::LowerBound(TimeNs bound, size_t& cursor) const {
+  size_t c = cursor < count_ ? cursor : count_;
+  while (c < count_ && At(c) < bound) {
+    ++c;
+  }
+  while (c > 0 && At(c - 1) >= bound) {
+    --c;
+  }
+  cursor = c;
+  return c;
 }
 
 double CvMonitor::RatePerSec(TimeNs now) const {
   double w = ToSeconds(config_.rate_window);
-  return static_cast<double>(CountIn(now - config_.rate_window, now + 1)) / w;
+  size_t hi = LowerBound(now + 1, new_cursor_);
+  size_t lo = LowerBound(now - config_.rate_window, mid_cursor_);
+  return static_cast<double>(hi - lo) / w;
 }
 
 double CvMonitor::RateGradient(TimeNs now) const {
   double w = ToSeconds(config_.rate_window);
-  double newer = static_cast<double>(CountIn(now - config_.rate_window, now + 1)) / w;
-  double older =
-      static_cast<double>(CountIn(now - 2 * config_.rate_window, now - config_.rate_window)) / w;
+  size_t hi = LowerBound(now + 1, new_cursor_);
+  size_t mid = LowerBound(now - config_.rate_window, mid_cursor_);
+  size_t lo = LowerBound(now - 2 * config_.rate_window, old_cursor_);
+  double newer = static_cast<double>(hi - mid) / w;
+  double older = static_cast<double>(mid - lo) / w;
   return (newer - older) / w;
 }
 

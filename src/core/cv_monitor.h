@@ -4,10 +4,16 @@
 // the arrival intensity λ_t, and its gradient ∂λ/∂t (Algorithm 1 line 3 — the
 // "characteristic velocity" FlexPipe uses to anticipate traffic shifts before they
 // become queue growth).
+//
+// The monitor sits on every arrival and every controller tick, so both paths are
+// allocation-free and O(1) amortized: arrival timestamps live in a growable flat ring
+// pruned to two rate windows, and the rate queries keep per-boundary cursors that a
+// two-pointer walk advances as virtual time does — no per-query binary search or scan.
 #ifndef FLEXPIPE_SRC_CORE_CV_MONITOR_H_
 #define FLEXPIPE_SRC_CORE_CV_MONITOR_H_
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
@@ -38,12 +44,24 @@ class CvMonitor {
   double RateGradient(TimeNs now) const;
 
  private:
-  size_t CountIn(TimeNs begin, TimeNs end) const;
+  // Timestamp of the i-th oldest retained arrival (0 <= i < count_).
+  TimeNs At(size_t i) const { return ring_[(head_ + i) & (ring_.size() - 1)]; }
+  // First logical index with At(index) >= bound, resuming from the cached `cursor`.
+  // Queries come with monotonically advancing `now`, so the cursors move forward a few
+  // steps per call (two-pointer); a rewinding `now` is still answered correctly.
+  size_t LowerBound(TimeNs bound, size_t& cursor) const;
 
   Config config_;
   SlidingWindowStats gaps_;
   TimeNs last_arrival_ = -1;
-  std::deque<TimeNs> recent_;  // arrival timestamps, pruned to 2 rate windows
+  // Arrival-timestamp ring, power-of-two capacity, pruned to 2 rate windows.
+  std::vector<TimeNs> ring_;
+  size_t head_ = 0;   // physical index of the oldest retained arrival
+  size_t count_ = 0;
+  // Cached window-boundary cursors (logical indices): [now-2w, now-w, now+1).
+  mutable size_t old_cursor_ = 0;
+  mutable size_t mid_cursor_ = 0;
+  mutable size_t new_cursor_ = 0;
 };
 
 }  // namespace flexpipe

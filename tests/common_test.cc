@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
@@ -76,6 +78,50 @@ TEST(SlidingWindowStats, CvOfConstantIsZero) {
     w.Add(3.25);
   }
   EXPECT_NEAR(w.cv(), 0.0, 1e-9);
+}
+
+// Naive deque-FIFO reference with the same incremental sum arithmetic: the flat-ring
+// implementation must agree bit-for-bit, across evictions and resets.
+TEST(SlidingWindowStats, RingMatchesNaiveReferenceRandomized) {
+  Rng rng(314159);
+  for (int round = 0; round < 30; ++round) {
+    size_t capacity = static_cast<size_t>(rng.UniformInt(1, 40));
+    SlidingWindowStats ring(capacity);
+    std::deque<double> window;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      if (rng.Bernoulli(0.005)) {
+        ring.Reset();
+        window.clear();
+        sum = 0.0;
+        sum_sq = 0.0;
+      }
+      double x = rng.LogNormal(0.0, 1.5);
+      if (window.size() == capacity) {
+        double old = window.front();
+        window.pop_front();
+        sum -= old;
+        sum_sq -= old * old;
+      }
+      window.push_back(x);
+      sum += x;
+      sum_sq += x * x;
+
+      ring.Add(x);
+      ASSERT_EQ(ring.size(), window.size());
+      EXPECT_EQ(ring.full(), window.size() == capacity);
+      double n = static_cast<double>(window.size());
+      double mean = sum / n;
+      EXPECT_EQ(ring.mean(), mean) << "round " << round << " step " << i;
+      if (window.size() >= 2) {
+        double var = std::max((sum_sq - n * mean * mean) / (n - 1.0), 0.0);
+        EXPECT_EQ(ring.variance(), var) << "round " << round << " step " << i;
+      } else {
+        EXPECT_EQ(ring.variance(), 0.0);
+      }
+    }
+  }
 }
 
 TEST(Percentile, InterpolatesOrderStatistics) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+
 #include "src/cluster/fragmentation.h"
 #include "src/core/allocation.h"
 #include "src/core/cv_monitor.h"
@@ -45,6 +48,93 @@ TEST(CvMonitor, RateAndGradient) {
   }
   EXPECT_NEAR(monitor.RatePerSec(t), 40.0, 5.0);
   EXPECT_GT(monitor.RateGradient(t), 0.0);  // building burst detected
+}
+
+// Naive reference for the ring-buffer monitor: the pre-ring deque implementation
+// (Welford-free sliding sums + std::lower_bound window counts over all retained
+// timestamps). The production monitor must match it bit-for-bit.
+struct ReferenceCvMonitor {
+  explicit ReferenceCvMonitor(const CvMonitor::Config& config)
+      : config(config), gaps(config.window_arrivals) {}
+
+  void RecordArrival(TimeNs now) {
+    if (last_arrival >= 0) {
+      gaps.Add(ToSeconds(now - last_arrival));
+    }
+    last_arrival = now;
+    recent.push_back(now);
+    TimeNs horizon = now - 2 * config.rate_window;
+    while (!recent.empty() && recent.front() < horizon) {
+      recent.pop_front();
+    }
+  }
+
+  size_t CountIn(TimeNs begin, TimeNs end) const {
+    auto lo = std::lower_bound(recent.begin(), recent.end(), begin);
+    auto hi = std::lower_bound(recent.begin(), recent.end(), end);
+    return static_cast<size_t>(hi - lo);
+  }
+
+  double RatePerSec(TimeNs now) const {
+    double w = ToSeconds(config.rate_window);
+    return static_cast<double>(CountIn(now - config.rate_window, now + 1)) / w;
+  }
+
+  double RateGradient(TimeNs now) const {
+    double w = ToSeconds(config.rate_window);
+    double newer = static_cast<double>(CountIn(now - config.rate_window, now + 1)) / w;
+    double older = static_cast<double>(
+                       CountIn(now - 2 * config.rate_window, now - config.rate_window)) /
+                   w;
+    return (newer - older) / w;
+  }
+
+  CvMonitor::Config config;
+  SlidingWindowStats gaps;
+  TimeNs last_arrival = -1;
+  std::deque<TimeNs> recent;
+};
+
+TEST(CvMonitor, RingMatchesNaiveReferenceRandomized) {
+  Rng rng(271828);
+  for (int round = 0; round < 20; ++round) {
+    CvMonitor::Config config;
+    config.window_arrivals = static_cast<size_t>(rng.UniformInt(2, 64));
+    config.rate_window = rng.UniformInt(1, 4) * kSecond;
+    CvMonitor monitor(config);
+    ReferenceCvMonitor reference(config);
+
+    TimeNs t = 0;
+    for (int i = 0; i < 3000; ++i) {
+      // Mixed regimes: calm, bursty (many same-window arrivals), and long silences
+      // that prune the whole retention window at once.
+      double mean_gap_s;
+      switch (rng.UniformInt(0, 3)) {
+        case 0: mean_gap_s = 0.002; break;
+        case 1: mean_gap_s = 0.05; break;
+        case 2: mean_gap_s = 1.0; break;
+        default: mean_gap_s = 12.0; break;
+      }
+      t += std::max<TimeNs>(1, FromSeconds(rng.ExponentialMean(mean_gap_s)));
+      monitor.RecordArrival(t);
+      reference.RecordArrival(t);
+
+      if (i % 7 == 0) {
+        // Query at a time at or after the arrival, like a controller tick would.
+        TimeNs q = t + rng.UniformInt(0, 3) * kSecond;
+        EXPECT_EQ(monitor.RatePerSec(q), reference.RatePerSec(q)) << "round " << round;
+        EXPECT_EQ(monitor.RateGradient(q), reference.RateGradient(q)) << "round " << round;
+        EXPECT_EQ(monitor.Cv(), reference.gaps.cv()) << "round " << round;
+        EXPECT_EQ(monitor.samples(), reference.gaps.size());
+        if (i % 21 == 0) {
+          // Out-of-order (rewinding) query: cursors must back up correctly.
+          TimeNs back = t - rng.UniformInt(0, 5) * kSecond;
+          EXPECT_EQ(monitor.RatePerSec(back), reference.RatePerSec(back));
+          EXPECT_EQ(monitor.RateGradient(back), reference.RateGradient(back));
+        }
+      }
+    }
+  }
 }
 
 // ---------- Eq. 1 queueing model ----------
