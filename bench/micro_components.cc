@@ -17,6 +17,7 @@
 #include "src/core/cv_monitor.h"
 #include "src/core/granularity.h"
 #include "src/core/queueing.h"
+#include "src/metrics/collector.h"
 #include "src/model/profiler.h"
 #include "src/partition/partitioner.h"
 #include "src/runtime/kv_cache.h"
@@ -221,6 +222,52 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
            DoNotOptimize(&c);
          }));
 
+  // λ_t / ∂λ/∂t on a dense retained window (~10k arrivals in 2 rate windows): the
+  // two-pointer cursors answer in O(1) amortized instead of per-query window scans.
+  {
+    CvMonitor dense;
+    TimeNs dt = 0;
+    for (int i = 0; i < 10000; ++i) {
+      dt += kMillisecond;
+      dense.RecordArrival(dt);
+    }
+    record("cv_monitor_rate_query", MeasureNsPerOp([&] {
+             dt += kMillisecond;
+             dense.RecordArrival(dt);
+             double rate = dense.RatePerSec(dt);
+             double gradient = dense.RateGradient(dt);
+             DoNotOptimize(&rate);
+             DoNotOptimize(&gradient);
+           }));
+  }
+
+  // Fig. 9-style windowed mean over a six-figure completion series: two binary
+  // searches plus a prefix-sum subtraction per query.
+  {
+    MetricsCollector collector;
+    Request r;
+    r.phase = RequestPhase::kDone;
+    r.spec.prompt_tokens = 64;
+    r.spec.output_tokens = 8;
+    r.tokens_generated = 8;
+    for (int i = 0; i < 200000; ++i) {
+      r.spec.arrival = static_cast<TimeNs>(i) * 10 * kMillisecond;
+      r.first_token_time = r.spec.arrival + 100 * kMillisecond;
+      // Latency jitter below the 10 ms arrival step keeps done_time monotone.
+      r.done_time = r.spec.arrival + kSecond + (i % 7) * kMillisecond;
+      r.exec_ns = 300 * kMillisecond;
+      r.comm_ns = 30 * kMillisecond;
+      collector.OnComplete(r);
+    }
+    TimeNs w = 0;
+    const TimeNs span = collector.completions().back().done_time;
+    record("metrics_window_mean_200k", MeasureNsPerOp([&] {
+             w = (w + 15 * kSecond) % span;
+             double mean = collector.MeanLatencyInWindowSec(w, w + 15 * kSecond);
+             DoNotOptimize(&mean);
+           }));
+  }
+
   GgsParams p;
   p.lambda = 18.0;
   p.mu = 3.0;
@@ -250,8 +297,9 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
                 TextTable::Num(chain_ns / kChainEvents / 1e3, 3)});
   reporter.Metric("event_queue_events_per_sec", events_per_sec);
 
-  // Same chain style with a 100k-event far-future backlog pending (the cluster-scale
-  // bench pre-schedules every arrival): measures how queue depth taxes the hot path.
+  // Same chain style with a 100k-event far-future backlog pending (the serving benches
+  // now stream arrivals, but the engine must still shrug off deep far-future queues):
+  // measures how queue depth taxes the hot path.
   // Timed manually as one long run so the backlog setup stays out of the measurement.
   {
     constexpr int kBacklog = 100000;
@@ -298,6 +346,28 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
     record("kv_mask_delta_scan_" + std::to_string(capacity), MeasureNsPerOp([&] {
              int invalid = mask.invalid_in(0, mask.capacity());
              DoNotOptimize(&invalid);
+           }));
+    // Allocation-free run visitor over the same mostly-valid mask (one trailing run):
+    // the delta-sync shape the refactoring engine walks at cutover.
+    record("kv_mask_invalid_ranges_" + std::to_string(capacity), MeasureNsPerOp([&] {
+             int tokens = 0;
+             mask.ForEachInvalidRange(mask.capacity(),
+                                      [&tokens](int b, int e) { tokens += e - b; });
+             DoNotOptimize(&tokens);
+           }));
+    // Fragmented mask: every 128-token page ends with a 16-token invalid tail, so the
+    // visitor alternates skip words with mixed words.
+    KvValidityMask fragmented(capacity);
+    fragmented.MarkValid(0, capacity);
+    for (int page = 0; page + 128 <= capacity; page += 128) {
+      fragmented.MarkInvalid(page + 112, page + 128);
+    }
+    record("kv_mask_invalid_ranges_fragmented_" + std::to_string(capacity),
+           MeasureNsPerOp([&] {
+             int runs = 0;
+             fragmented.ForEachInvalidRange(fragmented.capacity(),
+                                            [&runs](int, int) { ++runs; });
+             DoNotOptimize(&runs);
            }));
   }
 

@@ -25,17 +25,66 @@ class KvValidityMask {
 
   int capacity() const { return capacity_; }
   int valid_count() const { return valid_count_; }
-  int invalid_in(int begin, int end) const;  // invalid tokens in [begin, end)
+  int invalid_in(int begin, int end) const;  // invalid tokens in [begin, end), popcount
 
   bool IsValid(int token) const;
   void MarkValid(int begin, int end);
   void MarkInvalid(int begin, int end);
   void Grow(int new_capacity);  // new tokens start invalid
 
-  // Tokens in [0, upto) that still need synchronization.
+  // Visits fn(begin, end) for every maximal run of invalid tokens in [0, upto),
+  // allocation-free. All-valid and all-invalid 64-token words are handled with one
+  // compare each, so delta-sync costing over mostly-settled masks is O(words), not
+  // O(tokens).
+  template <typename Fn>
+  void ForEachInvalidRange(int upto, Fn&& fn) const {
+    FLEXPIPE_CHECK(upto >= 0 && upto <= capacity_);
+    int run_start = -1;
+    for (int base = 0; base < upto; base += 64) {
+      int limit = upto - base < 64 ? upto - base : 64;
+      uint64_t relevant = RangeMask(0, limit);
+      uint64_t invalid = ~bits_[static_cast<size_t>(base) / 64] & relevant;
+      if (invalid == 0) {  // all valid: any open run ended at this word's boundary
+        if (run_start >= 0) {
+          fn(run_start, base);
+          run_start = -1;
+        }
+        continue;
+      }
+      if (invalid == relevant) {  // all invalid: run extends through the word
+        if (run_start < 0) {
+          run_start = base;
+        }
+        continue;
+      }
+      for (int bit = 0; bit < limit; ++bit) {
+        if ((invalid >> bit) & 1) {
+          if (run_start < 0) {
+            run_start = base + bit;
+          }
+        } else if (run_start >= 0) {
+          fn(run_start, base + bit);
+          run_start = -1;
+        }
+      }
+    }
+    if (run_start >= 0) {
+      fn(run_start, upto);
+    }
+  }
+
+  // Tokens in [0, upto) that still need synchronization. Materializes a vector; hot
+  // paths should use ForEachInvalidRange instead.
   std::vector<int> InvalidTokens(int upto) const;
 
  private:
+  // Bits [begin, end) of a 64-bit word, where 0 <= begin <= end <= 64.
+  static uint64_t RangeMask(int begin, int end) {
+    uint64_t hi = end == 64 ? ~0ull : (1ull << end) - 1;
+    uint64_t lo = (1ull << begin) - 1;
+    return hi & ~lo;
+  }
+
   void Set(int token, bool valid);
 
   int capacity_;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/cluster/network.h"
+#include "src/common/rng.h"
 #include "src/cluster/topology.h"
 #include "src/metrics/recovery.h"
 #include "src/model/profiler.h"
@@ -44,6 +47,75 @@ TEST(KvValidityMask, IdempotentMarks) {
   mask.MarkValid(0, 64);
   mask.MarkValid(0, 64);
   EXPECT_EQ(mask.valid_count(), 64);
+}
+
+TEST(KvValidityMask, InvalidRangeVisitorCoalescesRuns) {
+  KvValidityMask mask(200);
+  mask.MarkValid(0, 200);
+  mask.MarkInvalid(10, 20);
+  mask.MarkInvalid(63, 66);    // straddles a word boundary
+  mask.MarkInvalid(190, 200);  // runs to the visited end
+  std::vector<std::pair<int, int>> ranges;
+  mask.ForEachInvalidRange(200, [&](int b, int e) { ranges.emplace_back(b, e); });
+  EXPECT_EQ(ranges, (std::vector<std::pair<int, int>>{{10, 20}, {63, 66}, {190, 200}}));
+
+  // Clipped visit: the trailing run must clip to `upto`.
+  ranges.clear();
+  mask.ForEachInvalidRange(195, [&](int b, int e) { ranges.emplace_back(b, e); });
+  EXPECT_EQ(ranges.back(), (std::pair<int, int>{190, 195}));
+}
+
+TEST(KvValidityMask, WordOpsMatchNaiveBitReferenceRandomized) {
+  Rng rng(818);
+  for (int round = 0; round < 40; ++round) {
+    int capacity = static_cast<int>(rng.UniformInt(1, 400));
+    KvValidityMask mask(capacity);
+    std::vector<bool> reference(static_cast<size_t>(capacity), false);
+    for (int op = 0; op < 60; ++op) {
+      int begin = static_cast<int>(rng.UniformInt(0, capacity));
+      int end = static_cast<int>(rng.UniformInt(begin, capacity));
+      bool valid = rng.Bernoulli(0.5);
+      if (valid) {
+        mask.MarkValid(begin, end);
+      } else {
+        mask.MarkInvalid(begin, end);
+      }
+      for (int t = begin; t < end; ++t) {
+        reference[static_cast<size_t>(t)] = valid;
+      }
+    }
+    int expected_valid = 0;
+    std::vector<int> expected_invalid;
+    for (int t = 0; t < capacity; ++t) {
+      if (reference[static_cast<size_t>(t)]) {
+        ++expected_valid;
+        EXPECT_TRUE(mask.IsValid(t));
+      } else {
+        expected_invalid.push_back(t);
+        EXPECT_FALSE(mask.IsValid(t));
+      }
+    }
+    EXPECT_EQ(mask.valid_count(), expected_valid) << "round " << round;
+    EXPECT_EQ(mask.InvalidTokens(capacity), expected_invalid) << "round " << round;
+    int qb = static_cast<int>(rng.UniformInt(0, capacity));
+    int qe = static_cast<int>(rng.UniformInt(qb, capacity));
+    int naive = 0;
+    for (int t = qb; t < qe; ++t) {
+      naive += reference[static_cast<size_t>(t)] ? 0 : 1;
+    }
+    EXPECT_EQ(mask.invalid_in(qb, qe), naive) << "round " << round;
+
+    // Visitor ranges must tile exactly the invalid token set, in order.
+    std::vector<int> visited;
+    mask.ForEachInvalidRange(capacity, [&](int b, int e) {
+      EXPECT_LT(b, e);
+      EXPECT_TRUE(visited.empty() || visited.back() < b - 1);  // maximal runs only
+      for (int t = b; t < e; ++t) {
+        visited.push_back(t);
+      }
+    });
+    EXPECT_EQ(visited, expected_invalid) << "round " << round;
+  }
 }
 
 // ---------- KV tracker ----------
