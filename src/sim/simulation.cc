@@ -16,6 +16,11 @@ uint64_t g_process_executed = 0;
 
 uint64_t Simulation::process_executed_events() { return g_process_executed; }
 
+Simulation::Simulation(const Config& config) : config_(config) {
+  FLEXPIPE_CHECK(config.near_window >= 0);
+  FLEXPIPE_CHECK(config.refill_batch >= 1);
+}
+
 uint32_t Simulation::AcquireSlot() {
   if (free_head_ != kNil) {
     uint32_t slot = free_head_;
@@ -147,7 +152,7 @@ void Simulation::Refill() {
     // A trickle of far events (idle-reclaim timers, churn ticks) is not worth re-merging
     // a six-figure staging array over: it is always correct to promote entries to the
     // heap early, so small batches go straight there.
-    if (fresh_.size() < kMergeThreshold && StagedLive() > 0) {
+    if (fresh_.size() < config_.merge_threshold && StagedLive() > 0) {
       for (const HeapEntry& entry : fresh_) {
         slots_[entry.slot()].where = Where::kHeap;
         heap_.push_back(entry);
@@ -183,7 +188,7 @@ void Simulation::Refill() {
     }
   }
   size_t moved = 0;
-  while (moved < kRefillBatch && staged_head_ < staged_.size()) {
+  while (moved < config_.refill_batch && staged_head_ < staged_.size()) {
     HeapEntry entry = staged_[staged_head_++];
     if (IsTombstone(entry)) {  // canceled while staged
       --staged_dead_;
@@ -227,7 +232,7 @@ EventId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
   // Correctness requires only that events earlier than the staging threshold go to the
   // heap; among the rest, near-term events also take the heap path so the staging area
   // sees nothing but genuinely far-future work.
-  if (when >= staging_threshold_ && when - now_ > kNearWindow) {
+  if (when >= staging_threshold_ && when - now_ > config_.near_window) {
     s.where = Where::kFresh;
     s.pos = static_cast<uint32_t>(fresh_.size());
     fresh_.push_back(entry);
@@ -269,7 +274,7 @@ bool Simulation::Cancel(EventId id) {
       // old engine's tombstones, which were never reclaimed at all).
       staged_[s.pos].key |= kSlotMask;  // tombstone: slot bits all-ones
       ++staged_dead_;
-      if (staged_dead_ > kRefillBatch && staged_dead_ * 2 > staged_.size() - staged_head_) {
+      if (staged_dead_ > config_.refill_batch && staged_dead_ * 2 > staged_.size() - staged_head_) {
         CompactStaged();
       }
       break;

@@ -44,9 +44,29 @@ using EventId = uint64_t;
 
 class Simulation {
  public:
-  Simulation() = default;
+  // Staging-tier tuning. The defaults match the historical compile-time constants;
+  // workloads with unusual scheduling horizons (e.g. a streaming source whose only
+  // far-future event is the next arrival) can shrink the near window so dense traffic
+  // just past it stays off the hot heap.
+  struct Config {
+    // Events further than this past the staging threshold go to the staging area
+    // instead of the heap. Controller ticks and pipeline iterations (micro- to
+    // milli-second scale) stay on the fast heap path; pre-scheduled workload
+    // arrivals do not.
+    TimeNs near_window = 1 * kSecond;
+    // How many staged events each refill moves into the heap.
+    size_t refill_batch = 1024;
+    // Fresh batches smaller than this are promoted straight to the heap at refill
+    // time rather than paying a re-merge of the whole staging array.
+    size_t merge_threshold = 256;
+  };
+
+  Simulation() : Simulation(Config{}) {}
+  explicit Simulation(const Config& config);
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+
+  const Config& config() const { return config_; }
 
   TimeNs now() const { return now_; }
 
@@ -77,6 +97,10 @@ class Simulation {
   size_t pending_events() const {
     return heap_.size() + StagedLive() + fresh_.size();
   }
+  // Tier introspection for tests and tuning: events on the hot heap vs parked in the
+  // staging area (sorted backlog + unsorted fresh batch).
+  size_t heap_events() const { return heap_.size(); }
+  size_t staged_events() const { return StagedLive() + fresh_.size(); }
   // Slots ever allocated: the high-water mark of concurrently pending events. Cancel
   // recycles its slot immediately and its queue entry eagerly (heap) or via bounded
   // compacted tombstones (staging), so this stays proportional to the live population
@@ -91,15 +115,6 @@ class Simulation {
 
  private:
   static constexpr uint32_t kNil = 0xffffffffu;
-  // Events further than this past the staging threshold go to the staging area instead
-  // of the heap. Controller ticks and pipeline iterations (micro- to milli-second
-  // scale) stay on the fast heap path; pre-scheduled workload arrivals do not.
-  static constexpr TimeNs kNearWindow = 1 * kSecond;
-  // How many staged events each refill moves into the heap.
-  static constexpr size_t kRefillBatch = 1024;
-  // Fresh batches smaller than this are promoted straight to the heap at refill time
-  // rather than paying a re-merge of the whole staging array.
-  static constexpr size_t kMergeThreshold = 256;
 
   enum class Where : uint8_t { kFree, kHeap, kStaged, kFresh };
 
@@ -166,6 +181,7 @@ class Simulation {
   // Pops the earliest heap entry and runs it; false when the heap is empty.
   bool PopAndRun();
 
+  Config config_;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;
   bool stopped_ = false;

@@ -285,6 +285,67 @@ TEST(Simulation, RandomizedScheduleCancelMatchesReferenceEngine) {
   }
 }
 
+TEST(Simulation, ShrunkNearWindowKeepsDenseNearScheduleOffHotHeap) {
+  // ROADMAP follow-up from the arena PR: workloads that schedule dense traffic just
+  // past the default 1 s near window used to pin it all on the hot heap. With an
+  // injectable config, a shrunk near window parks that schedule in the staging tier.
+  Simulation::Config config;
+  config.near_window = 100 * kMillisecond;
+  Simulation sim(config);
+  EXPECT_EQ(sim.config().near_window, 100 * kMillisecond);
+
+  // Dense burst straddling one second out: the half just inside 1 s would ride the
+  // hot heap under the default window; everything is past the shrunk one.
+  auto dense_schedule = [](Simulation& target, std::function<void()> fn) {
+    for (int i = 0; i < 2048; ++i) {
+      target.ScheduleAt(kSecond - kMillisecond + i, fn);  // just inside 1 s
+      target.ScheduleAt(kSecond + kMillisecond + i, fn);  // just past 1 s
+    }
+  };
+  int fired = 0;
+  dense_schedule(sim, [&] { ++fired; });
+  EXPECT_EQ(sim.heap_events(), 0u) << "dense ~1s-out schedule landed on the hot heap";
+  EXPECT_EQ(sim.staged_events(), 4096u);
+
+  // Default config (1 s near window): the half inside the window goes straight to the
+  // heap; only the just-past-1s half is staged.
+  Simulation default_sim;
+  dense_schedule(default_sim, [] {});
+  EXPECT_EQ(default_sim.heap_events(), 2048u);
+  EXPECT_EQ(default_sim.staged_events(), 2048u);
+
+  // The tiering stays invisible: everything fires, in order, exactly once.
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 4096);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, StagingConfigDoesNotChangeFiringOrder) {
+  // Any staging tuning must be semantically invisible: the firing sequence is decided
+  // purely by (time, scheduling order).
+  std::vector<Simulation::Config> configs(3);
+  configs[1].near_window = 0;
+  configs[1].refill_batch = 1;
+  configs[1].merge_threshold = 1;
+  configs[2].near_window = 30 * kSecond;
+  configs[2].refill_batch = 7;
+  configs[2].merge_threshold = 4;
+
+  std::vector<std::vector<std::pair<TimeNs, int>>> fired(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    Simulation sim(configs[c]);
+    uint64_t lcg = 12345;
+    for (int i = 0; i < 2000; ++i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      TimeNs when = static_cast<TimeNs>((lcg >> 33) % (20 * kSecond));
+      sim.ScheduleAt(when, [&fired, c, i, &sim] { fired[c].push_back({sim.now(), i}); });
+    }
+    sim.RunUntilIdle();
+  }
+  EXPECT_EQ(fired[0], fired[1]);
+  EXPECT_EQ(fired[0], fired[2]);
+}
+
 TEST(PeriodicTask, FiresAtIntervalUntilCanceled) {
   Simulation sim;
   int ticks = 0;
