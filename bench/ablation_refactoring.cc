@@ -16,7 +16,6 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   TextTable table({"CV", "Refactoring", "MeanRT(s)", "P99(s)", "Goodput", "Refactors",
                    "FinalStages"});
   for (double cv : {1.0, 4.0, 8.0}) {
-    auto specs = CvWorkload(cv);
     for (bool enabled : {false, true}) {
       ExperimentEnv env(DefaultEnvConfig());
       FlexPipeConfig config;
@@ -25,9 +24,10 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
       config.default_slo = kDefaultSlo;
       config.enable_refactoring = enabled;
       FlexPipeSystem system(env.Context(), &env.ladder(0), config);
-      std::vector<Request> storage;
-      RunReport report =
-          RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      // Identically seeded stream per variant: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv);
+      StreamingRunReport report = RunStreamingWorkload(
+          env, system, stream, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
       table.AddRow({TextTable::Num(cv, 0), enabled ? "on" : "off",
                     TextTable::Num(system.metrics().MeanLatencySec(), 2),
                     TextTable::Num(system.metrics().LatencyPercentileSec(99), 2),

@@ -14,23 +14,24 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
               "DESIGN.md AB2 (scale-up storm, §7 mechanisms toggled)");
 
   // Storm workload: 60 s of light traffic, then a 6x burst for 120 s, then light again —
-  // the second burst is where warm starts pay off.
-  WorkloadGenerator gen(DefaultWorkloadConfig());
-  Rng rng(21);
-  auto phase1 = gen.GenerateWithCv(rng, 4.0, 1.0, 60 * kSecond);
-  auto burst1 = gen.GenerateWithCv(rng, 24.0, 2.0, 120 * kSecond);
-  for (auto& s : burst1) {
-    s.arrival += 60 * kSecond;
-  }
-  auto lull = gen.GenerateWithCv(rng, 4.0, 1.0, 90 * kSecond);
-  for (auto& s : lull) {
-    s.arrival += 180 * kSecond;
-  }
-  auto burst2 = gen.GenerateWithCv(rng, 24.0, 2.0, 120 * kSecond);
-  for (auto& s : burst2) {
-    s.arrival += 270 * kSecond;
-  }
-  auto specs = MergeWorkloads({phase1, burst1, lull, burst2});
+  // the second burst is where warm starts pay off. Four lazily drawn segments with
+  // per-segment child RNG streams, rebuilt identically for every variant.
+  auto make_stream = [] {
+    Rng base(21);
+    std::vector<std::unique_ptr<RequestStream>> segments;
+    auto add_segment = [&](const char* tag, double rate, double cv, TimeNs start,
+                           TimeNs end) {
+      Rng seg = base.Child(tag);
+      segments.push_back(std::make_unique<StreamingWorkloadSource>(
+          DefaultWorkloadConfig(), MakeArrivalsWithCv(rate, cv), seg,
+          seg.Child("lengths"), end, start));
+    };
+    add_segment("phase1", 4.0, 1.0, 0, 60 * kSecond);
+    add_segment("burst1", 24.0, 2.0, 60 * kSecond, 180 * kSecond);
+    add_segment("lull", 4.0, 1.0, 180 * kSecond, 270 * kSecond);
+    add_segment("burst2", 24.0, 2.0, 270 * kSecond, 390 * kSecond);
+    return MergedRequestStream(std::move(segments));
+  };
 
   struct Variant {
     const char* name;
@@ -59,9 +60,9 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
     // Faster reclaim so the lull actually releases instances (making burst2 a re-scale).
     config.scaling.reclaim_idle = 30 * kSecond;
     FlexPipeSystem system(env.Context(), &env.ladder(0), config);
-    std::vector<Request> storage;
-    RunReport report =
-        RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+    MergedRequestStream stream = make_stream();
+    StreamingRunReport report = RunStreamingWorkload(
+        env, system, stream, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
     table.AddRow({v.name, TextTable::Num(system.metrics().MeanLatencySec(), 2),
                   TextTable::Num(system.metrics().LatencyPercentileSec(99), 2),
                   TextTable::Pct(system.metrics().GoodputRate(report.submitted), 0),

@@ -44,6 +44,18 @@ inline ClusterConfig StressClusterConfig() {
   c.racks = 32;
   return c;
 }
+
+// Reduced FLEXPIPE_STRESS_SCALE=ci shape shared by stress_scale and
+// stress_endurance: 16 + 2*24 + 4*16 = 128 GPUs, ~1/8 of the full cluster.
+inline ClusterConfig StressCiClusterConfig() {
+  ClusterConfig c;
+  c.servers_1gpu = 16;
+  c.servers_2gpu = 24;
+  c.servers_4gpu = 16;
+  c.cpu_only_servers = 2;
+  c.racks = 8;
+  return c;
+}
 inline constexpr TimeNs kDefaultSlo = 10 * kSecond;
 inline constexpr TimeNs kDefaultDuration = 5 * kMinute;
 inline constexpr TimeNs kDrainGrace = 60 * kSecond;
@@ -271,6 +283,40 @@ struct CellResult {
   int final_stages = 0;
 };
 
+// Shared cell extraction for the materialized and streaming runners.
+inline CellResult FillCell(ServingSystemBase& system, int64_t submitted, TimeNs ran_until,
+                           TimeNs measured_span) {
+  CellResult cell;
+  cell.submitted = submitted;
+  const MetricsCollector& m = system.metrics();
+  cell.completed = m.completed();
+  cell.goodput_rate = m.GoodputRate(submitted);
+  cell.mean_latency_s = m.MeanLatencySec();
+  cell.breakdown = m.MeanBreakdown();
+  cell.p50 = m.LatencyPercentileSec(50);
+  cell.p75 = m.LatencyPercentileSec(75);
+  cell.p90 = m.LatencyPercentileSec(90);
+  cell.p95 = m.LatencyPercentileSec(95);
+  cell.p99 = m.LatencyPercentileSec(99);
+  cell.mean_prefill_s = m.MeanPrefillSec();
+  cell.gpu_utilization = system.MeanGpuUtilization(ran_until);
+  cell.goodput_per_sec = m.GoodputPerSec(measured_span);
+  cell.stall_seconds = ToSeconds(system.TotalStallAll());
+  cell.recovery = AnalyzeRecovery(m.completions());
+  cell.peak_gpus = system.peak_reserved_gpus();
+  cell.mean_gpus =
+      system.GpuSecondsReserved(ran_until) / std::max(1.0, ToSeconds(ran_until));
+  cell.mean_alloc_wait_s = system.MeanAllocationWaitSec();
+  cell.cold_loads = system.cold_loads();
+  cell.warm_loads = system.warm_loads();
+  if (auto* fp = dynamic_cast<FlexPipeSystem*>(&system)) {
+    cell.refactors = fp->refactor_count();
+    cell.last_pause_ms = ToMillis(fp->last_refactor_pause());
+    cell.final_stages = fp->current_stages();
+  }
+  return cell;
+}
+
 // Runs `kind` on a fresh environment against `specs`; returns the metrics cell.
 inline CellResult RunCell(SystemKind kind, const std::vector<RequestSpec>& specs,
                           std::vector<ModelSpec> models = {Opt66B()}, uint64_t seed = kSeed,
@@ -280,36 +326,53 @@ inline CellResult RunCell(SystemKind kind, const std::vector<RequestSpec>& specs
   std::vector<Request> storage;
   RunReport report = RunWorkload(env, *system, specs, storage,
                                  RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  return FillCell(*system, report.submitted, report.ran_until, report.measured_span());
+}
 
-  CellResult cell;
-  cell.submitted = report.submitted;
-  const MetricsCollector& m = system->metrics();
-  cell.completed = m.completed();
-  cell.goodput_rate = m.GoodputRate(report.submitted);
-  cell.mean_latency_s = m.MeanLatencySec();
-  cell.breakdown = m.MeanBreakdown();
-  cell.p50 = m.LatencyPercentileSec(50);
-  cell.p75 = m.LatencyPercentileSec(75);
-  cell.p90 = m.LatencyPercentileSec(90);
-  cell.p95 = m.LatencyPercentileSec(95);
-  cell.p99 = m.LatencyPercentileSec(99);
-  cell.mean_prefill_s = m.MeanPrefillSec();
-  cell.gpu_utilization = system->MeanGpuUtilization(report.ran_until);
-  cell.goodput_per_sec = m.GoodputPerSec(report.measured_span());
-  cell.stall_seconds = ToSeconds(system->TotalStallAll());
-  cell.recovery = AnalyzeRecovery(m.completions());
-  cell.peak_gpus = system->peak_reserved_gpus();
-  cell.mean_gpus = system->GpuSecondsReserved(report.ran_until) /
-                   std::max(1.0, ToSeconds(report.ran_until));
-  cell.mean_alloc_wait_s = system->MeanAllocationWaitSec();
-  cell.cold_loads = system->cold_loads();
-  cell.warm_loads = system->warm_loads();
-  if (auto* fp = dynamic_cast<FlexPipeSystem*>(system.get())) {
-    cell.refactors = fp->refactor_count();
-    cell.last_pause_ms = ToMillis(fp->last_refactor_pause());
-    cell.final_stages = fp->current_stages();
+// ---------------------------------------------------------------------------
+// Streaming workloads: benches draw requests lazily through StreamingWorkloadSource
+// instead of materializing whole traces and pre-scheduling one engine event per
+// request. Arrival sequences are bit-identical to the materialized helpers for the
+// same seed (pinned by trace_test); token lengths come from a dedicated child RNG
+// stream, so workload memory is O(1) per stream regardless of duration.
+// ---------------------------------------------------------------------------
+
+// Streaming analogue of CvWorkload: same arrival seed chain, lazily drawn.
+inline StreamingWorkloadSource CvWorkloadStream(double cv, double qps = kBaselineQps,
+                                                TimeNs duration = kDefaultDuration,
+                                                uint64_t seed = kSeed,
+                                                int model_index = 0) {
+  return StreamingWorkloadSource::WithCv(DefaultWorkloadConfig(model_index), qps, cv,
+                                         duration,
+                                         Rng(Rng(seed).Child("workload").seed()));
+}
+
+// Streaming analogue of MultiModelWorkload: one lazy stream per model, merged in
+// arrival order with dense ids.
+inline MergedRequestStream MultiModelWorkloadStream(
+    const std::vector<ModelSpec>& models, const std::vector<double>& qps_by_model,
+    double cv, TimeNs duration, uint64_t seed = kSeed) {
+  std::vector<std::unique_ptr<RequestStream>> parts;
+  for (size_t i = 0; i < models.size(); ++i) {
+    WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(static_cast<int>(i));
+    wconfig.lengths.prompt_max = models[i].context_window;
+    parts.push_back(std::make_unique<StreamingWorkloadSource>(StreamingWorkloadSource::WithCv(
+        wconfig, qps_by_model[i], cv, duration, Rng(Rng(seed).Child(models[i].name).seed()))));
   }
-  return cell;
+  return MergedRequestStream(std::move(parts));
+}
+
+// Streaming RunCell: `stream` is consumed, so callers build a fresh (identically
+// seeded) stream per system.
+inline CellResult RunCellStreaming(SystemKind kind, RequestStream& stream,
+                                   std::vector<ModelSpec> models = {Opt66B()},
+                                   uint64_t seed = kSeed,
+                                   double peak_rps = kBaselineQps) {
+  ExperimentEnv env(DefaultEnvConfig(std::move(models), seed));
+  std::unique_ptr<ServingSystemBase> system = MakeSystem(kind, env, 0, peak_rps);
+  StreamingRunReport report = RunStreamingWorkload(
+      env, *system, stream, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  return FillCell(*system, report.submitted, report.ran_until, report.measured_span());
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

@@ -17,12 +17,13 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
                                          SystemKind::kTetris};
   for (double cv : {1.0, 2.0, 4.0}) {
     std::printf("--- CV = %.0f ---\n", cv);
-    auto specs = CvWorkload(cv);
     TextTable table({"System", "P50(s)", "P75(s)", "P90(s)", "P95(s)", "P99(s)"});
     double flexpipe_p99 = 0.0;
     double worst_p99 = 0.0;
     for (SystemKind kind : kinds) {
-      CellResult cell = RunCell(kind, specs);
+      // Identically seeded stream per system: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv);
+      CellResult cell = RunCellStreaming(kind, stream);
       table.AddRow({KindName(kind), TextTable::Num(cell.p50, 2), TextTable::Num(cell.p75, 2),
                     TextTable::Num(cell.p90, 2), TextTable::Num(cell.p95, 2),
                     TextTable::Num(cell.p99, 2)});

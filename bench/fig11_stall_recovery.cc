@@ -16,13 +16,14 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
 
   for (double cv : {1.0, 2.0, 4.0}) {
     std::printf("--- CV = %.0f ---\n", cv);
-    auto specs = CvWorkload(cv);
     TextTable table(
         {"System", "MedianRecovery(ms)", "MeanRecovery(ms)", "Episodes", "StalledFrac"});
     double flexpipe_ms = 0.0;
     double best_other = 1e18;
     for (SystemKind kind : AllSystems()) {
-      CellResult cell = RunCell(kind, specs);
+      // Identically seeded stream per system: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv);
+      CellResult cell = RunCellStreaming(kind, stream);
       double median_ms = cell.recovery.median_recovery_s * 1000.0;
       table.AddRow({KindName(kind), TextTable::Num(median_ms, 1),
                     TextTable::Num(cell.recovery.mean_recovery_s * 1000.0, 1),

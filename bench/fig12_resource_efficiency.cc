@@ -17,13 +17,14 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
 
   for (double cv : {1.0, 2.0, 4.0}) {
     std::printf("--- CV = %.0f ---\n", cv);
-    auto specs = CvWorkload(cv);
     TextTable table({"System", "Goodput(req/s)", "GoodputRate", "GPUUtil", "MeanGPUs",
                      "PeakGPUs", "Goodput/GPU"});
     double flexpipe_eff = 0.0;
     double tetris_eff = 0.0;
     for (SystemKind kind : AllSystems()) {
-      CellResult cell = RunCell(kind, specs);
+      // Identically seeded stream per system: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv);
+      CellResult cell = RunCellStreaming(kind, stream);
       // Efficiency against the time-averaged footprint: elastic systems only pay for
       // GPUs while they hold them.
       double per_gpu = cell.goodput_per_sec / std::max(1.0, cell.mean_gpus);

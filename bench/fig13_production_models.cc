@@ -30,9 +30,6 @@ int RunSequential(BenchReporter& reporter) {
     double qps = models[mi].param_bytes > GiB(60) ? 10.0 : 16.0;
     WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(0);
     wconfig.lengths.prompt_max = models[mi].context_window;
-    WorkloadGenerator gen(wconfig);
-    Rng rng(Rng(kSeed).Child(models[mi].name).seed());
-    auto specs = gen.GenerateWithCv(rng, qps, 2.0, 4 * kMinute);
 
     double alpa_mean = 0.0;
     struct Row {
@@ -43,9 +40,11 @@ int RunSequential(BenchReporter& reporter) {
     for (SystemKind kind : kinds) {
       ExperimentEnv env(DefaultEnvConfig({models[mi]}, kSeed + mi));
       auto system = MakeSystem(kind, env, 0, qps);
-      std::vector<Request> storage;
-      RunWorkload(env, *system, specs, storage,
-                  RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      // Identically seeded per-model stream for every system, drawn lazily.
+      StreamingWorkloadSource stream = StreamingWorkloadSource::WithCv(
+          wconfig, qps, 2.0, 4 * kMinute, Rng(Rng(kSeed).Child(models[mi].name).seed()));
+      RunStreamingWorkload(env, *system, stream,
+                           RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
       const MetricsCollector& m = system->metrics();
       rows.push_back({kind, m.MeanPrefillSec(), m.prefill_histogram().Percentile(50),
                       m.prefill_histogram().Percentile(95)});
@@ -80,15 +79,14 @@ int RunShared(BenchReporter& reporter) {
   for (size_t i = 0; i < models.size(); ++i) {
     qps[i] = models[i].param_bytes > GiB(60) ? 4.0 : 7.0;
   }
-  const auto specs = MultiModelWorkload(models, qps, /*cv=*/2.0, 4 * kMinute);
-
   TextTable table({"Model", "System", "MeanPrefill(s)", "P50(s)", "P95(s)", "Completed"});
   for (SystemKind kind : kinds) {
     ExperimentEnv env(DefaultEnvConfig(models, kSeed));
     auto system = MakeSharedClusterSystem(kind, env, qps);
-    std::vector<Request> storage;
-    RunWorkload(env, *system, specs, storage,
-                RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+    // Identically seeded interleaved stream per system, drawn lazily.
+    MergedRequestStream stream = MultiModelWorkloadStream(models, qps, /*cv=*/2.0, 4 * kMinute);
+    RunStreamingWorkload(env, *system, stream,
+                         RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
     const MetricsCollector& m = system->metrics();
     for (size_t mi = 0; mi < models.size(); ++mi) {
       const MetricsCollector* pm = m.ForModel(static_cast<int>(mi));

@@ -34,34 +34,46 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   const TimeNs kBurstLen = 40 * kSecond;
   std::vector<double> base_qps(models.size());
   std::vector<double> mean_qps(models.size());
-  std::vector<std::vector<RequestSpec>> parts;
   for (size_t i = 0; i < models.size(); ++i) {
     base_qps[i] = models[i].param_bytes > GiB(60) ? 6.0 : 12.0;
-    double burst_qps = 4.0 * base_qps[i];
-    TimeNs burst_start = 30 * kSecond + static_cast<TimeNs>(i) * 50 * kSecond;
-
-    WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(static_cast<int>(i));
-    wconfig.lengths.prompt_max = models[i].context_window;
-    WorkloadGenerator gen(wconfig);
-    Rng rng(Rng(kSeed).Child(models[i].name).seed());
-    auto calm_head = gen.GenerateWithCv(rng, base_qps[i], 2.0, burst_start);
-    auto burst = gen.GenerateWithCv(rng, burst_qps, 2.0, kBurstLen);
-    for (auto& s : burst) {
-      s.arrival += burst_start;
-    }
-    auto calm_tail =
-        gen.GenerateWithCv(rng, base_qps[i], 2.0, kTraceLen - burst_start - kBurstLen);
-    for (auto& s : calm_tail) {
-      s.arrival += burst_start + kBurstLen;
-    }
-    parts.push_back(MergeWorkloads({calm_head, burst, calm_tail}));
     mean_qps[i] = base_qps[i] +
                   (4.0 - 1.0) * base_qps[i] * ToSeconds(kBurstLen) / ToSeconds(kTraceLen);
   }
-  const auto specs = MergeWorkloads(std::move(parts));
+
+  // Each model's trace is three lazily drawn segments — calm head, 4x burst in its
+  // staggered window, calm tail — merged in arrival order; the four per-model traces
+  // interleave through an outer merge. Identically seeded construction per system.
+  auto make_stream = [&] {
+    std::vector<std::unique_ptr<RequestStream>> model_parts;
+    for (size_t i = 0; i < models.size(); ++i) {
+      double burst_qps = 4.0 * base_qps[i];
+      TimeNs burst_start = 30 * kSecond + static_cast<TimeNs>(i) * 50 * kSecond;
+      WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(static_cast<int>(i));
+      wconfig.lengths.prompt_max = models[i].context_window;
+      Rng base = Rng(kSeed).Child(models[i].name);
+      std::vector<std::unique_ptr<RequestStream>> segments;
+      auto add_segment = [&](const char* tag, double rate, TimeNs start, TimeNs end) {
+        Rng seg = base.Child(tag);
+        segments.push_back(std::make_unique<StreamingWorkloadSource>(
+            wconfig, MakeArrivalsWithCv(rate, 2.0), seg, seg.Child("lengths"), end,
+            start));
+      };
+      add_segment("calm-head", base_qps[i], 0, burst_start);
+      add_segment("burst", burst_qps, burst_start, burst_start + kBurstLen);
+      add_segment("calm-tail", base_qps[i], burst_start + kBurstLen, kTraceLen);
+      model_parts.push_back(std::make_unique<MergedRequestStream>(std::move(segments)));
+    }
+    return MergedRequestStream(std::move(model_parts));
+  };
+
+  // Per-model submitted counts (deterministic across systems): one counting pass.
   std::vector<int64_t> submitted_by_model(models.size(), 0);
-  for (const RequestSpec& s : specs) {
-    ++submitted_by_model[static_cast<size_t>(s.model_index)];
+  {
+    MergedRequestStream counter = make_stream();
+    RequestSpec spec;
+    while (counter.Next(&spec)) {
+      ++submitted_by_model[static_cast<size_t>(spec.model_index)];
+    }
   }
 
   // Aggressive tenant churn (§3.1): with four models sharing the cluster, released
@@ -86,9 +98,9 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   for (SystemKind kind : kinds) {
     ExperimentEnv env(env_config());
     auto system = MakeSharedClusterSystem(kind, env, mean_qps);
-    std::vector<Request> storage;
-    RunWorkload(env, *system, specs, storage,
-                RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+    MergedRequestStream stream = make_stream();
+    RunStreamingWorkload(env, *system, stream,
+                         RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
 
     const MetricsCollector& m = system->metrics();
     if (auto* fp = dynamic_cast<FlexPipeSystem*>(system.get())) {

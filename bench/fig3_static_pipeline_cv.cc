@@ -33,10 +33,9 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
       max_queue = std::max<int64_t>(max_queue, system.router().queue_length());
     });
 
-    auto specs = CvWorkload(cv, kBaselineQps);
-    std::vector<Request> storage;
-    RunReport report = RunWorkload(env, system, specs, storage,
-                                   RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+    StreamingWorkloadSource stream = CvWorkloadStream(cv, kBaselineQps);
+    StreamingRunReport report = RunStreamingWorkload(
+        env, system, stream, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
     sampler.Cancel();
 
     double stall_s = ToSeconds(system.TotalStallAll());

@@ -22,7 +22,6 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   };
   std::vector<Cell> cells;
   for (double cv : {0.1, 1.0, 2.0, 4.0}) {
-    auto specs = CvWorkload(cv, kBaselineQps);
     for (int stages : {4, 8, 16}) {
       ExperimentEnv env(DefaultEnvConfig());
       AlpaServeConfig config;
@@ -30,8 +29,10 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
       config.replicas = 1;
       config.default_slo = kDefaultSlo;
       AlpaServeSystem system(env.Context(), &env.ladder(0), config);
-      std::vector<Request> storage;
-      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+      // Identically seeded stream per pipeline depth: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv, kBaselineQps);
+      RunStreamingWorkload(env, system, stream,
+                           RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
       const MetricsCollector& m = system.metrics();
       table.AddRow({TextTable::Num(cv, 1), std::to_string(stages),
                     TextTable::Num(m.MeanLatencySec(), 2),

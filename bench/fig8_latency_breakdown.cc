@@ -16,12 +16,13 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
 
   for (double cv : {1.0, 2.0, 4.0}) {
     std::printf("--- CV = %.0f ---\n", cv);
-    auto specs = CvWorkload(cv);
     TextTable table({"System", "RT(s)", "Queue(s)", "Exec(s)", "Comm(s)", "Goodput"});
     double flexpipe_rt = 0.0;
     double best_static_rt = 1e18;
     for (SystemKind kind : AllSystems()) {
-      CellResult cell = RunCell(kind, specs);
+      // Identically seeded stream per system: same arrivals, drawn lazily.
+      StreamingWorkloadSource stream = CvWorkloadStream(cv);
+      CellResult cell = RunCellStreaming(kind, stream);
       table.AddRow({KindName(kind), TextTable::Num(cell.mean_latency_s, 2),
                     TextTable::Num(cell.breakdown.queue_s, 2),
                     TextTable::Num(cell.breakdown.exec_s, 2),

@@ -1,6 +1,7 @@
 #include "src/core/experiment.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "src/common/macros.h"
 
@@ -8,6 +9,7 @@ namespace flexpipe {
 
 ExperimentEnv::ExperimentEnv(const ExperimentEnvConfig& config)
     : config_(config),
+      sim_(config.sim),
       cluster_(config.cluster),
       network_(&cluster_, config.network),
       transfer_(&sim_, &network_),
@@ -115,6 +117,139 @@ RunReport RunWorkload(ExperimentEnv& env, ServingSystemBase& system,
                       const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
                       const RunOptions& options) {
   return RunWorkload(env, std::vector<ServingSystemBase*>{&system}, specs, storage, options);
+}
+
+namespace {
+
+// Recycling pool for streamed requests. Slab-backed (deque: stable addresses), with a
+// free list refilled by the systems' release hooks — the slab's size is the high-water
+// mark of concurrently live requests, not the trace length.
+class RequestPool {
+ public:
+  Request* Acquire(const RequestSpec& spec, TimeNs warmup) {
+    Request* request;
+    if (!free_.empty()) {
+      request = free_.back();
+      free_.pop_back();
+    } else {
+      slab_.emplace_back();
+      request = &slab_.back();
+    }
+    *request = Request{};
+    request->spec = spec;
+    request->spec.arrival += warmup;
+    ++live_;
+    peak_live_ = std::max(peak_live_, live_);
+    return request;
+  }
+
+  void Release(Request* request) {
+    FLEXPIPE_CHECK(live_ > 0);
+    --live_;
+    free_.push_back(request);
+  }
+
+  size_t peak_live() const { return peak_live_; }
+
+ private:
+  std::deque<Request> slab_;
+  std::vector<Request*> free_;
+  size_t live_ = 0;
+  size_t peak_live_ = 0;
+};
+
+}  // namespace
+
+StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
+                                        std::vector<ServingSystemBase*> systems_by_model,
+                                        RequestStream& stream, const RunOptions& options) {
+  FLEXPIPE_CHECK(!systems_by_model.empty());
+  RequestPool pool;
+  for (ServingSystemBase* system : systems_by_model) {
+    system->set_request_release_hook([&pool](Request* request) { pool.Release(request); });
+    system->Start();
+  }
+  if (options.enable_churn) {
+    env.StartChurn();
+  }
+
+  // One self-rescheduling arrival event: fire the pending request, draw the next one
+  // from the stream, re-arm. The engine never sees more than a single workload event,
+  // and the {driver} capture fits std::function's inline buffer — the per-arrival path
+  // allocates nothing beyond pool growth to the in-flight high-water mark.
+  struct ArrivalDriver {
+    Simulation* sim;
+    RequestStream* stream;
+    const std::vector<ServingSystemBase*>* systems;
+    RequestPool* pool;
+    TimeNs warmup;
+    RequestSpec next_spec;
+    bool has_next = false;
+    int64_t submitted = 0;
+    EventId pending = 0;
+
+    void Arm() {
+      pending = sim->ScheduleAt(next_spec.arrival + warmup, [this] { Fire(); });
+    }
+
+    void Fire() {
+      pending = 0;
+      Request* request = pool->Acquire(next_spec, warmup);
+      ++submitted;
+      ServingSystemBase* system;
+      if (systems->size() == 1) {
+        system = systems->front();
+      } else {
+        int model = request->spec.model_index;
+        FLEXPIPE_CHECK(model >= 0 && model < static_cast<int>(systems->size()));
+        system = (*systems)[static_cast<size_t>(model)];
+      }
+      has_next = stream->Next(&next_spec);
+      if (has_next) {
+        Arm();
+      }
+      system->OnArrival(request);
+    }
+  };
+
+  Simulation& sim = env.sim();
+  ArrivalDriver driver{&sim, &stream, &systems_by_model, &pool, options.warmup,
+                       RequestSpec{}};
+  driver.has_next = stream.Next(&driver.next_spec);
+  if (driver.has_next) {
+    driver.Arm();
+  }
+
+  // The stream's end time bounds every arrival, so the default horizon is known before
+  // any request is drawn (the materialized path keys off the last arrival instead).
+  TimeNs horizon = options.horizon;
+  if (horizon == 0) {
+    horizon = stream.end_time() + options.warmup + options.drain_grace;
+  }
+  sim.RunUntil(horizon);
+  // A custom horizon can cut the run before the stream drains; drop the armed arrival
+  // so nothing fires into this frame after it returns. Requests still queued or in
+  // flight die with the pool — the caller must not run the simulation further.
+  if (driver.pending != 0) {
+    sim.Cancel(driver.pending);
+  }
+  for (ServingSystemBase* system : systems_by_model) {
+    system->Finish();
+    system->set_request_release_hook(nullptr);
+  }
+
+  StreamingRunReport report;
+  report.submitted = driver.submitted;
+  report.ran_until = sim.now();
+  report.warmup = options.warmup;
+  report.peak_live_requests = pool.peak_live();
+  return report;
+}
+
+StreamingRunReport RunStreamingWorkload(ExperimentEnv& env, ServingSystemBase& system,
+                                        RequestStream& stream, const RunOptions& options) {
+  return RunStreamingWorkload(env, std::vector<ServingSystemBase*>{&system}, stream,
+                              options);
 }
 
 }  // namespace flexpipe

@@ -23,11 +23,15 @@
 #include "src/partition/partitioner.h"
 #include "src/runtime/transfer.h"
 #include "src/sim/simulation.h"
+#include "src/trace/streaming.h"
 #include "src/trace/workload.h"
 
 namespace flexpipe {
 
 struct ExperimentEnvConfig {
+  // Engine staging-tier tuning (defaults unchanged); streaming benches shrink the near
+  // window since they schedule at most one far-future arrival at a time.
+  Simulation::Config sim;
   ClusterConfig cluster = EvalClusterConfig();
   FragmentationProfile fragmentation = ProfileClusterC1();
   bool apply_fragmentation = true;
@@ -106,6 +110,34 @@ RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> system
 RunReport RunWorkload(ExperimentEnv& env, ServingSystemBase& system,
                       const std::vector<RequestSpec>& specs, std::vector<Request>& storage,
                       const RunOptions& options = RunOptions{});
+
+struct StreamingRunReport {
+  int64_t submitted = 0;
+  TimeNs ran_until = 0;
+  TimeNs warmup = 0;
+  // High-water mark of concurrently live Request objects (queued + in flight): the
+  // streaming runner recycles completed requests through a pool, so this — not the
+  // trace length — bounds request memory.
+  size_t peak_live_requests = 0;
+  TimeNs measured_span() const { return ran_until - warmup; }
+};
+
+// Streaming analogue of RunWorkload: requests are drawn from `stream` one at a time by
+// a self-rescheduling arrival event (exactly one pending arrival exists at any moment,
+// instead of one pre-scheduled event per trace entry), and completed requests are
+// recycled. Memory — request storage and engine arena alike — stays proportional to
+// in-flight work, so multi-hour multi-million-request scenarios fit in a flat
+// footprint. Routing mirrors RunWorkload: one system serves everything, several
+// systems split by spec.model_index.
+StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
+                                        std::vector<ServingSystemBase*> systems_by_model,
+                                        RequestStream& stream,
+                                        const RunOptions& options = RunOptions{});
+
+// Single-system convenience overload.
+StreamingRunReport RunStreamingWorkload(ExperimentEnv& env, ServingSystemBase& system,
+                                        RequestStream& stream,
+                                        const RunOptions& options = RunOptions{});
 
 }  // namespace flexpipe
 

@@ -125,6 +125,9 @@ PipelineInstance* ServingSystemBase::LaunchInstance(const PipelinePlan& plan, in
   raw->set_completion_callback([this](Request* request) {
     metrics_.OnComplete(*request);
     OnRequestComplete(request);
+    if (release_hook_) {
+      release_hook_(request);  // must run last: the hook may recycle the storage
+    }
   });
   // Capacity freed on this instance can only unblock its own model's queue.
   raw->set_pump_callback([this, model_id] { router_.PumpModel(model_id); });

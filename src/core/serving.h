@@ -9,6 +9,7 @@
 #ifndef FLEXPIPE_SRC_CORE_SERVING_H_
 #define FLEXPIPE_SRC_CORE_SERVING_H_
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -69,6 +70,13 @@ class ServingSystemBase {
   MetricsCollector& metrics() { return metrics_; }
   const MetricsCollector& metrics() const { return metrics_; }
 
+  // Invoked after metrics collection and the subclass completion hook, once nothing in
+  // the system references the request anymore. The streaming runner recycles the
+  // Request's storage from here; the pointer must not be dereferenced afterwards.
+  void set_request_release_hook(std::function<void(Request*)> hook) {
+    release_hook_ = std::move(hook);
+  }
+
   // -- Fleet/resource statistics (Fig. 12, §9.6) ---------------------------------------
   int reserved_gpu_count() const { return reserved_gpus_; }
   int peak_reserved_gpus() const { return peak_reserved_gpus_; }
@@ -117,8 +125,12 @@ class ServingSystemBase {
   // Live (active or still-loading/provisioning) instances serving `model_id`.
   int ActiveOrLoadingForModel(int model_id) const;
 
-  // Subclass constructors declare every model they deploy; OnArrival enforces it.
-  void RegisterServedModel(int model_id) { served_models_.insert(model_id); }
+  // Subclass constructors declare every model they deploy; OnArrival enforces it, and
+  // the metrics collector pre-sizes its per-model table from the declarations.
+  void RegisterServedModel(int model_id) {
+    served_models_.insert(model_id);
+    metrics_.ReserveModels(model_id + 1);
+  }
 
   SystemContext ctx_;
   std::string name_;
@@ -139,6 +151,7 @@ class ServingSystemBase {
  private:
   void NoteGpuDelta(int delta);
 
+  std::function<void(Request*)> release_hook_;
   int reserved_gpus_ = 0;
   int peak_reserved_gpus_ = 0;
   double gpu_seconds_integral_ = 0.0;

@@ -314,6 +314,74 @@ TEST(EngineGolden, Fig13ScenarioIsBitIdentical) {
   CheckGolden("kFig13Golden", SignatureOf(env, system, report), kFig13Golden);
 }
 
+TEST(EndToEnd, StreamingRunCompletesAndRecyclesRequests) {
+  // The streaming runner must complete a workload end-to-end while keeping request
+  // storage and the event arena proportional to in-flight work, not trace length.
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  WorkloadGenerator::Config wconfig;
+  wconfig.lengths.prompt_median = 256;
+  wconfig.lengths.output_median = 16;
+  StreamingWorkloadSource stream =
+      StreamingWorkloadSource::WithCv(wconfig, 4.0, 1.0, 120 * kSecond, Rng(3));
+  StreamingRunReport report = RunStreamingWorkload(
+      env, system, stream, RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_GT(report.submitted, 300);
+  EXPECT_GE(system.metrics().completed(), report.submitted * 9 / 10);
+  EXPECT_GT(system.metrics().MeanLatencySec(), 0.0);
+  // Recycling caps live requests far below the trace length.
+  EXPECT_LT(report.peak_live_requests, static_cast<size_t>(report.submitted) / 2);
+  // Exactly one arrival event exists at a time, so the arena's high-water mark tracks
+  // simulation fan-out (instances, controllers), not the trace.
+  EXPECT_LT(env.sim().arena_slots(), static_cast<size_t>(report.submitted));
+}
+
+TEST(EndToEnd, StreamingRunsAreBitIdentical) {
+  auto run_once = [] {
+    ExperimentEnv env(SmallEnvConfig());
+    FlexPipeConfig config;
+    config.initial_stages = 4;
+    config.target_peak_rps = 8.0;
+    config.control_interval = 250 * kMillisecond;
+    FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+    WorkloadGenerator::Config wconfig;
+    wconfig.lengths.prompt_median = 256;
+    wconfig.lengths.output_median = 16;
+    StreamingWorkloadSource stream =
+        StreamingWorkloadSource::WithCv(wconfig, 6.0, 4.0, 60 * kSecond, Rng(3));
+    StreamingRunReport report = RunStreamingWorkload(
+        env, system, stream, RunOptions{.drain_grace = 120 * kSecond});
+    struct Signature {
+      int64_t submitted;
+      int64_t completed;
+      uint64_t executed;
+      size_t peak_live;
+      double mean_latency_s;
+      std::vector<CompletionSample> completions;
+    };
+    return Signature{report.submitted, system.metrics().completed(),
+                     env.sim().executed_events(), report.peak_live_requests,
+                     system.metrics().MeanLatencySec(), system.metrics().completions()};
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.peak_live, b.peak_live);
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i].done_time, b.completions[i].done_time) << i;
+    EXPECT_EQ(a.completions[i].latency, b.completions[i].latency) << i;
+  }
+}
+
 TEST(EndToEnd, MigrationPreservesTokenProgress) {
   // Every request must produce exactly its requested token count even across refactors.
   ExperimentEnv env(SmallEnvConfig());

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "src/common/stats.h"
 #include "src/trace/arrival.h"
 #include "src/trace/azure_trace.h"
 #include "src/trace/cv_analysis.h"
+#include "src/trace/streaming.h"
 #include "src/trace/workload.h"
 
 namespace flexpipe {
@@ -172,6 +178,118 @@ TEST(AzureTrace, RateProfileCoversSpanAndStaysPositive) {
   for (double r : profile) {
     EXPECT_GE(r, 0.0);
   }
+}
+
+// ---------- Streaming sources ----------
+
+// Core contract of the streaming tentpole: lazily drawn arrivals are bit-identical to
+// the materialized GenerateUntil sequence for the same seed — one gap draw per
+// arrival, same order, same final discarded draw — across every arrival process.
+TEST(StreamingWorkload, ArrivalsBitIdenticalToMaterializedAcrossProcesses) {
+  struct Case {
+    const char* name;
+    std::function<std::unique_ptr<ArrivalProcess>()> make;
+  };
+  MmppArrivals::Config mmpp;
+  mmpp.low_rate = 4.0;
+  mmpp.high_rate = 120.0;
+  mmpp.mean_low_sojourn_s = 7;
+  mmpp.mean_high_sojourn_s = 2;
+  std::vector<Case> cases;
+  cases.push_back({"poisson", [] { return std::make_unique<PoissonArrivals>(25.0); }});
+  cases.push_back({"gamma", [] { return std::make_unique<GammaArrivals>(25.0, 6.0); }});
+  cases.push_back(
+      {"mmpp", [mmpp] { return std::make_unique<MmppArrivals>(mmpp); }});
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (uint64_t seed : {3ull, 42ull, 977ull}) {
+      constexpr TimeNs kEnd = 120 * kSecond;
+      auto materialized_process = c.make();
+      Rng materialized_rng(seed);
+      std::vector<TimeNs> materialized =
+          materialized_process->GenerateUntil(materialized_rng, kEnd);
+      ASSERT_GT(materialized.size(), 100u);
+
+      StreamingWorkloadSource stream(WorkloadGenerator::Config{}, c.make(),
+                                     /*arrival_rng=*/Rng(seed),
+                                     /*length_rng=*/Rng(seed).Child("lengths"), kEnd);
+      std::vector<TimeNs> streamed;
+      RequestSpec spec;
+      while (stream.Next(&spec)) {
+        streamed.push_back(spec.arrival);
+        EXPECT_EQ(spec.id, streamed.size());
+        EXPECT_GE(spec.prompt_tokens, 1);
+        EXPECT_GE(spec.output_tokens, 1);
+      }
+      EXPECT_FALSE(stream.Next(&spec));  // stays exhausted
+      ASSERT_EQ(streamed.size(), materialized.size()) << "seed " << seed;
+      for (size_t i = 0; i < streamed.size(); ++i) {
+        ASSERT_EQ(streamed[i], materialized[i]) << "seed " << seed << " index " << i;
+      }
+      EXPECT_EQ(stream.emitted(), streamed.size());
+    }
+  }
+}
+
+// The convenience factory must select the same process shapes as MakeArrivalsWithCv
+// and reproduce GenerateWithCv's arrivals from the same base RNG.
+TEST(StreamingWorkload, WithCvMatchesGenerateWithCvArrivals) {
+  for (double cv : {1.0, 4.0}) {
+    WorkloadGenerator::Config config;
+    config.slo = 10 * kSecond;
+    WorkloadGenerator gen(config);
+    Rng rng(Rng(42).Child("workload").seed());
+    auto specs = gen.GenerateWithCv(rng, 20.0, cv, 60 * kSecond);
+
+    StreamingWorkloadSource stream = StreamingWorkloadSource::WithCv(
+        config, 20.0, cv, 60 * kSecond, Rng(Rng(42).Child("workload").seed()));
+    RequestSpec spec;
+    size_t i = 0;
+    while (stream.Next(&spec)) {
+      ASSERT_LT(i, specs.size()) << "cv " << cv;
+      EXPECT_EQ(spec.arrival, specs[i].arrival) << "cv " << cv << " index " << i;
+      EXPECT_EQ(spec.id, specs[i].id);
+      EXPECT_EQ(spec.slo, specs[i].slo);
+      ++i;
+    }
+    EXPECT_EQ(i, specs.size());
+  }
+}
+
+// Merged per-model streams must reproduce MergeWorkloads' order exactly: stable by
+// arrival with ties broken toward the earlier part, ids renumbered densely.
+TEST(StreamingWorkload, MergedStreamMatchesMergeWorkloads) {
+  constexpr TimeNs kEnd = 45 * kSecond;
+  std::vector<std::vector<RequestSpec>> parts;
+  std::vector<std::unique_ptr<RequestStream>> streams;
+  const uint64_t seeds[] = {11, 22, 33};
+  const double rates[] = {8.0, 12.0, 5.0};
+  for (int m = 0; m < 3; ++m) {
+    WorkloadGenerator::Config config;
+    config.model_index = m;
+    WorkloadGenerator gen(config);
+    Rng rng(seeds[m]);
+    auto arrivals = MakeArrivalsWithCv(rates[m], 2.0);
+    parts.push_back(gen.GenerateUntil(*arrivals, rng, kEnd));
+    streams.push_back(std::make_unique<StreamingWorkloadSource>(
+        config, MakeArrivalsWithCv(rates[m], 2.0), Rng(seeds[m]),
+        Rng(seeds[m]).Child("lengths"), kEnd));
+  }
+  auto merged = MergeWorkloads(std::move(parts));
+  MergedRequestStream stream(std::move(streams));
+  EXPECT_EQ(stream.end_time(), kEnd);
+
+  RequestSpec spec;
+  size_t i = 0;
+  while (stream.Next(&spec)) {
+    ASSERT_LT(i, merged.size());
+    EXPECT_EQ(spec.arrival, merged[i].arrival) << "index " << i;
+    EXPECT_EQ(spec.model_index, merged[i].model_index) << "index " << i;
+    EXPECT_EQ(spec.id, merged[i].id) << "index " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, merged.size());
 }
 
 }  // namespace
