@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Determinism lint for the FlexPipe simulator.
+
+The whole reproduction rests on bit-identical replay: two runs with the same seed
+must produce byte-identical metrics (the golden-signature tests pin this). That
+property dies quietly when code reaches for a nondeterministic primitive, so this
+linter walks src/ and bench/ and flags the known offenders at review time instead
+of three PRs later when a golden signature drifts.
+
+Rule classes:
+
+  unordered-container  std::unordered_{map,set,multimap,multiset}. Iteration order is
+                       implementation-defined and seed-dependent; the house idiom is a
+                       flat per-id-indexed vector or a sorted vector + binary search.
+  raw-random           Randomness primitives outside src/common/rng.*: std::rand/srand,
+                       std::random_device, raw std::mt19937 engines, time()-seeded
+                       anything. All randomness must flow through Rng's seeded child
+                       streams so runs replay.
+  wall-clock           Host-clock reads (std::chrono clocks, clock_gettime, ...)
+                       outside the bench wall timers. Simulated results may depend
+                       only on virtual time.
+  raw-assert           assert() instead of FLEXPIPE_CHECK/FLEXPIPE_DCHECK. assert
+                       compiles out under NDEBUG, so the invariant silently stops
+                       guarding release runs (static_assert is fine).
+  pointer-key          std::map/std::set keyed by a pointer type. Iteration follows
+                       address order, which varies run to run with ASLR/allocation
+                       history.
+
+Comments and string literals are stripped before matching, so prose mentioning an
+offender does not trip the lint. Findings are suppressed via the allowlist file
+(default: ci/determinism_allowlist.txt), one `<rule> <path-glob>` pair per line.
+
+Usage:
+  python3 ci/determinism_lint.py [--root REPO] [--allowlist FILE]
+  python3 ci/determinism_lint.py --self-test
+
+Exits non-zero when findings remain (or a self-test expectation fails).
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench")
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+DEFAULT_ALLOWLIST = os.path.join("ci", "determinism_allowlist.txt")
+FIXTURE_DIR = os.path.join("ci", "lint_fixtures")
+
+RULES = [
+    (
+        "unordered-container",
+        re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\b"),
+        "hash-container iteration order is implementation-defined; "
+        "use a flat per-id vector or a sorted vector + binary search",
+    ),
+    (
+        "raw-random",
+        re.compile(
+            r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|random_device|"
+            r"default_random_engine|knuth_b|ranlux(?:24|48)(?:_base)?)\b"
+            r"|\bsrand\s*\(|\brand\s*\(\s*\)|\bdrand48\s*\("
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+        ),
+        "randomness must flow through src/common/rng.h's seeded Rng streams",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"\bstd\s*::\s*chrono\s*::\s*(?:steady_clock|system_clock|"
+            r"high_resolution_clock)\b"
+            r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\bclock\s*\(\s*\)"
+        ),
+        "simulated results may depend only on virtual time (Simulation::now)",
+    ),
+    (
+        "raw-assert",
+        re.compile(r"\bassert\s*\("),
+        "use FLEXPIPE_CHECK / FLEXPIPE_DCHECK; assert() vanishes under NDEBUG",
+    ),
+    (
+        "pointer-key",
+        re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<[^<>,]*\*\s*[,>]"),
+        "pointer-keyed ordered containers iterate in address order, "
+        "which is not reproducible",
+    ),
+]
+
+# Fixture file -> rules its contents must trip (empty set: must stay clean). The
+# self-test fails if a fixture is missing, trips extra rules, or misses one.
+FIXTURE_EXPECTATIONS = {
+    "unordered_container.cc": {"unordered-container"},
+    "raw_random.cc": {"raw-random"},
+    "wall_clock.cc": {"wall-clock"},
+    "raw_assert.cc": {"raw-assert"},
+    "pointer_key.cc": {"pointer-key"},
+    "clean.cc": set(),
+}
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal bodies with spaces.
+
+    Newlines are preserved so line numbers survive. Handles //, /* */, "...",
+    '...' with escapes, and raw string literals R"delim(...)delim".
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "R" and nxt == '"':
+            match = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if match:
+                closer = ")" + match.group(1) + '"'
+                end = text.find(closer, i + match.end())
+                end = n if end == -1 else end + len(closer)
+                out.append("".join("\n" if ch == "\n" else " " for ch in text[i:end]))
+                i = end
+            else:
+                out.append(c)
+                i += 1
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # Digit separator (1'000'000) or a quote glued to an identifier — not a
+            # char-literal open. Without this, a lone separator swallows everything
+            # until the next apostrophe in the file.
+            out.append(c)
+            i += 1
+        elif c in ('"', "'"):
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load_allowlist(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise SystemExit(
+                    f"{path}: malformed allowlist line {raw.rstrip()!r} "
+                    "(expected '<rule> <path-glob>')"
+                )
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def is_allowed(rule, rel_path, allowlist):
+    return any(
+        rule == allowed_rule and fnmatch.fnmatch(rel_path, pattern)
+        for allowed_rule, pattern in allowlist
+    )
+
+
+def scan_file(path):
+    """Yields (rule, line_number, line_text) findings for one file."""
+    with open(path, encoding="utf-8") as f:
+        stripped = strip_comments_and_strings(f.read())
+    for line_number, line in enumerate(stripped.splitlines(), start=1):
+        for rule, pattern, _ in RULES:
+            if pattern.search(line):
+                yield rule, line_number, line.strip()
+
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_lint(root, allowlist_path):
+    allowlist = load_allowlist(allowlist_path)
+    messages = {rule: message for rule, _, message in RULES}
+    findings = 0
+    for path in iter_source_files(root):
+        rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+        for rule, line_number, line in scan_file(path):
+            if is_allowed(rule, rel_path, allowlist):
+                continue
+            findings += 1
+            print(f"{rel_path}:{line_number}: [{rule}] {line}")
+            print(f"    {messages[rule]}")
+    if findings:
+        print(f"\ndeterminism lint: {findings} finding(s). Fix them or add a "
+              f"'<rule> <path-glob>' line to {allowlist_path} with justification.")
+        return 1
+    return 0
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, FIXTURE_DIR)
+    failures = []
+    for name, expected in sorted(FIXTURE_EXPECTATIONS.items()):
+        path = os.path.join(fixture_dir, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: fixture missing")
+            continue
+        tripped = {rule for rule, _, _ in scan_file(path)}
+        if tripped != expected:
+            failures.append(
+                f"{name}: expected rules {sorted(expected)}, tripped {sorted(tripped)}"
+            )
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}")
+        return 1
+    print(f"self-test passed: {len(FIXTURE_EXPECTATIONS)} fixtures behaved as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: the checkout containing ci/)")
+    parser.add_argument("--allowlist", default=None,
+                        help=f"allowlist file (default: <root>/{DEFAULT_ALLOWLIST})")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on its fixture and not on clean code")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test(args.root)
+    allowlist_path = args.allowlist or os.path.join(args.root, DEFAULT_ALLOWLIST)
+    return run_lint(args.root, allowlist_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+// Self-test fixture: must trip NO rules. Exercises the comment/string stripper:
+// every offender below appears only in prose or literals, plus the sanctioned
+// constructs the rules must not confuse with violations.
+//
+// Mentions that must not fire: std::unordered_map, std::mt19937, assert(x),
+// std::chrono::steady_clock, std::map<Widget*, int>.
+#include <map>
+#include <vector>
+
+/* Block comments too: std::random_device and srand(time(nullptr)) are words here. */
+
+static_assert(sizeof(int) >= 4, "static_assert is not assert()");
+
+const char* kDocstring =
+    "strings are stripped: std::unordered_set, rand(), clock(), assert(ok)";
+
+int Lookup(const std::map<int, int>& table, int key) {
+  // Value-keyed ordered maps are fine; only pointer keys are flagged.
+  auto it = table.find(key);
+  return it == table.end() ? -1 : it->second;
+}
+
+int SumSorted(std::vector<int> values) {
+  int total = 0;
+  for (int v : values) {
+    total += v;  // deterministic iteration, nothing to see
+  }
+  return total;
+}
+
+// Digit separators must not open a char literal: if the stripper misparsed the lone
+// apostrophe in 300'000, it would swallow the lines after it and mask findings.
+long Budget() {
+  long tokens = 300'000;
+  char newline = '\n';
+  return tokens + (newline == '\n' ? 1'000'000 : 0);
+}

@@ -1,0 +1,12 @@
+// Self-test fixture: must trip exactly the pointer-key rule.
+#include <map>
+#include <set>
+
+struct Widget {};
+
+int Track(Widget* w) {
+  std::map<Widget*, int> refcounts;
+  std::set<const Widget*> seen;
+  seen.insert(w);
+  return ++refcounts[w];
+}

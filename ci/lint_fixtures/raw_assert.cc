@@ -1,0 +1,7 @@
+// Self-test fixture: must trip exactly the raw-assert rule.
+#include <cassert>
+
+int Halve(int value) {
+  assert(value % 2 == 0);
+  return value / 2;
+}

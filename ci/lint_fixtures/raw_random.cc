@@ -1,0 +1,11 @@
+// Self-test fixture: must trip exactly the raw-random rule (several spellings).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int DrawThree() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::mt19937 engine(std::random_device{}());
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(engine) + rand() % 10;
+}

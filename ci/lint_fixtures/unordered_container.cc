@@ -1,0 +1,10 @@
+// Self-test fixture: must trip exactly the unordered-container rule.
+#include <unordered_map>
+
+int CountDistinct(const int* values, int n) {
+  std::unordered_map<int, int> seen;
+  for (int i = 0; i < n; ++i) {
+    ++seen[values[i]];
+  }
+  return static_cast<int>(seen.size());
+}

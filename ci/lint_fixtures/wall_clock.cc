@@ -1,0 +1,8 @@
+// Self-test fixture: must trip exactly the wall-clock rule.
+#include <chrono>
+
+double ElapsedSeconds() {
+  auto start = std::chrono::steady_clock::now();
+  auto end = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}

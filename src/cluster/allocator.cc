@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "src/common/macros.h"
 
@@ -35,14 +34,16 @@ std::vector<GpuId> ClusterAllocator::SelectGpus(const AllocationRequest& request
   }
 
   std::vector<GpuId> chosen;
-  std::unordered_set<ServerId> used_servers;
+  // At most `gpu_count` servers end up used: a linear scan over this flat vector beats
+  // hashing and keeps the selection loop free of unordered containers.
+  std::vector<ServerId> used_servers;
   for (GpuId id : eligible) {
     if (request.distinct_servers) {
       ServerId sid = cluster_->ServerOf(id);
-      if (used_servers.count(sid) > 0) {
+      if (std::find(used_servers.begin(), used_servers.end(), sid) != used_servers.end()) {
         continue;
       }
-      used_servers.insert(sid);
+      used_servers.push_back(sid);
     }
     chosen.push_back(id);
     if (static_cast<int>(chosen.size()) == request.gpu_count) {

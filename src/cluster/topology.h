@@ -194,6 +194,8 @@ class Cluster {
 
  private:
   friend class Gpu;
+  // Debug-build invariant audits recompute the free index from the GPUs themselves.
+  friend class SimulationAuditor;
 
   // Bucket granularity: 1 GiB per bucket, clamped to the largest GPU capacity. A
   // server's bucket only depends on its free-memory maximum, so moves are O(1)

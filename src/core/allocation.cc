@@ -1,7 +1,6 @@
 #include "src/core/allocation.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/common/macros.h"
 
@@ -239,7 +238,6 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
     const ServerScoreFn& affinity_bonus) const {
   std::vector<GpuId> chosen;
   chosen.reserve(static_cast<size_t>(plan.num_stages()));
-  std::unordered_set<GpuId> used_here;
 
   GpuId prev = kInvalidGpu;
   for (int s = 0; s < plan.num_stages(); ++s) {
@@ -251,7 +249,10 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
       if (gpu.free_memory() < need) {
         continue;  // Eq. 7
       }
-      if (used_here.count(id) > 0 || registry_->HostsModel(id, model_id)) {
+      // `chosen` is exactly the set of GPUs used by earlier stages (<= 32 entries):
+      // same membership test the old unordered_set answered, scanned flat.
+      if (std::find(chosen.begin(), chosen.end(), id) != chosen.end() ||
+          registry_->HostsModel(id, model_id)) {
         continue;  // same-model anti-colocation (hard rule, §6.2)
       }
       double score = ScoreGpu(gpu, need, model_id, cv, prev, hrg_penalty, affinity_bonus);
@@ -264,7 +265,6 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
       return {};
     }
     chosen.push_back(best);
-    used_here.insert(best);
     prev = best;
   }
   return chosen;

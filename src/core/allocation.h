@@ -55,6 +55,9 @@ class ModelPlacementRegistry {
   int ModelsOn(GpuId gpu) const;
 
  private:
+  // Debug-build invariant audits compare the counts against the instance records.
+  friend class SimulationAuditor;
+
   struct ModelCount {
     int model_id = 0;
     int count = 0;

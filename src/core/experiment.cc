@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 
 #include "src/common/macros.h"
+#include "src/sim/auditor.h"
 
 namespace flexpipe {
 
@@ -96,6 +98,13 @@ RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> system
     sim.ScheduleAt(request->spec.arrival, [system, request] { system->OnArrival(request); });
   }
 
+  std::unique_ptr<PeriodicSimulationAuditor> auditor;
+  if (kAuditBuild && options.audit_interval > 0) {
+    auditor = std::make_unique<PeriodicSimulationAuditor>(&sim, &env.cluster(),
+                                                          systems_by_model,
+                                                          options.audit_interval);
+  }
+
   TimeNs horizon = options.horizon;
   if (horizon == 0) {
     TimeNs last = specs.empty() ? 0 : specs.back().arrival;
@@ -110,6 +119,7 @@ RunReport RunWorkload(ExperimentEnv& env, std::vector<ServingSystemBase*> system
   report.submitted = static_cast<int64_t>(specs.size());
   report.ran_until = sim.now();
   report.warmup = options.warmup;
+  report.audit_events = auditor ? auditor->audits_run() : 0;
   return report;
 }
 
@@ -220,6 +230,13 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
     driver.Arm();
   }
 
+  std::unique_ptr<PeriodicSimulationAuditor> auditor;
+  if (kAuditBuild && options.audit_interval > 0) {
+    auditor = std::make_unique<PeriodicSimulationAuditor>(&sim, &env.cluster(),
+                                                          systems_by_model,
+                                                          options.audit_interval);
+  }
+
   // The stream's end time bounds every arrival, so the default horizon is known before
   // any request is drawn (the materialized path keys off the last arrival instead).
   TimeNs horizon = options.horizon;
@@ -243,6 +260,7 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
   report.ran_until = sim.now();
   report.warmup = options.warmup;
   report.peak_live_requests = pool.peak_live();
+  report.audit_events = auditor ? auditor->audits_run() : 0;
   return report;
 }
 

@@ -89,12 +89,19 @@ struct RunOptions {
   // initial parameter loading happens before traffic (the paper measures warm fleets).
   TimeNs warmup = 0;
   bool enable_churn = true;
+  // Virtual-time spacing of the periodic invariant audits in FLEXPIPE_AUDIT builds
+  // (ignored otherwise); <= 0 disables. Audits are read-only, so enabling them never
+  // changes results — a corrupt structure aborts the run instead.
+  TimeNs audit_interval = 250 * kMillisecond;
 };
 
 struct RunReport {
   int64_t submitted = 0;
   TimeNs ran_until = 0;
   TimeNs warmup = 0;
+  // Events consumed by the periodic auditor itself (0 outside FLEXPIPE_AUDIT builds).
+  // Subtract from Simulation::executed_events() to compare event counts across builds.
+  int64_t audit_events = 0;
   TimeNs measured_span() const { return ran_until - warmup; }
 };
 
@@ -115,6 +122,8 @@ struct StreamingRunReport {
   int64_t submitted = 0;
   TimeNs ran_until = 0;
   TimeNs warmup = 0;
+  // See RunReport::audit_events.
+  int64_t audit_events = 0;
   // High-water mark of concurrently live Request objects (queued + in flight): the
   // streaming runner recycles completed requests through a pool, so this — not the
   // trace length — bounds request memory.

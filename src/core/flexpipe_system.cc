@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/macros.h"
+#include "src/sim/auditor.h"
 
 namespace flexpipe {
 
@@ -118,6 +119,26 @@ void FlexPipeSystem::OnArrival(Request* request) {
 }
 
 void FlexPipeSystem::Finish() { control_task_.reset(); }
+
+void FlexPipeSystem::CollectAuditViolations(std::vector<std::string>* out) const {
+  ServingSystemBase::CollectAuditViolations(out);
+  AuditReport hrg = SimulationAuditor::AuditHrg(hrg_);
+  out->insert(out->end(), hrg.begin(), hrg.end());
+  // Host-cache accounting: what the cache believes it holds on a server can never
+  // exceed what the cluster has accounted as reserved host memory there.
+  for (ServerId s = 0; s < ctx_.cluster->server_count(); ++s) {
+    const Server& server = ctx_.cluster->server(s);
+    Bytes cached = host_cache_.UsedOn(s);
+    if (cached > server.host_memory_used) {
+      out->push_back("host cache believes server " + std::to_string(s) + " holds " +
+                     std::to_string(cached) + " bytes but only " +
+                     std::to_string(server.host_memory_used) + " are reserved");
+    }
+    if (server.host_memory_used > server.host_memory) {
+      out->push_back("server " + std::to_string(s) + " host memory is overcommitted");
+    }
+  }
+}
 
 double FlexPipeSystem::ObservedCv(const ModelContext& model) const {
   // Until the window fills, assume the Poisson default rather than over-reacting.

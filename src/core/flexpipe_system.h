@@ -81,6 +81,8 @@ class FlexPipeSystem : public ServingSystemBase {
   void Start() override;
   void OnArrival(Request* request) override;
   void Finish() override;
+  // Base invariants plus HRG stream tallies and host-cache vs cluster accounting.
+  void CollectAuditViolations(std::vector<std::string>* out) const override;
 
   // -- Introspection for benches --------------------------------------------------------
   // Aggregates across all models:

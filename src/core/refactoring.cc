@@ -21,6 +21,26 @@ MigrationSession::MigrationSession(Simulation* sim, TransferEngine* transfer,
   FLEXPIPE_CHECK(on_done_ != nullptr);
 }
 
+const MigrationSession::SnapshotState* MigrationSession::StateFor(RequestId id) const {
+  auto it = std::lower_bound(
+      states_.begin(), states_.end(), id,
+      [](const SnapshotState& s, RequestId key) { return s.id < key; });
+  if (it == states_.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+MigrationSession::SnapshotState* MigrationSession::StateFor(RequestId id) {
+  return const_cast<SnapshotState*>(
+      static_cast<const MigrationSession*>(this)->StateFor(id));
+}
+
+const KvValidityMask* MigrationSession::MaskFor(RequestId id) const {
+  const SnapshotState* state = StateFor(id);
+  return state != nullptr ? state->mask.get() : nullptr;
+}
+
 void MigrationSession::Start() {
   FLEXPIPE_CHECK(!started_);
   started_ = true;
@@ -33,10 +53,12 @@ void MigrationSession::Start() {
     int capacity = r->spec.prompt_tokens + r->spec.output_tokens;
     auto mask = std::make_unique<KvValidityMask>(capacity);
     mask->MarkValid(0, r->context_tokens());
-    snapshot_tokens_[r->spec.id] = r->tokens_generated;
     snapshot_bytes += from_->kv_tracker().BytesForTokens(r->context_tokens());
-    masks_[r->spec.id] = std::move(mask);
+    states_.push_back(SnapshotState{r->spec.id, r->tokens_generated, std::move(mask)});
   }
+  // Lookups bisect on id; the population order (decoding-set order) is irrelevant.
+  std::sort(states_.begin(), states_.end(),
+            [](const SnapshotState& a, const SnapshotState& b) { return a.id < b.id; });
   result_.snapshot_bytes = snapshot_bytes;
 
   GpuId src = from_->gpus().front();
@@ -73,8 +95,8 @@ void MigrationSession::OnHalted(std::vector<Request*> extracted) {
   // make the consistency check in FinishAt vacuous.
   Bytes delta_bytes = 0;
   for (Request* r : decoding) {
-    auto it = snapshot_tokens_.find(r->spec.id);
-    int snap_tokens = it != snapshot_tokens_.end() ? it->second : 0;
+    const SnapshotState* state = StateFor(r->spec.id);
+    int snap_tokens = state != nullptr ? state->snapshot_tokens : 0;
     int delta = std::max(0, r->tokens_generated - snap_tokens);
     delta_bytes += from_->kv_tracker().BytesForTokens(delta);
   }
@@ -98,9 +120,9 @@ void MigrationSession::OnHalted(std::vector<Request*> extracted) {
 void MigrationSession::MarkDeltaValid(const std::vector<Request*>& decoding) {
   // The delta is resident on the target: the shipped tails become valid (Eq. 10).
   for (Request* r : decoding) {
-    auto mit = masks_.find(r->spec.id);
-    if (mit != masks_.end()) {
-      mit->second->MarkValid(0, std::min(r->context_tokens(), mit->second->capacity()));
+    SnapshotState* state = StateFor(r->spec.id);
+    if (state != nullptr) {
+      state->mask->MarkValid(0, std::min(r->context_tokens(), state->mask->capacity()));
     }
   }
 }
@@ -115,10 +137,10 @@ void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding
 
   for (Request* r : decoding) {
     // Verify Eq. 10 consistency: every token of context must be valid before resuming.
-    auto mit = masks_.find(r->spec.id);
-    if (mit != masks_.end()) {
-      FLEXPIPE_CHECK_MSG(mit->second->invalid_in(0, std::min(r->context_tokens(),
-                                                             mit->second->capacity())) == 0,
+    const SnapshotState* state = StateFor(r->spec.id);
+    if (state != nullptr) {
+      FLEXPIPE_CHECK_MSG(state->mask->invalid_in(0, std::min(r->context_tokens(),
+                                                             state->mask->capacity())) == 0,
                          "KV consistency violated at resume");
     }
     bool target_usable = to_->state() == InstanceState::kLoading ||

@@ -19,7 +19,6 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/runtime/instance.h"
@@ -56,17 +55,24 @@ class MigrationSession {
   // Introspection (tests): the Eq. 10 validity mask tracked for a request, or nullptr.
   // Tail tokens generated during the snapshot stay invalid until the delta transfer
   // completes — the FinishAt consistency check relies on that timing.
-  const KvValidityMask* MaskFor(RequestId id) const {
-    auto it = masks_.find(id);
-    return it != masks_.end() ? it->second.get() : nullptr;
-  }
+  const KvValidityMask* MaskFor(RequestId id) const;
 
  private:
+  // Eq. 10 bookkeeping for one snapshotted request: its validity mask plus the token
+  // count at snapshot time.
+  struct SnapshotState {
+    RequestId id = 0;
+    int snapshot_tokens = 0;
+    std::unique_ptr<KvValidityMask> mask;
+  };
+
   void OnSnapshotDone(TimeNs duration);
   void OnHalted(std::vector<Request*> extracted);
   void MarkDeltaValid(const std::vector<Request*>& decoding);
   void FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
                 std::vector<Request*> queued);
+  const SnapshotState* StateFor(RequestId id) const;
+  SnapshotState* StateFor(RequestId id);
 
   Simulation* sim_;
   TransferEngine* transfer_;
@@ -77,9 +83,10 @@ class MigrationSession {
 
   bool started_ = false;
   MigrationResult result_;
-  // Eq. 10 bookkeeping: per-request validity masks plus token counts at snapshot time.
-  std::unordered_map<RequestId, std::unique_ptr<KvValidityMask>> masks_;
-  std::unordered_map<RequestId, int> snapshot_tokens_;
+  // Sorted by request id (binary-search lookups); one session tracks at most one
+  // instance's decoding set, so the flat vector stays small and iterates
+  // deterministically.
+  std::vector<SnapshotState> states_;
 };
 
 }  // namespace flexpipe

@@ -103,6 +103,20 @@ HostParamCache::HostParamCache(Cluster* cluster, double host_fraction)
     : cluster_(cluster), host_fraction_(host_fraction) {
   FLEXPIPE_CHECK(cluster != nullptr);
   FLEXPIPE_CHECK(host_fraction > 0.0 && host_fraction <= 1.0);
+  entries_.resize(static_cast<size_t>(cluster->server_count()));
+  last_hosted_.resize(static_cast<size_t>(cluster->server_count()));
+  server_seen_put_.assign(static_cast<size_t>(cluster->server_count()), 0);
+}
+
+void HostParamCache::TouchLastHosted(ServerId server, int model_id, TimeNs now) {
+  auto& hosted = last_hosted_[static_cast<size_t>(server)];
+  for (auto& [model, last] : hosted) {
+    if (model == model_id) {
+      last = now;
+      return;
+    }
+  }
+  hosted.emplace_back(model_id, now);
 }
 
 Bytes HostParamCache::BudgetOn(ServerId server) const {
@@ -111,23 +125,15 @@ Bytes HostParamCache::BudgetOn(ServerId server) const {
 }
 
 Bytes HostParamCache::UsedOn(ServerId server) const {
-  auto it = entries_.find(server);
-  if (it == entries_.end()) {
-    return 0;
-  }
   Bytes used = 0;
-  for (const Entry& e : it->second) {
+  for (const Entry& e : entries_[static_cast<size_t>(server)]) {
     used += e.bytes;
   }
   return used;
 }
 
 void HostParamCache::EvictLru(ServerId server, Bytes needed) {
-  auto it = entries_.find(server);
-  if (it == entries_.end()) {
-    return;
-  }
-  auto& list = it->second;
+  auto& list = entries_[static_cast<size_t>(server)];
   while (UsedOn(server) + needed > BudgetOn(server) && !list.empty()) {
     size_t oldest = 0;
     for (size_t i = 1; i < list.size(); ++i) {
@@ -148,11 +154,12 @@ void HostParamCache::Put(ServerId server, int model_id, int fine_begin, int fine
     return;  // cannot ever fit
   }
   // Replace an identical range if present.
-  auto& list = entries_[server];
+  server_seen_put_[static_cast<size_t>(server)] = 1;
+  auto& list = entries_[static_cast<size_t>(server)];
   for (Entry& e : list) {
     if (e.model_id == model_id && e.fine_begin == fine_begin && e.fine_end == fine_end) {
       e.last_used = now;
-      last_hosted_[server][model_id] = now;
+      TouchLastHosted(server, model_id, now);
       return;
     }
   }
@@ -161,19 +168,16 @@ void HostParamCache::Put(ServerId server, int model_id, int fine_begin, int fine
     return;  // host memory pressured by other consumers
   }
   list.push_back(Entry{model_id, fine_begin, fine_end, bytes, now});
-  last_hosted_[server][model_id] = now;
+  TouchLastHosted(server, model_id, now);
 }
 
 double HostParamCache::Coverage(ServerId server, int model_id, int fine_begin,
                                 int fine_end) const {
   FLEXPIPE_CHECK(fine_end > fine_begin);
-  auto it = entries_.find(server);
-  if (it == entries_.end()) {
-    return 0.0;
-  }
+  const auto& list = entries_[static_cast<size_t>(server)];
   int covered = 0;
   for (int f = fine_begin; f < fine_end; ++f) {
-    for (const Entry& e : it->second) {
+    for (const Entry& e : list) {
       if (e.model_id == model_id && f >= e.fine_begin && f < e.fine_end) {
         ++covered;
         break;
@@ -184,25 +188,24 @@ double HostParamCache::Coverage(ServerId server, int model_id, int fine_begin,
 }
 
 void HostParamCache::Touch(ServerId server, int model_id, TimeNs now) {
-  auto it = entries_.find(server);
-  if (it == entries_.end()) {
-    return;
+  if (!server_seen_put_[static_cast<size_t>(server)]) {
+    return;  // mirrors the former map semantics: no Put, no last-hosted refresh
   }
-  for (Entry& e : it->second) {
+  for (Entry& e : entries_[static_cast<size_t>(server)]) {
     if (e.model_id == model_id) {
       e.last_used = now;
     }
   }
-  last_hosted_[server][model_id] = now;
+  TouchLastHosted(server, model_id, now);
 }
 
 TimeNs HostParamCache::LastHosted(ServerId server, int model_id) const {
-  auto it = last_hosted_.find(server);
-  if (it == last_hosted_.end()) {
-    return -1;
+  for (const auto& [model, last] : last_hosted_[static_cast<size_t>(server)]) {
+    if (model == model_id) {
+      return last;
+    }
   }
-  auto mit = it->second.find(model_id);
-  return mit == it->second.end() ? -1 : mit->second;
+  return -1;
 }
 
 AffinityScheduler::AffinityScheduler(const Cluster* cluster, const HostParamCache* cache,

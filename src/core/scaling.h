@@ -4,7 +4,6 @@
 #ifndef FLEXPIPE_SRC_CORE_SCALING_H_
 #define FLEXPIPE_SRC_CORE_SCALING_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/topology.h"
@@ -64,6 +63,9 @@ class HierarchicalResourceGraph {
   double LoadSlowdown(ServerId server) const;
 
  private:
+  // Debug-build invariant audits cross-check the per-level stream tallies.
+  friend class SimulationAuditor;
+
   struct DecayedCounter {
     double value = 0.0;
     TimeNs last = 0;
@@ -113,11 +115,19 @@ class HostParamCache {
 
   Bytes BudgetOn(ServerId server) const;
   void EvictLru(ServerId server, Bytes needed);
+  void TouchLastHosted(ServerId server, int model_id, TimeNs now);
 
   Cluster* cluster_;
   double host_fraction_;
-  std::unordered_map<ServerId, std::vector<Entry>> entries_;
-  std::unordered_map<ServerId, std::unordered_map<int, TimeNs>> last_hosted_;
+  // Flat per-server state (cluster shape is fixed at construction), same idiom as the
+  // HRG: indexed loads instead of hashes, and deterministic iteration order. The inner
+  // vectors are small (a handful of cached ranges / hosted models per server).
+  std::vector<std::vector<Entry>> entries_;
+  std::vector<std::vector<std::pair<int, TimeNs>>> last_hosted_;  // (model, last time)
+  // Whether a Put ever reached this server (mirrors the former hash-map "has key"
+  // state): Touch on a never-Put server must stay a no-op so LastHosted — and through
+  // it the affinity score — is unchanged by the flat-vector migration.
+  std::vector<uint8_t> server_seen_put_;
   int64_t evictions_ = 0;
 };
 

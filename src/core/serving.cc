@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/macros.h"
+#include "src/sim/auditor.h"
 
 namespace flexpipe {
 
@@ -26,6 +27,13 @@ void ServingSystemBase::OnArrival(Request* request) {
   FLEXPIPE_CHECK_MSG(served_models_.count(request->model_id()) > 0,
                      "request targets a model this system does not serve");
   router_.Submit(request);
+}
+
+void ServingSystemBase::CollectAuditViolations(std::vector<std::string>* out) const {
+  AuditReport router = SimulationAuditor::AuditRouter(router_);
+  out->insert(out->end(), router.begin(), router.end());
+  AuditReport registry = SimulationAuditor::AuditPlacementRegistry(*this);
+  out->insert(out->end(), registry.begin(), registry.end());
 }
 
 void ServingSystemBase::NoteGpuDelta(int delta) {

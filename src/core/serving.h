@@ -65,6 +65,13 @@ class ServingSystemBase {
   // End-of-run hook (cancel controllers etc.).
   virtual void Finish() {}
 
+  // Appends one line per violated cross-module invariant (router bookkeeping,
+  // placement registry vs instance records); appends nothing when consistent.
+  // Subclasses extend with their own invariants (FlexPipe adds the HRG and
+  // host-cache accounting). The debug-build auditor calls this periodically;
+  // tests call it directly in every build.
+  virtual void CollectAuditViolations(std::vector<std::string>* out) const;
+
   const std::string& name() const { return name_; }
   Router& router() { return router_; }
   MetricsCollector& metrics() { return metrics_; }
@@ -93,6 +100,9 @@ class ServingSystemBase {
   int live_instances() const;
 
  protected:
+  // Debug-build invariant audits compare the registry against the records.
+  friend class SimulationAuditor;
+
   struct InstanceRecord {
     std::unique_ptr<PipelineInstance> instance;
     std::vector<GpuId> gpus;

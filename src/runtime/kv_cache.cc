@@ -1,5 +1,6 @@
 #include "src/runtime/kv_cache.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace flexpipe {
@@ -94,17 +95,30 @@ bool KvTracker::Fits(int total_tokens) const {
   return used_per_stage_ + need <= budget_per_stage_;
 }
 
+auto KvTracker::Find(RequestId id) const -> std::vector<Resident>::const_iterator {
+  auto it = std::lower_bound(
+      tokens_.begin(), tokens_.end(), id,
+      [](const Resident& r, RequestId key) { return r.id < key; });
+  if (it == tokens_.end() || it->id != id) {
+    return tokens_.end();
+  }
+  return it;
+}
+
 void KvTracker::Admit(RequestId id, int total_tokens) {
   FLEXPIPE_CHECK_MSG(Fits(total_tokens), "KV admission over budget");
-  FLEXPIPE_CHECK(tokens_.find(id) == tokens_.end());
-  tokens_[id] = total_tokens;
+  auto it = std::lower_bound(
+      tokens_.begin(), tokens_.end(), id,
+      [](const Resident& r, RequestId key) { return r.id < key; });
+  FLEXPIPE_CHECK(it == tokens_.end() || it->id != id);
+  tokens_.insert(it, Resident{id, total_tokens});
   used_per_stage_ += static_cast<Bytes>(total_tokens) * kv_per_token_per_stage_;
 }
 
 void KvTracker::Remove(RequestId id) {
-  auto it = tokens_.find(id);
+  auto it = Find(id);
   FLEXPIPE_CHECK(it != tokens_.end());
-  used_per_stage_ -= static_cast<Bytes>(it->second) * kv_per_token_per_stage_;
+  used_per_stage_ -= static_cast<Bytes>(it->tokens) * kv_per_token_per_stage_;
   FLEXPIPE_CHECK(used_per_stage_ >= 0);
   tokens_.erase(it);
 }
@@ -115,11 +129,11 @@ void KvTracker::Clear() {
 }
 
 Bytes KvTracker::RequestBytes(RequestId id) const {
-  auto it = tokens_.find(id);
+  auto it = Find(id);
   if (it == tokens_.end()) {
     return 0;
   }
-  return static_cast<Bytes>(it->second) * kv_per_token_per_stage_ * num_stages_;
+  return static_cast<Bytes>(it->tokens) * kv_per_token_per_stage_ * num_stages_;
 }
 
 Bytes KvTracker::TotalBytes() const { return used_per_stage_ * num_stages_; }

@@ -10,7 +10,6 @@
 #define FLEXPIPE_SRC_RUNTIME_KV_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/macros.h"
@@ -117,11 +116,20 @@ class KvTracker {
   }
 
  private:
+  struct Resident {
+    RequestId id = 0;
+    int tokens = 0;
+  };
+  // Sorted by id (binary-search lookups). Residency is bounded by instance capacity
+  // (a few hundred requests), so the flat vector beats hashing and — unlike a hash
+  // table — iterates in a deterministic order.
+  std::vector<Resident>::const_iterator Find(RequestId id) const;
+
   int num_stages_;
   Bytes budget_per_stage_;
   Bytes kv_per_token_per_stage_;
   Bytes used_per_stage_ = 0;
-  std::unordered_map<RequestId, int> tokens_;
+  std::vector<Resident> tokens_;
 };
 
 }  // namespace flexpipe

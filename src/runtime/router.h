@@ -64,6 +64,9 @@ class Router {
   int OutstandingForModel(int model_id) const;
 
  private:
+  // Debug-build invariant audits cross-check the incremental counters and buckets.
+  friend class SimulationAuditor;
+
   struct ModelQueue {
     std::deque<Request*> requests;
     // Set when the head request could not be placed. Placement depends only on fleet

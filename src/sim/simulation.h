@@ -114,6 +114,9 @@ class Simulation {
   static uint64_t process_executed_events();
 
  private:
+  // Debug-build invariant audits recompute slot accounting from the raw containers.
+  friend class SimulationAuditor;
+
   static constexpr uint32_t kNil = 0xffffffffu;
 
   enum class Where : uint8_t { kFree, kHeap, kStaged, kFresh };

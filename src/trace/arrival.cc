@@ -12,12 +12,21 @@ namespace {
 constexpr TimeNs kMinGap = 1;
 }  // namespace
 
+bool ArrivalProcess::TryNextGap(Rng& rng, TimeNs* gap) {
+  *gap = NextGap(rng);
+  return true;
+}
+
 std::vector<TimeNs> ArrivalProcess::GenerateArrivals(Rng& rng, size_t n, TimeNs start) {
   std::vector<TimeNs> out;
   out.reserve(n);
   TimeNs t = start;
   for (size_t i = 0; i < n; ++i) {
-    t += NextGap(rng);
+    TimeNs gap = 0;
+    if (!TryNextGap(rng, &gap)) {
+      break;
+    }
+    t += gap;
     out.push_back(t);
   }
   return out;
@@ -27,7 +36,11 @@ std::vector<TimeNs> ArrivalProcess::GenerateUntil(Rng& rng, TimeNs end, TimeNs s
   std::vector<TimeNs> out;
   TimeNs t = start;
   while (true) {
-    t += NextGap(rng);
+    TimeNs gap = 0;
+    if (!TryNextGap(rng, &gap)) {
+      break;
+    }
+    t += gap;
     if (t >= end) {
       break;
     }
@@ -96,12 +109,20 @@ TraceReplayArrivals::TraceReplayArrivals(std::vector<TimeNs> timestamps)
   }
 }
 
-TimeNs TraceReplayArrivals::NextGap(Rng& /*rng*/) {
-  FLEXPIPE_CHECK_MSG(next_ < timestamps_.size(), "trace exhausted");
-  TimeNs gap = timestamps_[next_] - last_;
+TimeNs TraceReplayArrivals::NextGap(Rng& rng) {
+  TimeNs gap = 0;
+  FLEXPIPE_CHECK_MSG(TryNextGap(rng, &gap), "trace exhausted");
+  return gap;
+}
+
+bool TraceReplayArrivals::TryNextGap(Rng& /*rng*/, TimeNs* gap) {
+  if (next_ >= timestamps_.size()) {
+    return false;
+  }
+  *gap = std::max<TimeNs>(kMinGap, timestamps_[next_] - last_);
   last_ = timestamps_[next_];
   ++next_;
-  return std::max<TimeNs>(kMinGap, gap);
+  return true;
 }
 
 double TraceReplayArrivals::MeanRate() const {

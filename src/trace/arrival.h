@@ -20,16 +20,26 @@ class ArrivalProcess {
  public:
   virtual ~ArrivalProcess() = default;
 
-  // Returns the next inter-arrival gap in virtual time (> 0).
+  // Returns the next inter-arrival gap in virtual time (> 0). Finite processes
+  // (trace replay) CHECK-fail once exhausted; callers that may outrun a finite
+  // process must use TryNextGap instead.
   virtual TimeNs NextGap(Rng& rng) = 0;
+
+  // Exhaustion-aware draw: fills `*gap` and returns true, or returns false once the
+  // process has no further arrivals (`*gap` is left untouched). Only finite
+  // processes ever exhaust; the default forwards to NextGap and always succeeds, so
+  // renewal/MMPP subclasses need no override.
+  virtual bool TryNextGap(Rng& rng, TimeNs* gap);
 
   // Long-run mean arrival rate in requests/second.
   virtual double MeanRate() const = 0;
 
-  // Generates `n` absolute arrival timestamps starting at `start`.
+  // Generates `n` absolute arrival timestamps starting at `start`; a finite process
+  // that exhausts early returns the timestamps drawn so far.
   std::vector<TimeNs> GenerateArrivals(Rng& rng, size_t n, TimeNs start = 0);
 
-  // Generates timestamps until `end` (exclusive) starting at `start`.
+  // Generates timestamps until `end` (exclusive) starting at `start`, stopping early
+  // if the process exhausts.
   std::vector<TimeNs> GenerateUntil(Rng& rng, TimeNs end, TimeNs start = 0);
 };
 
@@ -86,6 +96,9 @@ class TraceReplayArrivals : public ArrivalProcess {
  public:
   explicit TraceReplayArrivals(std::vector<TimeNs> timestamps);
   TimeNs NextGap(Rng& rng) override;
+  // Reports end-of-trace instead of CHECK-failing: returns false past the last
+  // timestamp, so replay-backed streams can drain gracefully.
+  bool TryNextGap(Rng& rng, TimeNs* gap) override;
   double MeanRate() const override;
   bool exhausted() const { return next_ >= timestamps_.size(); }
 

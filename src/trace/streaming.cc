@@ -33,8 +33,14 @@ bool StreamingWorkloadSource::Next(RequestSpec* out) {
     return false;
   }
   // Identical draw order to GenerateUntil: one gap per emitted arrival, plus the final
-  // gap whose crossing of `end` terminates the stream.
-  t_ += arrivals_->NextGap(arrival_rng_);
+  // gap whose crossing of `end` terminates the stream. A finite process (trace
+  // replay) can also terminate the stream by exhausting before `end`.
+  TimeNs gap = 0;
+  if (!arrivals_->TryNextGap(arrival_rng_, &gap)) {
+    exhausted_ = true;
+    return false;
+  }
+  t_ += gap;
   if (t_ >= end_) {
     exhausted_ = true;
     return false;

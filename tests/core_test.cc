@@ -54,8 +54,8 @@ TEST(CvMonitor, RateAndGradient) {
 // (Welford-free sliding sums + std::lower_bound window counts over all retained
 // timestamps). The production monitor must match it bit-for-bit.
 struct ReferenceCvMonitor {
-  explicit ReferenceCvMonitor(const CvMonitor::Config& config)
-      : config(config), gaps(config.window_arrivals) {}
+  explicit ReferenceCvMonitor(const CvMonitor::Config& config_in)
+      : config(config_in), gaps(config_in.window_arrivals) {}
 
   void RecordArrival(TimeNs now) {
     if (last_arrival >= 0) {

@@ -75,6 +75,51 @@ TEST(Arrivals, TraceReplayReproducesTimestamps) {
   EXPECT_TRUE(replay.exhausted());
 }
 
+TEST(Arrivals, TraceReplayReportsExhaustionInsteadOfAborting) {
+  TraceReplayArrivals replay({5, 15});
+  Rng rng(4);
+  TimeNs gap = 0;
+  EXPECT_TRUE(replay.TryNextGap(rng, &gap));
+  EXPECT_EQ(gap, 5);
+  EXPECT_TRUE(replay.TryNextGap(rng, &gap));
+  EXPECT_EQ(gap, 10);
+  // Past the last timestamp: TryNextGap reports end-of-trace and leaves `gap` alone.
+  EXPECT_FALSE(replay.TryNextGap(rng, &gap));
+  EXPECT_EQ(gap, 10);
+  EXPECT_TRUE(replay.exhausted());
+  EXPECT_FALSE(replay.TryNextGap(rng, &gap));  // stays exhausted
+}
+
+TEST(Arrivals, GeneratorsStopEarlyOnFiniteProcess) {
+  // The trace ends long before `end`/`n`; both generators must return what the
+  // trace held rather than CHECK-failing on the draw past the end.
+  Rng rng(4);
+  TraceReplayArrivals until({10, 20, 30});
+  EXPECT_EQ(until.GenerateUntil(rng, /*end=*/1 * kSecond),
+            (std::vector<TimeNs>{10, 20, 30}));
+  TraceReplayArrivals counted({10, 20, 30});
+  EXPECT_EQ(counted.GenerateArrivals(rng, /*n=*/100),
+            (std::vector<TimeNs>{10, 20, 30}));
+}
+
+TEST(StreamingWorkload, TraceBackedStreamDrainsGracefully) {
+  // A replay-backed stream whose trace exhausts before `end` must terminate the
+  // stream (and stay terminated) instead of aborting the run.
+  const TimeNs kEnd = 10 * kSecond;
+  auto replay = std::make_unique<TraceReplayArrivals>(
+      std::vector<TimeNs>{1 * kSecond, 2 * kSecond, 3 * kSecond});
+  StreamingWorkloadSource stream(WorkloadGenerator::Config{}, std::move(replay),
+                                 /*arrival_rng=*/Rng(11),
+                                 /*length_rng=*/Rng(11).Child("lengths"), kEnd);
+  std::vector<TimeNs> arrivals;
+  RequestSpec spec;
+  while (stream.Next(&spec)) {
+    arrivals.push_back(spec.arrival);
+  }
+  EXPECT_EQ(arrivals, (std::vector<TimeNs>{1 * kSecond, 2 * kSecond, 3 * kSecond}));
+  EXPECT_FALSE(stream.Next(&spec));
+}
+
 TEST(Arrivals, FactorySelectsProcess) {
   auto poisson = MakeArrivalsWithCv(10.0, 1.0);
   auto gamma = MakeArrivalsWithCv(10.0, 4.0);
