@@ -7,14 +7,16 @@
 // service quality. Paper: reservation 75% -> 30%, allocation wait -85%, init -72%,
 // no quality loss.
 #include <cstdio>
+#include <memory>
 
 #include "bench/common.h"
 #include "src/trace/azure_trace.h"
+#include "src/trace/streaming.h"
 
 namespace flexpipe {
 namespace {
 
-std::vector<RequestSpec> DiurnalWorkload() {
+std::vector<TimeNs> DiurnalTimestamps() {
   // A compressed "day": rate swings 6 -> 24 req/s with burst episodes.
   AzureTraceSynthesizer::Config config;
   config.days = 1;
@@ -25,15 +27,24 @@ std::vector<RequestSpec> DiurnalWorkload() {
   std::vector<TimeNs> raw = synth.GenerateArrivals();
   // Compress 24 h to 12 simulated minutes, preserving the shape.
   const double compress = (12.0 * 60.0) / 86400.0;
-  WorkloadGenerator gen(bench::DefaultWorkloadConfig());
-  Rng rng(5);
   std::vector<TimeNs> compressed;
   compressed.reserve(raw.size() / 64);
   for (size_t i = 0; i < raw.size(); i += 64) {  // thin to ~25 req/s after compression
     compressed.push_back(static_cast<TimeNs>(static_cast<double>(raw[i]) * compress));
   }
-  TraceReplayArrivals replay(compressed);
-  return gen.Generate(replay, rng, compressed.size());
+  return compressed;
+}
+
+// Replay-backed streaming source over the diurnal trace. The replay consumes no
+// arrival randomness, so handing the same fresh Rng(5) as the length stream
+// reproduces the materialized Generate(replay, rng, n) token draws bit-identically
+// (FillSpecs and Next both sample prompt then output, once per request, in arrival
+// order). `end` sits one tick past the last timestamp so no arrival is dropped.
+StreamingWorkloadSource DiurnalStream(const std::vector<TimeNs>& timestamps) {
+  const TimeNs end = timestamps.empty() ? 1 : timestamps.back() + 1;
+  return StreamingWorkloadSource(bench::DefaultWorkloadConfig(),
+                                 std::make_unique<TraceReplayArrivals>(timestamps),
+                                 /*arrival_rng=*/Rng(5), /*length_rng=*/Rng(5), end);
 }
 
 }  // namespace
@@ -45,8 +56,11 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   PrintHeader("§9.6 case study - production rollout",
               "§9.6 (always-on 75% -> 30%, allocation wait -85%, init latency -72%)");
 
-  auto specs = DiurnalWorkload();
-  std::printf("diurnal workload: %zu requests over ~12 simulated minutes\n\n", specs.size());
+  // Each run streams the trace lazily (request storage stays proportional to
+  // in-flight work); the timestamps are shared, the length RNG re-seeded per run.
+  const std::vector<TimeNs> timestamps = DiurnalTimestamps();
+  std::printf("diurnal workload: %zu requests over ~12 simulated minutes\n\n",
+              timestamps.size());
 
   // Pre-rollout: static provisioning at 75% of peak, no adaptation.
   ExperimentEnv env_static(DefaultEnvConfig());
@@ -56,9 +70,10 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   static_config.provision_headroom = 0.75;
   static_config.default_slo = kDefaultSlo;
   AlpaServeSystem static_system(env_static.Context(), &env_static.ladder(0), static_config);
-  std::vector<Request> storage_a;
-  RunReport report_a = RunWorkload(env_static, static_system, specs, storage_a,
-                                   RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  StreamingWorkloadSource stream_a = DiurnalStream(timestamps);
+  StreamingRunReport report_a =
+      RunStreamingWorkload(env_static, static_system, stream_a,
+                           RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
 
   // Post-rollout: FlexPipe with a 30% always-on floor.
   ExperimentEnv env_flex(DefaultEnvConfig());
@@ -68,11 +83,12 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
   flex_config.reserve_fraction = 0.30;
   flex_config.default_slo = kDefaultSlo;
   FlexPipeSystem flex_system(env_flex.Context(), &env_flex.ladder(0), flex_config);
-  std::vector<Request> storage_b;
-  RunReport report_b = RunWorkload(env_flex, flex_system, specs, storage_b,
-                                   RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  StreamingWorkloadSource stream_b = DiurnalStream(timestamps);
+  StreamingRunReport report_b =
+      RunStreamingWorkload(env_flex, flex_system, stream_b,
+                           RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
 
-  auto print_row = [](const char* name, ServingSystemBase& s, const RunReport& r,
+  auto print_row = [](const char* name, ServingSystemBase& s, const StreamingRunReport& r,
                       double reserve_frac) {
     std::printf("%-14s always-on=%2.0f%%  peak GPUs=%2d  gpu-util=%5.1f%%  "
                 "alloc-wait=%.2fs  cold=%lld warm=%lld  goodput=%5.1f%%  meanRT=%.2fs\n",

@@ -5,60 +5,94 @@
 // growing with model scale, plus visibly tighter distributions.
 //
 // Two modes:
-//   * default — each model on a private cluster, sequentially (the paper's per-model
-//     measurement isolates model scale);
+//   * default — each model on a private cluster (the paper's per-model measurement
+//     isolates model scale); the 12 model x system cells are independent universes
+//     and run as arms on the parallel sweep driver;
 //   * FLEXPIPE_FIG13_SHARED=1 — all four models concurrently on ONE shared cluster via
-//     each system's multi-model deployment (the production setting; see also fig14).
+//     each system's multi-model deployment (the production setting; see also fig14);
+//     the three per-system runs are the arms.
+// Deltas vs AlpaServe are computed at merge time from arm-indexed results, so they
+// are identical at any FLEXPIPE_SWEEP_WORKERS.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench/common.h"
+#include "bench/sweep.h"
 
 namespace {
 
 using namespace flexpipe;
 using namespace flexpipe::bench;
 
+const std::vector<SystemKind> kKinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
+                                        SystemKind::kServerlessLlm};
+
+double Metric(const ArmResult& result, const std::string& name) {
+  for (const auto& [key, value] : result.metrics) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0.0;
+}
+
+// One sequential-mode arm = one (model, system) cell on a private cluster. Fully
+// self-contained universe; returns the three prefill statistics the table needs.
+ArmResult RunSequentialArm(const ModelSpec& model, size_t mi, SystemKind kind) {
+  // Per-model rate: lighter models see more traffic in production mixes.
+  double qps = model.param_bytes > GiB(60) ? 10.0 : 16.0;
+  WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(0);
+  wconfig.lengths.prompt_max = model.context_window;
+
+  ExperimentEnv env(DefaultEnvConfig({model}, kSeed + mi));
+  auto system = MakeSystem(kind, env, 0, qps);
+  // Identically seeded per-model stream for every system, drawn lazily.
+  StreamingWorkloadSource stream = StreamingWorkloadSource::WithCv(
+      wconfig, qps, 2.0, 4 * kMinute, Rng(Rng(kSeed).Child(model.name).seed()));
+  RunStreamingWorkload(env, *system, stream,
+                       RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  const MetricsCollector& m = system->metrics();
+  ArmResult result;
+  result.metrics = {{"mean", m.MeanPrefillSec()},
+                    {"p50", m.prefill_histogram().Percentile(50)},
+                    {"p95", m.prefill_histogram().Percentile(95)}};
+  return result;
+}
+
 int RunSequential(BenchReporter& reporter) {
   const std::vector<ModelSpec> models = EvaluationModels();
-  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
-                                         SystemKind::kServerlessLlm};
+
+  // Arm index = mi * kKinds.size() + ki, so the merge below can find every cell —
+  // including each model's AlpaServe baseline — by index alone.
+  std::vector<SweepArm> arms;
+  for (size_t mi = 0; mi < models.size(); ++mi) {
+    for (SystemKind kind : kKinds) {
+      const ModelSpec& model = models[mi];
+      arms.push_back({models[mi].name + "/" + KindName(kind),
+                      [&model, mi, kind] { return RunSequentialArm(model, mi, kind); }});
+    }
+  }
+  ParallelSweepRunner runner;
+  auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ArmResult> results = runner.Run(arms);
+  std::chrono::duration<double> sweep_wall = std::chrono::steady_clock::now() - sweep_start;
 
   TextTable table({"Model", "System", "MeanPrefill(s)", "P50(s)", "P95(s)", "vs AlpaServe"});
   for (size_t mi = 0; mi < models.size(); ++mi) {
-    // Per-model rate: lighter models see more traffic in production mixes.
-    double qps = models[mi].param_bytes > GiB(60) ? 10.0 : 16.0;
-    WorkloadGenerator::Config wconfig = DefaultWorkloadConfig(0);
-    wconfig.lengths.prompt_max = models[mi].context_window;
-
-    double alpa_mean = 0.0;
-    struct Row {
-      SystemKind kind;
-      double mean, p50, p95;
-    };
-    std::vector<Row> rows;
-    for (SystemKind kind : kinds) {
-      ExperimentEnv env(DefaultEnvConfig({models[mi]}, kSeed + mi));
-      auto system = MakeSystem(kind, env, 0, qps);
-      // Identically seeded per-model stream for every system, drawn lazily.
-      StreamingWorkloadSource stream = StreamingWorkloadSource::WithCv(
-          wconfig, qps, 2.0, 4 * kMinute, Rng(Rng(kSeed).Child(models[mi].name).seed()));
-      RunStreamingWorkload(env, *system, stream,
-                           RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
-      const MetricsCollector& m = system->metrics();
-      rows.push_back({kind, m.MeanPrefillSec(), m.prefill_histogram().Percentile(50),
-                      m.prefill_histogram().Percentile(95)});
-      if (kind == SystemKind::kAlpaServe) {
-        alpa_mean = m.MeanPrefillSec();
-      }
-    }
-    for (const Row& r : rows) {
-      double delta = alpa_mean > 0 ? 100.0 * (1.0 - r.mean / alpa_mean) : 0.0;
-      table.AddRow({models[mi].name, KindName(r.kind), TextTable::Num(r.mean, 3),
-                    TextTable::Num(r.p50, 3), TextTable::Num(r.p95, 3),
-                    r.kind == SystemKind::kAlpaServe ? "-" : TextTable::Num(delta, 1) + "%"});
-      if (r.kind == SystemKind::kFlexPipe) {
-        reporter.Metric(models[mi].name + "_flexpipe_mean_prefill_s", r.mean);
+    const size_t base = mi * kKinds.size();
+    const double alpa_mean = Metric(results[base + 1], "mean");
+    for (size_t ki = 0; ki < kKinds.size(); ++ki) {
+      const SystemKind kind = kKinds[ki];
+      const ArmResult& cell = results[base + ki];
+      double mean = Metric(cell, "mean");
+      double delta = alpa_mean > 0 ? 100.0 * (1.0 - mean / alpa_mean) : 0.0;
+      table.AddRow({models[mi].name, KindName(kind), TextTable::Num(mean, 3),
+                    TextTable::Num(Metric(cell, "p50"), 3),
+                    TextTable::Num(Metric(cell, "p95"), 3),
+                    kind == SystemKind::kAlpaServe ? "-" : TextTable::Num(delta, 1) + "%"});
+      if (kind == SystemKind::kFlexPipe) {
+        reporter.Metric(models[mi].name + "_flexpipe_mean_prefill_s", mean);
         reporter.Metric(models[mi].name + "_prefill_cut_vs_alpaserve", delta / 100.0);
       }
     }
@@ -66,48 +100,75 @@ int RunSequential(BenchReporter& reporter) {
   table.Print();
   std::printf("\n(paper: FlexPipe improves prefill by 6.4%% on WHISPER up to 24.4%% on "
               "OPT-66B, average 17.3%%)\n");
+  reporter.Metric("sweep_workers", static_cast<double>(runner.workers()));
+  reporter.Metric("sweep_wall_s", sweep_wall.count());
   return 0;
+}
+
+// One shared-mode arm = one system serving all four models on its own cluster.
+// Returns pre-rendered per-model table rows plus FlexPipe's reported metrics.
+ArmResult RunSharedArm(SystemKind kind, const std::vector<ModelSpec>& models,
+                       const std::vector<double>& qps) {
+  ExperimentEnv env(DefaultEnvConfig(models, kSeed));
+  auto system = MakeSharedClusterSystem(kind, env, qps);
+  // Identically seeded interleaved stream per system, drawn lazily.
+  MergedRequestStream stream = MultiModelWorkloadStream(models, qps, /*cv=*/2.0, 4 * kMinute);
+  RunStreamingWorkload(env, *system, stream,
+                       RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  const MetricsCollector& m = system->metrics();
+  ArmResult result;
+  for (size_t mi = 0; mi < models.size(); ++mi) {
+    const MetricsCollector* pm = m.ForModel(static_cast<int>(mi));
+    // A fully starved model (no replica ever placed) must read as a failure, not as
+    // zero latency.
+    if (pm == nullptr) {
+      result.rows.push_back({models[mi].name, KindName(kind), "starved", "-", "-", "0"});
+      continue;
+    }
+    double mean = pm->MeanPrefillSec();
+    result.rows.push_back({models[mi].name, KindName(kind), TextTable::Num(mean, 3),
+                           TextTable::Num(pm->prefill_histogram().Percentile(50), 3),
+                           TextTable::Num(pm->prefill_histogram().Percentile(95), 3),
+                           std::to_string(pm->completed())});
+    result.metrics.push_back({models[mi].name + "_flexpipe_shared_mean_prefill_s", mean});
+  }
+  return result;
 }
 
 int RunShared(BenchReporter& reporter) {
   const std::vector<ModelSpec> models = EvaluationModels();
-  const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
-                                         SystemKind::kServerlessLlm};
   // Shared-cluster rates are lower than the sequential mode's: four models now split
   // the same 82 GPUs (fig14 uses the same mix).
   std::vector<double> qps(models.size());
   for (size_t i = 0; i < models.size(); ++i) {
     qps[i] = models[i].param_bytes > GiB(60) ? 4.0 : 7.0;
   }
+
+  std::vector<SweepArm> arms;
+  for (SystemKind kind : kKinds) {
+    arms.push_back({KindName(kind),
+                    [kind, &models, &qps] { return RunSharedArm(kind, models, qps); }});
+  }
+  ParallelSweepRunner runner;
+  auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ArmResult> results = runner.Run(arms);
+  std::chrono::duration<double> sweep_wall = std::chrono::steady_clock::now() - sweep_start;
+
   TextTable table({"Model", "System", "MeanPrefill(s)", "P50(s)", "P95(s)", "Completed"});
-  for (SystemKind kind : kinds) {
-    ExperimentEnv env(DefaultEnvConfig(models, kSeed));
-    auto system = MakeSharedClusterSystem(kind, env, qps);
-    // Identically seeded interleaved stream per system, drawn lazily.
-    MergedRequestStream stream = MultiModelWorkloadStream(models, qps, /*cv=*/2.0, 4 * kMinute);
-    RunStreamingWorkload(env, *system, stream,
-                         RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
-    const MetricsCollector& m = system->metrics();
-    for (size_t mi = 0; mi < models.size(); ++mi) {
-      const MetricsCollector* pm = m.ForModel(static_cast<int>(mi));
-      // A fully starved model (no replica ever placed) must read as a failure, not as
-      // zero latency.
-      if (pm == nullptr) {
-        table.AddRow({models[mi].name, KindName(kind), "starved", "-", "-", "0"});
-        continue;
-      }
-      double mean = pm->MeanPrefillSec();
-      table.AddRow({models[mi].name, KindName(kind), TextTable::Num(mean, 3),
-                    TextTable::Num(pm->prefill_histogram().Percentile(50), 3),
-                    TextTable::Num(pm->prefill_histogram().Percentile(95), 3),
-                    std::to_string(pm->completed())});
-      if (kind == SystemKind::kFlexPipe) {
-        reporter.Metric(models[mi].name + "_flexpipe_shared_mean_prefill_s", mean);
+  for (size_t ki = 0; ki < kKinds.size(); ++ki) {
+    for (const std::vector<std::string>& row : results[ki].rows) {
+      table.AddRow(row);
+    }
+    if (kKinds[ki] == SystemKind::kFlexPipe) {
+      for (const auto& [name, value] : results[ki].metrics) {
+        reporter.Metric(name, value);
       }
     }
   }
   table.Print();
   std::printf("\n(shared-cluster mode: all four models concurrent on one 82-GPU cluster)\n");
+  reporter.Metric("sweep_workers", static_cast<double>(runner.workers()));
+  reporter.Metric("sweep_wall_s", sweep_wall.count());
   return 0;
 }
 

@@ -3,18 +3,47 @@
 // (a) per-15s-window CV of the arrival stream, (b) windowed mean response time for
 // FlexPipe vs AlpaServe vs MuxServe. The paper's observation: MuxServe sustains >10 s
 // latencies, AlpaServe spikes periodically, FlexPipe stays low and flat.
+//
+// The three serving runs are independent universes (private env + system +
+// identically seeded stream), so they run as sweep arms on the parallel sweep
+// driver; results are bit-identical to the serial order at any FLEXPIPE_SWEEP_WORKERS.
+#include <chrono>
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/sweep.h"
 #include "src/trace/cv_analysis.h"
 
-static int Run(flexpipe::bench::BenchReporter& reporter) {
-  using namespace flexpipe;
-  using namespace flexpipe::bench;
+namespace {
+
+using namespace flexpipe;
+using namespace flexpipe::bench;
+
+constexpr TimeNs kDuration = 300 * kSecond;
+constexpr TimeNs kWindow = 15 * kSecond;
+
+// One arm = one system's complete universe: env, system and stream live and die
+// inside the closure; only the per-window mean response times leave it. Arms never
+// print — the caller renders the table after Run returns.
+ArmResult RunSystemArm(SystemKind kind) {
+  ArmResult result;
+  ExperimentEnv env(DefaultEnvConfig());
+  auto system = MakeSystem(kind, env);
+  StreamingWorkloadSource stream = CvWorkloadStream(8.0, kBaselineQps, kDuration);
+  RunStreamingWorkload(env, *system, stream,
+                       RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  for (TimeNs w = 0; w < kDuration; w += kWindow) {
+    // Completions are timestamped after the warmup shift.
+    result.series.push_back(
+        system->metrics().MeanLatencyInWindowSec(kWarmup + w, kWarmup + w + kWindow));
+  }
+  return result;
+}
+
+int Run(BenchReporter& reporter) {
   PrintHeader("Fig. 9 - latency timeline under CV=8 burst traffic",
               "Fig. 9 (300 s, 15 s windows: arrival CV + per-system response time)");
 
-  constexpr TimeNs kDuration = 300 * kSecond;
   // The arrival-CV column reads the same stream every serving run consumes: an extra
   // identically seeded pass collects just the timestamps (O(1) stream state; only the
   // timestamps themselves are retained for the windowed-CV analysis).
@@ -29,29 +58,26 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
 
   const std::vector<SystemKind> kinds = {SystemKind::kFlexPipe, SystemKind::kAlpaServe,
                                          SystemKind::kMuxServe};
-  // Collect per-system completion series.
-  std::vector<std::unique_ptr<ServingSystemBase>> systems;
-  std::vector<std::unique_ptr<ExperimentEnv>> envs;
-  for (size_t i = 0; i < kinds.size(); ++i) {
-    envs.push_back(std::make_unique<ExperimentEnv>(DefaultEnvConfig()));
-    systems.push_back(MakeSystem(kinds[i], *envs.back()));
-    StreamingWorkloadSource stream = CvWorkloadStream(8.0, kBaselineQps, kDuration);
-    RunStreamingWorkload(*envs.back(), *systems.back(), stream,
-                         RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
+  std::vector<SweepArm> arms;
+  for (SystemKind kind : kinds) {
+    arms.push_back({KindName(kind), [kind] { return RunSystemArm(kind); }});
   }
+  ParallelSweepRunner runner;
+  auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ArmResult> results = runner.Run(arms);
+  std::chrono::duration<double> sweep_wall = std::chrono::steady_clock::now() - sweep_start;
 
   TextTable table({"Window", "ArrivalCV(15s)", "RT FlexPipe(s)", "RT AlpaServe(s)",
                    "RT MuxServe(s)"});
   RunningStats rt[3];
-  for (TimeNs w = 0; w < kDuration; w += 15 * kSecond) {
-    double arrival_cv = InterarrivalCv(arrivals, w, w + 15 * kSecond);
+  size_t window_index = 0;
+  for (TimeNs w = 0; w < kDuration; w += kWindow, ++window_index) {
+    double arrival_cv = InterarrivalCv(arrivals, w, w + kWindow);
     std::vector<std::string> row;
     row.push_back(TextTable::Num(ToSeconds(w), 0) + "s");
     row.push_back(TextTable::Num(arrival_cv, 2));
     for (size_t i = 0; i < kinds.size(); ++i) {
-      // Completions are timestamped after the warmup shift.
-      double mean = systems[i]->metrics().MeanLatencyInWindowSec(kWarmup + w,
-                                                                 kWarmup + w + 15 * kSecond);
+      double mean = results[i].series[window_index];
       rt[i].Add(mean);
       row.push_back(TextTable::Num(mean, 2));
     }
@@ -70,7 +96,11 @@ static int Run(flexpipe::bench::BenchReporter& reporter) {
     reporter.Metric(std::string(tags[i]) + "_windowed_mean_rt_s", rt[i].mean());
     reporter.Metric(std::string(tags[i]) + "_windowed_max_rt_s", rt[i].max());
   }
+  reporter.Metric("sweep_workers", static_cast<double>(runner.workers()));
+  reporter.Metric("sweep_wall_s", sweep_wall.count());
   return 0;
 }
+
+}  // namespace
 
 REGISTER_BENCH(fig9, "Fig. 9: latency timeline under CV=8 burst traffic", Run);

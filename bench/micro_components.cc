@@ -12,6 +12,7 @@
 
 #include "bench/common.h"
 #include "src/cluster/fragmentation.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/allocation.h"
 #include "src/core/scaling.h"
 #include "src/core/cv_monitor.h"
@@ -27,7 +28,9 @@ namespace flexpipe {
 namespace {
 
 ModelProfile Opt66BProfile() {
-  static CostModel cost;
+  // Magic-static init is thread-safe; CostModel is immutable after construction
+  // (FLEXPIPE_THREAD_COMPATIBLE), so concurrent sweep workers may share it.
+  FLEXPIPE_THREAD_SAFE_GLOBAL static CostModel cost;
   Profiler profiler(&cost, Profiler::Config{});
   ComputationGraph graph = ComputationGraph::Build(Opt66B());
   return profiler.Profile(graph);

@@ -1,11 +1,14 @@
 // Bench registry storage. See common.h for the REGISTER_BENCH contract.
 #include "bench/common.h"
+#include "src/common/thread_annotations.h"
 
 namespace flexpipe {
 namespace bench {
 
 BenchRegistry& BenchRegistry::Instance() {
-  static BenchRegistry registry;
+  // Mutated only by pre-main BenchRegistrar construction (single-threaded static
+  // init); read-only by the time any sweep worker exists.
+  FLEXPIPE_THREAD_SAFE_GLOBAL static BenchRegistry registry;
   return registry;
 }
 

@@ -6,6 +6,11 @@
 // reports executed_events and events_per_sec so the perf trajectory of the hot paths
 // accumulates in BENCH_*.json across PRs, and CI runs it at reduced scale
 // (FLEXPIPE_STRESS_SCALE=ci) against a checked-in events/sec floor.
+//
+// The serving run and the engine storm share nothing, so they run as two arms on the
+// parallel sweep driver. Serial (FLEXPIPE_SWEEP_WORKERS unset) remains the perf-floor
+// configuration: each arm's wall clock is uncontended; the TSan CI job re-runs this
+// bench at 4 workers as the race-detection smoke.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -13,6 +18,7 @@
 #include <cstring>
 
 #include "bench/common.h"
+#include "bench/sweep.h"
 
 namespace {
 
@@ -50,7 +56,7 @@ StressParams CiScale() {
 }
 
 // ---------------------------------------------------------------------------
-// Engine storm: the serving run above measures the whole stack (instances, router,
+// Engine storm: the serving run measures the whole stack (instances, router,
 // controllers share the wall clock with the engine), so engine gains are diluted by
 // semantic simulation work. This phase isolates the substrate with the same shape the
 // serving run produces: a six-figure backlog of pre-scheduled one-shots (arrivals),
@@ -58,12 +64,6 @@ StressParams CiScale() {
 // re-arm every 8th step (timeout churn — the pattern whose cancels the old engine
 // retained as heap tombstones forever).
 // ---------------------------------------------------------------------------
-
-struct StormResult {
-  uint64_t executed = 0;
-  double wall_s = 0.0;
-  double events_per_sec = 0.0;
-};
 
 struct StormCtx {
   Simulation sim;
@@ -95,7 +95,7 @@ struct StormCtx {
   }
 };
 
-StormResult EngineStorm(size_t backlog, size_t chains, uint64_t chain_events) {
+ArmResult EngineStormArm(size_t backlog, size_t chains, uint64_t chain_events) {
   StormCtx ctx;
   ctx.remaining = chain_events;
   ctx.watchdogs.assign(chains, 0);
@@ -113,28 +113,21 @@ StormResult EngineStorm(size_t backlog, size_t chains, uint64_t chain_events) {
   ctx.sim.RunUntilIdle();
   std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
 
-  StormResult result;
-  result.executed = ctx.sim.executed_events();
-  result.wall_s = wall.count();
-  result.events_per_sec = static_cast<double>(result.executed) / result.wall_s;
+  const double executed = static_cast<double>(ctx.sim.executed_events());
+  ArmResult result;
+  result.metrics = {{"engine_executed_events", executed},
+                    {"engine_storm_wall_s", wall.count()},
+                    {"engine_events_per_sec", executed / wall.count()}};
   return result;
 }
 
-int Run(BenchReporter& reporter) {
-  const char* scale_env = std::getenv("FLEXPIPE_STRESS_SCALE");
-  const bool ci = scale_env != nullptr && std::strcmp(scale_env, "ci") == 0;
-  StressParams params = ci ? CiScale() : FullScale();
-
-  PrintHeader("Cluster-scale stress: shared multi-model serving",
-              "substrate throughput at production scale (not a paper figure)");
-
+// The full shared-cluster serving run: its own env, system and streams. Returns the
+// summary table rows plus every reported metric; never prints (sweep-arm contract).
+ArmResult ServingArm(const StressParams& params) {
   const std::vector<ModelSpec> models = EvaluationModels();
   ExperimentEnvConfig env_config = DefaultEnvConfig(models);
   env_config.cluster = params.cluster;
   ExperimentEnv env(env_config);
-  std::printf("scale=%s: %d GPUs / %d servers, %zu models, CV=2 arrivals for %.0fs\n",
-              params.scale_name, env.cluster().gpu_count(), env.cluster().server_count(),
-              models.size(), ToSeconds(params.duration));
 
   // Streaming injection: requests are drawn lazily and recycled on completion, so the
   // engine never holds a pre-scheduled arrival backlog (PR-3's staging tier now only
@@ -146,8 +139,6 @@ int Run(BenchReporter& reporter) {
   StreamingRunReport report = RunStreamingWorkload(
       env, *system, stream, RunOptions{.drain_grace = kDrainGrace, .warmup = kWarmup});
   std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
-  std::printf("workload: %" PRId64 " requests (%.0f rps aggregate)\n", report.submitted,
-              static_cast<double>(report.submitted) / ToSeconds(params.duration));
 
   const MetricsCollector& m = system->metrics();
   const double executed = static_cast<double>(env.sim().executed_events());
@@ -155,50 +146,106 @@ int Run(BenchReporter& reporter) {
   const double completion_rate =
       static_cast<double>(m.completed()) / static_cast<double>(report.submitted);
 
-  TextTable table({"Metric", "Value"});
-  table.AddRow({"requests submitted", std::to_string(report.submitted)});
-  table.AddRow({"requests completed", std::to_string(m.completed())});
-  table.AddRow({"goodput rate", TextTable::Num(m.GoodputRate(report.submitted), 3)});
-  table.AddRow({"simulated span (s)", TextTable::Num(ToSeconds(report.ran_until), 0)});
-  table.AddRow({"executed events", TextTable::Num(executed, 0)});
-  table.AddRow({"run wall time (s)", TextTable::Num(wall.count(), 2)});
-  table.AddRow({"events/sec", TextTable::Num(events_per_sec, 0)});
-  table.AddRow({"peak reserved GPUs", std::to_string(system->peak_reserved_gpus())});
-  table.AddRow({"peak live requests", std::to_string(report.peak_live_requests)});
-  table.AddRow({"peak event-arena slots", std::to_string(env.sim().arena_slots())});
-  table.Print();
+  ArmResult result;
+  result.rows.push_back({"requests submitted", std::to_string(report.submitted)});
+  result.rows.push_back({"requests completed", std::to_string(m.completed())});
+  result.rows.push_back({"goodput rate", TextTable::Num(m.GoodputRate(report.submitted), 3)});
+  result.rows.push_back({"simulated span (s)", TextTable::Num(ToSeconds(report.ran_until), 0)});
+  result.rows.push_back({"executed events", TextTable::Num(executed, 0)});
+  result.rows.push_back({"run wall time (s)", TextTable::Num(wall.count(), 2)});
+  result.rows.push_back({"events/sec", TextTable::Num(events_per_sec, 0)});
+  result.rows.push_back({"peak reserved GPUs", std::to_string(system->peak_reserved_gpus())});
+  result.rows.push_back({"peak live requests", std::to_string(report.peak_live_requests)});
+  result.rows.push_back({"peak event-arena slots", std::to_string(env.sim().arena_slots())});
 
+  result.metrics = {
+      {"gpus", static_cast<double>(env.cluster().gpu_count())},
+      {"servers", static_cast<double>(env.cluster().server_count())},
+      {"submitted", static_cast<double>(report.submitted)},
+      {"completed", static_cast<double>(m.completed())},
+      {"completion_rate", completion_rate},
+      {"goodput_rate", m.GoodputRate(report.submitted)},
+      {"executed_events", executed},
+      {"run_wall_time_s", wall.count()},
+      {"events_per_sec", events_per_sec},
+      {"peak_reserved_gpus", static_cast<double>(system->peak_reserved_gpus())},
+      {"peak_live_requests", static_cast<double>(report.peak_live_requests)},
+      {"peak_arena_slots", static_cast<double>(env.sim().arena_slots())},
+  };
   if (auto* fp = dynamic_cast<FlexPipeSystem*>(system.get())) {
-    std::printf("\nrefactors: %" PRId64 "\n", static_cast<int64_t>(fp->refactor_count()));
-    reporter.Metric("refactors", static_cast<double>(fp->refactor_count()));
+    result.metrics.push_back({"refactors", static_cast<double>(fp->refactor_count())});
   }
-
-  // Substrate-isolated engine storm, sized like the serving run above.
-  StormResult storm = ci ? EngineStorm(/*backlog=*/50'000, /*chains=*/512,
-                                       /*chain_events=*/600'000)
-                         : EngineStorm(/*backlog=*/400'000, /*chains=*/4096,
-                                       /*chain_events=*/5'000'000);
-  std::printf("\nengine storm: %" PRIu64 " events in %.2fs -> %.0f events/s\n",
-              storm.executed, storm.wall_s, storm.events_per_sec);
-
-  reporter.Metric("submitted", static_cast<double>(report.submitted));
-  reporter.Metric("completed", static_cast<double>(m.completed()));
-  reporter.Metric("completion_rate", completion_rate);
-  reporter.Metric("goodput_rate", m.GoodputRate(report.submitted));
-  reporter.Metric("executed_events", executed);
-  reporter.Metric("run_wall_time_s", wall.count());
-  reporter.Metric("events_per_sec", events_per_sec);
-  reporter.Metric("peak_reserved_gpus", static_cast<double>(system->peak_reserved_gpus()));
-  reporter.Metric("peak_live_requests", static_cast<double>(report.peak_live_requests));
-  reporter.Metric("peak_arena_slots", static_cast<double>(env.sim().arena_slots()));
-  reporter.Metric("engine_executed_events", static_cast<double>(storm.executed));
-  reporter.Metric("engine_storm_wall_s", storm.wall_s);
-  reporter.Metric("engine_events_per_sec", storm.events_per_sec);
 
   // The bench's contract is substrate health, not SLO attainment: it fails only if the
   // cluster-scale run stalls outright (almost nothing completing indicates a lost pump
   // or a wedged controller, not an under-provisioned fleet).
-  return completion_rate > 0.5 ? 0 : 1;
+  result.exit_code = completion_rate > 0.5 ? 0 : 1;
+  return result;
+}
+
+double Metric(const ArmResult& result, const std::string& name) {
+  for (const auto& [key, value] : result.metrics) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0.0;
+}
+
+int Run(BenchReporter& reporter) {
+  const char* scale_env = std::getenv("FLEXPIPE_STRESS_SCALE");
+  const bool ci = scale_env != nullptr && std::strcmp(scale_env, "ci") == 0;
+  StressParams params = ci ? CiScale() : FullScale();
+
+  PrintHeader("Cluster-scale stress: shared multi-model serving",
+              "substrate throughput at production scale (not a paper figure)");
+
+  std::vector<SweepArm> arms;
+  arms.push_back({"serving", [&params] { return ServingArm(params); }});
+  arms.push_back({"storm", [ci] {
+                    // Substrate-isolated engine storm, sized like the serving run.
+                    return ci ? EngineStormArm(/*backlog=*/50'000, /*chains=*/512,
+                                               /*chain_events=*/600'000)
+                              : EngineStormArm(/*backlog=*/400'000, /*chains=*/4096,
+                                               /*chain_events=*/5'000'000);
+                  }});
+  ParallelSweepRunner runner;
+  auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<ArmResult> results = runner.Run(arms);
+  std::chrono::duration<double> sweep_wall = std::chrono::steady_clock::now() - sweep_start;
+  const ArmResult& serving = results[0];
+  const ArmResult& storm = results[1];
+
+  std::printf("scale=%s: %.0f GPUs / %.0f servers, %zu models, CV=2 arrivals for %.0fs\n",
+              params.scale_name, Metric(serving, "gpus"), Metric(serving, "servers"),
+              EvaluationModels().size(), ToSeconds(params.duration));
+  std::printf("workload: %.0f requests (%.0f rps aggregate)\n",
+              Metric(serving, "submitted"),
+              Metric(serving, "submitted") / ToSeconds(params.duration));
+
+  TextTable table({"Metric", "Value"});
+  for (const std::vector<std::string>& row : serving.rows) {
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nrefactors: %" PRId64 "\n",
+              static_cast<int64_t>(Metric(serving, "refactors")));
+  std::printf("\nengine storm: %.0f events in %.2fs -> %.0f events/s\n",
+              Metric(storm, "engine_executed_events"), Metric(storm, "engine_storm_wall_s"),
+              Metric(storm, "engine_events_per_sec"));
+
+  for (const ArmResult& result : results) {
+    for (const auto& [name, value] : result.metrics) {
+      if (name == "gpus" || name == "servers") {
+        continue;  // scale descriptors, not perf metrics
+      }
+      reporter.Metric(name, value);
+    }
+  }
+  reporter.Metric("sweep_workers", static_cast<double>(runner.workers()));
+  reporter.Metric("sweep_wall_s", sweep_wall.count());
+  return serving.exit_code;
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+#include "bench/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/common/macros.h"
+
+namespace flexpipe {
+namespace bench {
+
+std::vector<ArmResult> MergeByArmIndex(
+    std::vector<std::pair<size_t, ArmResult>> completed, size_t arm_count) {
+  std::vector<ArmResult> merged(arm_count);
+  std::vector<bool> seen(arm_count, false);
+  for (auto& [index, result] : completed) {
+    FLEXPIPE_CHECK_MSG(index < arm_count, "completion for unknown arm index");
+    FLEXPIPE_CHECK_MSG(!seen[index], "duplicate completion for one arm");
+    seen[index] = true;
+    merged[index] = std::move(result);
+  }
+  FLEXPIPE_CHECK_MSG(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }),
+                     "missing completion for an arm");
+  return merged;
+}
+
+int SweepWorkersFromEnv() {
+  const char* env = std::getenv("FLEXPIPE_SWEEP_WORKERS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  if (std::strcmp(env, "auto") == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  char* end = nullptr;
+  long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) {
+    return 1;
+  }
+  if (parsed == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  return static_cast<int>(parsed);
+}
+
+ParallelSweepRunner::ParallelSweepRunner(int workers) : workers_(std::max(1, workers)) {}
+
+std::vector<ArmResult> ParallelSweepRunner::Run(const std::vector<SweepArm>& arms) const {
+  std::vector<ArmResult> results(arms.size());
+  const int pool = std::min<int>(workers_, static_cast<int>(arms.size()));
+  if (pool <= 1) {
+    // Serial reference path: identical code to a worker, on the calling thread.
+    for (size_t i = 0; i < arms.size(); ++i) {
+      results[i] = arms[i].run();
+    }
+    return results;
+  }
+
+  // Work distribution: workers claim the next unclaimed arm index under `mu` and run
+  // it without the lock. Each result lands in its own slot of `results` — disjoint
+  // elements, so slot writes need no lock; `join` publishes them to the caller.
+  struct Cursor {
+    Mutex mu;
+    size_t next FLEXPIPE_GUARDED_BY(mu) = 0;
+  };
+  Cursor cursor;
+  auto worker = [&arms, &results, &cursor] {
+    for (;;) {
+      size_t index;
+      {
+        MutexLock lock(cursor.mu);
+        if (cursor.next >= arms.size()) {
+          return;
+        }
+        index = cursor.next++;
+      }
+      results[index] = arms[index].run();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(pool));
+  for (int t = 0; t < pool; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return results;
+}
+
+}  // namespace bench
+}  // namespace flexpipe

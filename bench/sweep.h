@@ -1,0 +1,83 @@
+// Parallel sweep driver: runs independent bench arms on a worker pool.
+//
+// Every fig* bench is a sweep over independent (system, workload, seed) cells — the
+// engine itself is single-threaded by design, but the cells share nothing, so they can
+// run concurrently as long as each arm builds a fully private Simulation + RNG + system
+// universe inside its closure and touches no global mutable state (the ownership rules
+// machine-checked by src/common/thread_annotations.h and ci/concurrency_lint.py; the
+// only cross-thread simulator state is the allowlisted atomic process-event counter).
+//
+// Determinism contract: an arm's result depends only on its own closure, so per-arm
+// results are bit-identical to the serial path at any worker count, and the runner
+// merges them by arm index — never by completion order. Arms therefore must not print;
+// they return metrics/rows/series and the caller renders tables on the calling thread
+// after Run returns. The split mirrors onnxruntime's executor/threadpool separation
+// (core/platform's threadpool knows nothing about what it schedules).
+//
+// Worker count comes from FLEXPIPE_SWEEP_WORKERS (default 1: the serial reference
+// path, used by the perf-floor CI smoke so wall-clock metrics stay uncontended;
+// 0 means std::thread::hardware_concurrency). The TSan CI job runs the sweep tests
+// and a reduced-scale parallel stress_scale smoke at 4 workers.
+#ifndef FLEXPIPE_BENCH_SWEEP_H_
+#define FLEXPIPE_BENCH_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace flexpipe {
+namespace bench {
+
+// Everything one arm produces. Built inside the worker, rendered by the caller.
+struct ArmResult {
+  // Named scalar metrics, forwarded to the BenchReporter by the caller.
+  std::vector<std::pair<std::string, double>> metrics;
+  // Pre-rendered table cells (one or more rows per arm).
+  std::vector<std::vector<std::string>> rows;
+  // Per-window (or per-sample) series for timeline benches like fig9.
+  std::vector<double> series;
+  int exit_code = 0;
+};
+
+struct SweepArm {
+  std::string label;
+  // Must be self-contained: builds its own env/system/stream and never touches
+  // state shared with another arm. Runs on a worker thread when workers > 1.
+  std::function<ArmResult()> run;
+};
+
+// Deterministic merge: scatters results delivered in *any* completion order into
+// arm-index order. Exposed separately so sweep_test can pin order-independence with
+// adversarially shuffled completion sequences.
+std::vector<ArmResult> MergeByArmIndex(
+    std::vector<std::pair<size_t, ArmResult>> completed, size_t arm_count);
+
+// FLEXPIPE_SWEEP_WORKERS, clamped to >= 1; 0 or "auto" = hardware_concurrency;
+// unset/garbage = 1 (serial reference path).
+int SweepWorkersFromEnv();
+
+class FLEXPIPE_THREAD_COMPATIBLE ParallelSweepRunner {
+ public:
+  // workers <= 1 runs arms inline on the calling thread (the bit-identical
+  // reference path). Defaults to SweepWorkersFromEnv().
+  ParallelSweepRunner() : ParallelSweepRunner(SweepWorkersFromEnv()) {}
+  explicit ParallelSweepRunner(int workers);
+
+  // Runs every arm exactly once and returns results indexed by arm. Worker threads
+  // claim arm indices from a shared cursor (mutex-guarded) and write each result
+  // into its own pre-sized slot, so completion order never affects output.
+  std::vector<ArmResult> Run(const std::vector<SweepArm>& arms) const;
+
+  int workers() const { return workers_; }
+
+ private:
+  int workers_;
+};
+
+}  // namespace bench
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_BENCH_SWEEP_H_

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Concurrency-readiness lint for the FlexPipe simulator.
+
+The engine is single-threaded by design; the only sanctioned concurrency is the
+parallel sweep driver (bench/sweep.{h,cc}), which runs fully private simulation
+universes on a worker pool. That discipline only holds if shared mutable state and
+raw threading primitives cannot creep in unnoticed, so this linter — the concurrency
+companion to ci/determinism_lint.py — walks src/ and bench/ and enforces the
+ownership taxonomy declared in src/common/thread_annotations.h:
+
+  unannotated-global   A mutable namespace-scope or static-local variable definition
+                       (a `static` local, or the house `g_*` naming for globals)
+                       without FLEXPIPE_GUARDED_BY / FLEXPIPE_THREAD_SAFE_GLOBAL on
+                       the declaration. Unannotated shared state is exactly what
+                       turns a parallel sweep into a heisenbug farm.
+  thread-local         `thread_local` anywhere. Per-thread state hides cross-worker
+                       divergence (a worker-count-dependent RNG or cache would break
+                       the bit-identical-to-serial contract); sweep workers must keep
+                       their universe in ordinary locals instead.
+  raw-thread           std::thread / std::jthread / std::async / pthread_create /
+                       std::mutex / std::condition_variable and friends outside the
+                       sanctioned driver files. Thread management belongs to
+                       ParallelSweepRunner; locking belongs to the annotated Mutex
+                       wrapper in thread_annotations.h.
+  raw-atomic           std::atomic outside the sanctioned driver files. Atomics make
+                       races compile quietly; each one needs a justified allowlist
+                       entry (e.g. the relaxed process-wide event counter).
+
+Comments and string literals are stripped before matching (the stripper is shared
+with determinism_lint). Findings are suppressed via ci/concurrency_allowlist.txt,
+one `<rule> <path-glob>` pair per line with a justification comment.
+
+Usage:
+  python3 ci/concurrency_lint.py [--root REPO] [--allowlist FILE]
+  python3 ci/concurrency_lint.py --self-test
+
+Exits non-zero when findings remain (or a self-test expectation fails).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from determinism_lint import (  # noqa: E402
+    is_allowed,
+    load_allowlist,
+    strip_comments_and_strings,
+)
+
+SCAN_DIRS = ("src", "bench")
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+DEFAULT_ALLOWLIST = os.path.join("ci", "concurrency_allowlist.txt")
+FIXTURE_DIR = os.path.join("ci", "lint_fixtures", "concurrency")
+
+# Files allowed to use raw threading primitives and atomics: the sweep driver and
+# the annotation/Mutex layer it is built on.
+SANCTIONED_DRIVER_FILES = frozenset(
+    {
+        "bench/sweep.h",
+        "bench/sweep.cc",
+        "src/common/thread_annotations.h",
+    }
+)
+
+ANNOTATION_TOKENS = ("FLEXPIPE_GUARDED_BY", "FLEXPIPE_THREAD_SAFE_GLOBAL")
+
+# A `static` variable definition: `static` not followed by const/constexpr/inline-
+# constexpr, introducing a named object with an initializer or a plain `;`, and not a
+# function declaration/definition (no parameter list directly after the name). The
+# `g_` alternative catches the house naming for namespace-scope globals, which need
+# no `static` keyword inside an anonymous namespace; it is anchored to column 0
+# because namespaces add no indentation under the house style, so an indented
+# `g_`-prefixed name is a struct member (e.g. ScalingConfig::g_max), not a global.
+STATIC_DEF_RE = re.compile(
+    r"^\s*static\s+(?!const\b|constexpr\b|inline\s+const|assert\b)"
+    r"[A-Za-z_][\w:<>,&*\s]*?[\s&*]([A-Za-z_]\w*)\s*(=|\{|;)"
+)
+GLOBAL_DEF_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?[\s&*](g_[a-z]\w*)\s*(=|\{|;)")
+
+RULE_MESSAGES = {
+    "unannotated-global": (
+        "mutable static/namespace-scope state must declare its ownership: "
+        "FLEXPIPE_GUARDED_BY(mu), FLEXPIPE_THREAD_SAFE_GLOBAL, or an allowlist entry"
+    ),
+    "thread-local": (
+        "thread_local state diverges across sweep workers; keep per-universe state "
+        "in locals owned by the arm closure"
+    ),
+    "raw-thread": (
+        "thread/lock primitives are confined to the sweep driver "
+        "(bench/sweep.{h,cc}) and the annotated Mutex wrapper"
+    ),
+    "raw-atomic": (
+        "std::atomic outside the sanctioned driver files needs a justified "
+        "allowlist entry; atomics make races compile quietly"
+    ),
+}
+
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+RAW_THREAD_RE = re.compile(
+    r"\bstd\s*::\s*(?:thread|jthread|async|mutex|recursive_mutex|shared_mutex|"
+    r"timed_mutex|condition_variable(?:_any)?|counting_semaphore|binary_semaphore|"
+    r"barrier|latch|future|promise|packaged_task)\b"
+    r"|\bpthread_\w+\s*\("
+)
+RAW_ATOMIC_RE = re.compile(r"\bstd\s*::\s*atomic(?:_\w+)?\b|\batomic_(?:load|store|exchange)\b")
+
+# Fixture file -> rules its contents must trip (empty set: must stay clean).
+FIXTURE_EXPECTATIONS = {
+    "unannotated_global.cc": {"unannotated-global"},
+    "thread_local.cc": {"thread-local"},
+    "raw_thread.cc": {"raw-thread"},
+    "raw_atomic.cc": {"raw-atomic"},
+    "clean.cc": set(),
+}
+
+
+def looks_like_function_decl(line, name_end):
+    """True when the matched name is directly followed by a parameter list."""
+    rest = line[name_end:].lstrip()
+    return rest.startswith("(")
+
+
+def scan_static_state(line):
+    """Yields variable names of unannotated mutable static/global definitions."""
+    if any(token in line for token in ANNOTATION_TOKENS):
+        return
+    for pattern in (STATIC_DEF_RE, GLOBAL_DEF_RE):
+        match = pattern.match(line)
+        if not match:
+            continue
+        if looks_like_function_decl(line, match.end(1)):
+            continue
+        # `static Foo Instance();`-style declarations and `= delete`/`= default`
+        # member functions are not variable definitions.
+        if re.search(r"=\s*(delete|default|0)\s*;", line) and "(" in line:
+            continue
+        yield match.group(1)
+        return
+
+
+def scan_file(path, rel_path):
+    """Yields (rule, line_number, line_text) findings for one file."""
+    with open(path, encoding="utf-8") as f:
+        stripped = strip_comments_and_strings(f.read())
+    sanctioned = rel_path in SANCTIONED_DRIVER_FILES
+    for line_number, line in enumerate(stripped.splitlines(), start=1):
+        for _ in scan_static_state(line):
+            yield "unannotated-global", line_number, line.strip()
+        if THREAD_LOCAL_RE.search(line):
+            yield "thread-local", line_number, line.strip()
+        if not sanctioned:
+            if RAW_THREAD_RE.search(line):
+                yield "raw-thread", line_number, line.strip()
+            if RAW_ATOMIC_RE.search(line):
+                yield "raw-atomic", line_number, line.strip()
+
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_lint(root, allowlist_path):
+    allowlist = load_allowlist(allowlist_path)
+    findings = 0
+    for path in iter_source_files(root):
+        rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+        for rule, line_number, line in scan_file(path, rel_path):
+            if is_allowed(rule, rel_path, allowlist):
+                continue
+            findings += 1
+            print(f"{rel_path}:{line_number}: [{rule}] {line}")
+            print(f"    {RULE_MESSAGES[rule]}")
+    if findings:
+        print(f"\nconcurrency lint: {findings} finding(s). Fix them or add a "
+              f"'<rule> <path-glob>' line to {allowlist_path} with justification.")
+        return 1
+    return 0
+
+
+def run_self_test(root):
+    fixture_dir = os.path.join(root, FIXTURE_DIR)
+    failures = []
+    for name, expected in sorted(FIXTURE_EXPECTATIONS.items()):
+        path = os.path.join(fixture_dir, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: fixture missing")
+            continue
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        tripped = {rule for rule, _, _ in scan_file(path, rel)}
+        if tripped != expected:
+            failures.append(
+                f"{name}: expected rules {sorted(expected)}, tripped {sorted(tripped)}"
+            )
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}")
+        return 1
+    print(f"self-test passed: {len(FIXTURE_EXPECTATIONS)} fixtures behaved as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: the checkout containing ci/)")
+    parser.add_argument("--allowlist", default=None,
+                        help=f"allowlist file (default: <root>/{DEFAULT_ALLOWLIST})")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on its fixture and not on clean code")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test(args.root)
+    allowlist_path = args.allowlist or os.path.join(args.root, DEFAULT_ALLOWLIST)
+    return run_lint(args.root, allowlist_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+// Fixture: must trip no rule. Exercises the shapes the rules must NOT match:
+// annotated globals, immutable statics, strings/comments mentioning primitives,
+// and ordinary function declarations that start like variable definitions.
+#include <cstdint>
+#include <string>
+
+#include "src/common/thread_annotations.h"
+
+namespace flexpipe {
+namespace {
+
+// Constants are immutable — not shared mutable state.
+static const uint64_t kSeedBase = 42;
+static constexpr int kArmCount = 4;
+
+// Annotated global: ownership declared, lint satisfied.
+FLEXPIPE_THREAD_SAFE_GLOBAL uint64_t g_registration_epoch = 0;
+
+// A static function declaration is not a variable definition.
+static uint64_t HelperImpl(uint64_t x);
+
+}  // namespace
+
+uint64_t Helper() {
+  // Mentioning std::thread or thread_local in comments or strings is fine.
+  std::string doc = "never use std::thread or std::atomic outside the driver";
+  return HelperImpl(kSeedBase + kArmCount + doc.size() + g_registration_epoch);
+}
+
+namespace {
+static uint64_t HelperImpl(uint64_t x) { return x * 2; }
+}  // namespace
+
+}  // namespace flexpipe

@@ -1,0 +1,11 @@
+// Fixture: must trip 'raw-atomic' and nothing else.
+#include <atomic>
+#include <cstdint>
+
+namespace flexpipe {
+
+uint64_t Bump(std::atomic<uint64_t>& counter) {
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,13 @@
+// Fixture: must trip 'raw-thread' and nothing else.
+#include <mutex>
+#include <thread>
+
+namespace flexpipe {
+
+void SpawnDetached() {
+  std::mutex mu;
+  std::thread worker([&mu] { std::lock_guard<std::mutex> hold(mu); });
+  worker.join();
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,11 @@
+// Fixture: must trip 'thread-local' and nothing else.
+#include <cstdint>
+
+namespace flexpipe {
+
+uint64_t ScratchValue() {
+  thread_local uint64_t scratch = 0;
+  return ++scratch;
+}
+
+}  // namespace flexpipe

@@ -1,0 +1,18 @@
+// Fixture: must trip 'unannotated-global' and nothing else.
+#include <cstdint>
+
+namespace flexpipe {
+namespace {
+
+// Mutable namespace-scope global with the house g_ naming, no ownership marker.
+uint64_t g_counter = 0;
+
+}  // namespace
+
+uint64_t NextId() {
+  // Mutable static local without FLEXPIPE_GUARDED_BY / FLEXPIPE_THREAD_SAFE_GLOBAL.
+  static uint64_t next_id = 1;
+  return next_id++ + g_counter;
+}
+
+}  // namespace flexpipe

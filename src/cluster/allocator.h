@@ -12,6 +12,7 @@
 
 #include "src/cluster/topology.h"
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
@@ -45,7 +46,7 @@ struct AllocatorConfig {
   double per_gpu_extra_s = 0.35;
 };
 
-class ClusterAllocator {
+class FLEXPIPE_THREAD_HOSTILE ClusterAllocator {
  public:
   ClusterAllocator(Cluster* cluster, const AllocatorConfig& config, uint64_t seed);
 

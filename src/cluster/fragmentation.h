@@ -13,6 +13,7 @@
 
 #include "src/cluster/topology.h"
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/sim/simulation.h"
 
 namespace flexpipe {
@@ -32,7 +33,7 @@ struct FragmentationProfile {
 FragmentationProfile ProfileClusterC1();
 FragmentationProfile ProfileClusterC2();
 
-class FragmentationGenerator {
+class FLEXPIPE_THREAD_HOSTILE FragmentationGenerator {
  public:
   FragmentationGenerator(Cluster* cluster, const FragmentationProfile& profile, uint64_t seed);
 

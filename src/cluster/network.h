@@ -13,6 +13,7 @@
 #define FLEXPIPE_SRC_CLUSTER_NETWORK_H_
 
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
@@ -49,7 +50,7 @@ struct NetworkConfig {
   double rdma_fraction = 0.8;  // fraction of servers with RDMA NICs
 };
 
-class NetworkModel {
+class FLEXPIPE_THREAD_HOSTILE NetworkModel {
  public:
   NetworkModel(const Cluster* cluster, const NetworkConfig& config);
 

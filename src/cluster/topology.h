@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
@@ -44,7 +45,7 @@ struct BackgroundTenant {
 
 class Cluster;
 
-class Gpu {
+class FLEXPIPE_THREAD_HOSTILE Gpu {
  public:
   Gpu(GpuId id, ServerId server, const GpuSpec& spec) : id_(id), server_(server), spec_(spec) {}
 
@@ -116,7 +117,7 @@ struct ClusterConfig {
   Bytes host_memory = GiB(256);
 };
 
-class Cluster {
+class FLEXPIPE_THREAD_HOSTILE Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
   // GPUs hold a back-pointer into the cluster for index maintenance.

@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace flexpipe {
 
-class Histogram {
+class FLEXPIPE_THREAD_HOSTILE Histogram {
  public:
   // `min_value` is the smallest distinguishable value; anything below lands in bucket 0.
   // `growth` is the geometric bucket ratio (1.05 -> <=5% relative error).

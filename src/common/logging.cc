@@ -1,11 +1,16 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+
+#include "src/common/thread_annotations.h"
 
 namespace flexpipe {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so concurrent sweep workers can read the filter while the main thread
+// (tests, examples) adjusts it; relaxed — the level is advisory, not a fence.
+FLEXPIPE_THREAD_SAFE_GLOBAL std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,12 +30,12 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogImpl(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }
   std::fprintf(stderr, "[%s] ", LevelName(level));

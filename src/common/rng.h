@@ -11,12 +11,14 @@
 #include <random>
 #include <string_view>
 
+#include "src/common/thread_annotations.h"
+
 namespace flexpipe {
 
 // SplitMix64 step; also usable standalone as a cheap hash mixer.
 uint64_t SplitMix64(uint64_t& state);
 
-class Rng {
+class FLEXPIPE_THREAD_HOSTILE Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
 

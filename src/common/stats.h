@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace flexpipe {
 
-class RunningStats {
+class FLEXPIPE_THREAD_HOSTILE RunningStats {
  public:
   void Add(double x);
   void Merge(const RunningStats& other);
@@ -40,7 +42,7 @@ class RunningStats {
 // Fixed-capacity FIFO of samples with O(1) mean/variance updates. Samples live in a
 // flat ring buffer (grown lazily up to `capacity`), so Add never touches an allocator
 // once the window is warm — this sits on the per-arrival path of every CvMonitor.
-class SlidingWindowStats {
+class FLEXPIPE_THREAD_HOSTILE SlidingWindowStats {
  public:
   explicit SlidingWindowStats(size_t capacity);
 

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace flexpipe {
 
-class TextTable {
+class FLEXPIPE_THREAD_HOSTILE TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 

@@ -1,0 +1,117 @@
+// Thread-safety annotations and the shared-state ownership taxonomy.
+//
+// The simulator was built single-threaded on purpose (determinism first), and the
+// parallel sweep driver (bench/sweep.h) keeps it that way: each worker owns a fully
+// private Simulation + RNG universe and threads never share mutable simulator state.
+// That discipline is enforced on two axes:
+//
+//   1. Clang Thread Safety Analysis. Under clang, the FLEXPIPE_* macros below expand
+//      to the TSA attributes (guarded_by, requires_capability, ...), and the build
+//      adds -Wthread-safety (as an error with FLEXPIPE_WERROR). Under gcc they expand
+//      to nothing, so the annotated tree stays portable. Cross-thread-visible state —
+//      there is deliberately almost none — must be FLEXPIPE_GUARDED_BY a Mutex or be
+//      an allowlisted atomic (see ci/concurrency_lint.py).
+//
+//   2. A class-level ownership taxonomy, machine-checked by ci/concurrency_lint.py:
+//
+//      FLEXPIPE_THREAD_HOSTILE     The class carries mutable state with no internal
+//                                  synchronisation. Instances are confined to one
+//                                  thread (one sweep-worker universe); sharing one
+//                                  across threads — even read-only, for classes with
+//                                  mutable caches — is a bug. This is the default
+//                                  stance of the whole simulator core.
+//      FLEXPIPE_THREAD_COMPATIBLE  Distinct instances are independent AND concurrent
+//                                  const access to one instance is safe (no mutable
+//                                  members, no hidden caches). Concurrent mutation
+//                                  still requires external synchronisation.
+//
+//      Both expand to nothing at compile time; they are greppable ownership claims
+//      that reviews and the lint can hold code to, placed between `class` and the
+//      class name: `class FLEXPIPE_THREAD_HOSTILE Simulation { ... };`.
+//
+// The Mutex/MutexLock wrappers exist because libstdc++'s std::mutex is not annotated
+// as a TSA capability; wrapping it is the standard way (abseil, Chromium) to make
+// GUARDED_BY(mu_) analyzable. They are the sanctioned synchronisation primitives for
+// the sweep driver — the concurrency lint flags raw std::thread/std::atomic use
+// outside it.
+#ifndef FLEXPIPE_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define FLEXPIPE_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FLEXPIPE_TSA_HAS(x) __has_attribute(x)
+#else
+#define FLEXPIPE_TSA_HAS(x) 0
+#endif
+
+#if FLEXPIPE_TSA_HAS(guarded_by)
+#define FLEXPIPE_TSA(x) __attribute__((x))
+#else
+#define FLEXPIPE_TSA(x)
+#endif
+
+// Data members: which lock protects this field (pointer variant for pointees).
+#define FLEXPIPE_GUARDED_BY(x) FLEXPIPE_TSA(guarded_by(x))
+#define FLEXPIPE_PT_GUARDED_BY(x) FLEXPIPE_TSA(pt_guarded_by(x))
+
+// Functions: capability the caller must hold / must not hold.
+#define FLEXPIPE_REQUIRES(...) FLEXPIPE_TSA(requires_capability(__VA_ARGS__))
+#define FLEXPIPE_EXCLUDES(...) FLEXPIPE_TSA(locks_excluded(__VA_ARGS__))
+
+// Functions: capability transitions performed by the callee.
+#define FLEXPIPE_ACQUIRE(...) FLEXPIPE_TSA(acquire_capability(__VA_ARGS__))
+#define FLEXPIPE_RELEASE(...) FLEXPIPE_TSA(release_capability(__VA_ARGS__))
+
+// Types: this class is a lock (capability) / a scoped lock holder.
+#define FLEXPIPE_CAPABILITY(x) FLEXPIPE_TSA(capability(x))
+#define FLEXPIPE_SCOPED_CAPABILITY FLEXPIPE_TSA(scoped_lockable)
+
+// Escape hatch for functions whose locking pattern TSA cannot follow (condition-
+// variable wait loops); every use needs a comment saying why.
+#define FLEXPIPE_NO_THREAD_SAFETY_ANALYSIS FLEXPIPE_TSA(no_thread_safety_analysis)
+
+// Class-level ownership taxonomy (see file comment). No runtime effect.
+#define FLEXPIPE_THREAD_HOSTILE
+#define FLEXPIPE_THREAD_COMPATIBLE
+
+// Variable-level claim for the rare sanctioned mutable static: the definition is safe
+// to touch from concurrent sweep workers because it is atomic, or because it is only
+// mutated during single-threaded static initialisation / pre-main registration.
+// ci/concurrency_lint.py requires every mutable namespace-scope or static-local
+// variable to carry FLEXPIPE_GUARDED_BY, this marker, or an allowlist entry.
+#define FLEXPIPE_THREAD_SAFE_GLOBAL
+
+namespace flexpipe {
+
+// TSA-analyzable mutex: std::mutex with capability attributes. Lower-case
+// lock()/unlock() keep it BasicLockable so std::condition_variable_any can release
+// and reacquire it inside waits.
+class FLEXPIPE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLEXPIPE_ACQUIRE() { mu_.lock(); }
+  void unlock() FLEXPIPE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock whose scope TSA tracks.
+class FLEXPIPE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLEXPIPE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FLEXPIPE_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace flexpipe
+
+#endif  // FLEXPIPE_SRC_COMMON_THREAD_ANNOTATIONS_H_

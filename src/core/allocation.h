@@ -26,6 +26,7 @@
 
 #include "src/cluster/network.h"
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/partition/plan.h"
 
 namespace flexpipe {
@@ -44,7 +45,7 @@ struct PlacementConfig {
 // multiplexing penalty). The serving system updates it on placement and release.
 // Storage is a flat per-GPU vector of (model, count) pairs — GPUs host at most a
 // handful of models, so a linear scan beats hashing on the placement hot path.
-class ModelPlacementRegistry {
+class FLEXPIPE_THREAD_HOSTILE ModelPlacementRegistry {
  public:
   // Pre-sizes the per-GPU table; Add() grows it on demand for ids beyond the hint.
   explicit ModelPlacementRegistry(int gpu_count_hint = 0);
@@ -65,7 +66,7 @@ class ModelPlacementRegistry {
   std::vector<std::vector<ModelCount>> by_gpu_;
 };
 
-class TopologyAwarePlacer {
+class FLEXPIPE_THREAD_HOSTILE TopologyAwarePlacer {
  public:
   // Optional scoring hooks supplied by the scaling layer:
   //   hrg_penalty(server)    in [0, 1], 1 = heavily contended

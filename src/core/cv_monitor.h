@@ -16,11 +16,12 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
 
-class CvMonitor {
+class FLEXPIPE_THREAD_HOSTILE CvMonitor {
  public:
   struct Config {
     size_t window_arrivals = 512;       // inter-arrival samples for ν_t (~17 s at 30 rps)

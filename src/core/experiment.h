@@ -17,6 +17,7 @@
 #include "src/cluster/fragmentation.h"
 #include "src/cluster/network.h"
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/serving.h"
 #include "src/model/cost_model.h"
 #include "src/model/profiler.h"
@@ -46,7 +47,7 @@ struct ExperimentEnvConfig {
   uint64_t seed = 42;
 };
 
-class ExperimentEnv {
+class FLEXPIPE_THREAD_HOSTILE ExperimentEnv {
  public:
   explicit ExperimentEnv(const ExperimentEnvConfig& config);
   ExperimentEnv(const ExperimentEnv&) = delete;

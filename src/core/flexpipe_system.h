@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/allocation.h"
 #include "src/core/cv_monitor.h"
 #include "src/core/granularity.h"
@@ -62,7 +63,7 @@ struct FlexPipeConfig {
   bool enable_host_cache = true;
 };
 
-class FlexPipeSystem : public ServingSystemBase {
+class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
  public:
   // One model's deployment on the shared cluster. `config.model_id` must match the
   // `model_index` its requests carry and must be unique across deployments.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/cluster/network.h"
+#include "src/common/thread_annotations.h"
 #include "src/model/cost_model.h"
 #include "src/partition/plan.h"
 
@@ -44,7 +45,7 @@ struct GranularityConfig {
   double beta2 = 0.02;
 };
 
-class GranularityController {
+class FLEXPIPE_THREAD_HOSTILE GranularityController {
  public:
   GranularityController(const GranularityLadder* ladder, const CostModel* cost_model,
                         const NetworkModel* network, const WorkloadAssumptions& workload,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
@@ -37,7 +38,7 @@ bool SloFeasible(TimeNs slo_deadline, TimeNs init_time, double per_stage_rps, in
 // Hierarchical Resource Graph (§7): tracks scaling events and parameter-load streams at
 // server, rack and cluster levels so concurrent scale-ups spread across the fabric
 // instead of stampeding one path.
-class HierarchicalResourceGraph {
+class FLEXPIPE_THREAD_HOSTILE HierarchicalResourceGraph {
  public:
   struct Config {
     TimeNs event_decay = 10 * kSecond;  // scaling-event memory
@@ -88,7 +89,7 @@ class HierarchicalResourceGraph {
 // (model, fine-stage range) parameter images kept in a server's host RAM after GPU
 // eviction; budget is enforced through the cluster's host-memory accounting with LRU
 // eviction.
-class HostParamCache {
+class FLEXPIPE_THREAD_HOSTILE HostParamCache {
  public:
   explicit HostParamCache(Cluster* cluster, double host_fraction = 0.5);
 
@@ -132,7 +133,7 @@ class HostParamCache {
 };
 
 // Eq. 13 affinity scoring over candidate servers.
-class AffinityScheduler {
+class FLEXPIPE_THREAD_HOSTILE AffinityScheduler {
  public:
   AffinityScheduler(const Cluster* cluster, const HostParamCache* cache,
                     const ScalingConfig& config);

@@ -19,6 +19,7 @@
 #include "src/cluster/fragmentation.h"
 #include "src/cluster/network.h"
 #include "src/common/macros.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/allocation.h"
 #include "src/metrics/collector.h"
 #include "src/model/cost_model.h"
@@ -48,7 +49,7 @@ TimeNs FirstDeploymentSlo(const std::vector<Deployment>& deployments) {
   return deployments.front().config.default_slo;
 }
 
-class ServingSystemBase {
+class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
  public:
   ServingSystemBase(const SystemContext& ctx, std::string name, TimeNs default_slo);
   virtual ~ServingSystemBase() = default;

@@ -20,6 +20,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/runtime/request.h"
 
@@ -37,7 +38,7 @@ struct LatencyBreakdown {
   double total_s = 0.0;
 };
 
-class MetricsCollector {
+class FLEXPIPE_THREAD_HOSTILE MetricsCollector {
  public:
   // `default_slo` classifies goodput when a request carries no SLO of its own;
   // 0 = every completion counts.

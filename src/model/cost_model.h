@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/model/graph.h"
 #include "src/model/model_spec.h"
@@ -45,7 +46,7 @@ struct CostModelConfig {
   double kv_memory_fraction = 0.85;
 };
 
-class CostModel {
+class FLEXPIPE_THREAD_COMPATIBLE CostModel {
  public:
   CostModel() : CostModel(CostModelConfig{}) {}
   explicit CostModel(const CostModelConfig& config);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/model/model_spec.h"
 
@@ -38,7 +39,7 @@ struct Operator {
   bool block_boundary_after = false;
 };
 
-class ComputationGraph {
+class FLEXPIPE_THREAD_COMPATIBLE ComputationGraph {
  public:
   static ComputationGraph Build(const ModelSpec& spec);
 

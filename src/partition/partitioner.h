@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/model/profiler.h"
 #include "src/partition/plan.h"
 
@@ -30,7 +31,7 @@ struct PartitionerConfig {
   std::vector<int> ladder = {2, 4, 8, 16, 32};     // granularities to prebuild
 };
 
-class Partitioner {
+class FLEXPIPE_THREAD_COMPATIBLE Partitioner {
  public:
   // One partitionable unit of the chain (an operator, or a finest-plan stage when
   // building coarser ladder rungs).

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/cluster/network.h"
+#include "src/common/thread_annotations.h"
 #include "src/model/cost_model.h"
 #include "src/partition/plan.h"
 #include "src/runtime/kv_cache.h"
@@ -63,7 +64,7 @@ struct InstanceStats {
   int64_t requests_completed = 0;
 };
 
-class PipelineInstance {
+class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
  public:
   using CompletionCallback = std::function<void(Request*)>;
   using PumpCallback = std::function<void()>;

@@ -13,12 +13,13 @@
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/trace/workload.h"
 
 namespace flexpipe {
 
-class KvValidityMask {
+class FLEXPIPE_THREAD_HOSTILE KvValidityMask {
  public:
   explicit KvValidityMask(int capacity_tokens);
 
@@ -94,7 +95,7 @@ class KvValidityMask {
 // Per-instance KV accounting: bytes per stage, per request. The instance enforces its
 // per-stage KV budget through this tracker; the refactoring engine reads per-request
 // footprints when costing migrations.
-class KvTracker {
+class FLEXPIPE_THREAD_HOSTILE KvTracker {
  public:
   KvTracker(int num_stages, Bytes per_stage_budget, Bytes kv_bytes_per_token_per_stage);
 

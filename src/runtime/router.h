@@ -20,13 +20,14 @@
 #include <map>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/runtime/instance.h"
 #include "src/runtime/request.h"
 #include "src/sim/simulation.h"
 
 namespace flexpipe {
 
-class Router {
+class FLEXPIPE_THREAD_HOSTILE Router {
  public:
   explicit Router(Simulation* sim);
 

@@ -11,11 +11,12 @@
 #include <functional>
 
 #include "src/cluster/network.h"
+#include "src/common/thread_annotations.h"
 #include "src/sim/simulation.h"
 
 namespace flexpipe {
 
-class TransferEngine {
+class FLEXPIPE_THREAD_HOSTILE TransferEngine {
  public:
   TransferEngine(Simulation* sim, NetworkModel* network);
 

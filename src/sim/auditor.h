@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/sim/simulation.h"
 
 namespace flexpipe {
@@ -41,7 +42,7 @@ inline constexpr bool kAuditBuild = false;
 // One human-readable line per violated invariant; empty means the audit passed.
 using AuditReport = std::vector<std::string>;
 
-class SimulationAuditor {
+class FLEXPIPE_THREAD_COMPATIBLE SimulationAuditor {
  public:
   // Event-arena slot accounting: every live slot is referenced by exactly one queue
   // entry (heap backlink, staged position or fresh position) and every queue entry
@@ -95,7 +96,7 @@ class SimulationAuditor {
 
 // Runs AuditAll every `interval` of virtual time and CHECK-fails on the first
 // violation. The workload runners instantiate one in FLEXPIPE_AUDIT builds.
-class PeriodicSimulationAuditor {
+class FLEXPIPE_THREAD_HOSTILE PeriodicSimulationAuditor {
  public:
   PeriodicSimulationAuditor(Simulation* sim, const Cluster* cluster,
                             std::vector<ServingSystemBase*> systems, TimeNs interval);

@@ -1,20 +1,26 @@
 #include "src/sim/simulation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <iterator>
 #include <utility>
 
 #include "src/common/macros.h"
+#include "src/common/thread_annotations.h"
 
 namespace flexpipe {
 
 namespace {
-// Process-wide executed-event counter (benches are single-threaded; see header).
-uint64_t g_process_executed = 0;
+// Process-wide executed-event counter. Engines stay single-threaded, but the parallel
+// sweep driver runs several of them concurrently, so the aggregate counter is atomic
+// (relaxed: a monotone statistic, never synchronises anything).
+FLEXPIPE_THREAD_SAFE_GLOBAL std::atomic<uint64_t> g_process_executed{0};
 }  // namespace
 
-uint64_t Simulation::process_executed_events() { return g_process_executed; }
+uint64_t Simulation::process_executed_events() {
+  return g_process_executed.load(std::memory_order_relaxed);
+}
 
 Simulation::Simulation(const Config& config) : config_(config) {
   FLEXPIPE_CHECK(config.near_window >= 0);
@@ -300,7 +306,7 @@ bool Simulation::PopAndRun() {
   PopRoot();
   ReleaseSlot(top.slot());
   ++executed_;
-  ++g_process_executed;
+  g_process_executed.fetch_add(1, std::memory_order_relaxed);
   fn();
   return true;
 }

@@ -34,6 +34,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
@@ -42,7 +43,7 @@ namespace flexpipe {
 // Layout: high 32 bits = slot generation, low 32 bits = slot index + 1.
 using EventId = uint64_t;
 
-class Simulation {
+class FLEXPIPE_THREAD_HOSTILE Simulation {
  public:
   // Staging-tier tuning. The defaults match the historical compile-time constants;
   // workloads with unusual scheduling horizons (e.g. a streaming source whose only
@@ -205,7 +206,7 @@ class Simulation {
 
 // Repeating task helper: runs `fn` every `interval` starting at now+interval until
 // canceled. Used for controller loops and metric samplers.
-class PeriodicTask {
+class FLEXPIPE_THREAD_HOSTILE PeriodicTask {
  public:
   PeriodicTask(Simulation* sim, TimeNs interval, std::function<void()> fn);
   ~PeriodicTask();

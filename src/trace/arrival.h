@@ -12,11 +12,12 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
 
-class ArrivalProcess {
+class FLEXPIPE_THREAD_HOSTILE ArrivalProcess {
  public:
   virtual ~ArrivalProcess() = default;
 

@@ -12,11 +12,12 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace flexpipe {
 
-class AzureTraceSynthesizer {
+class FLEXPIPE_THREAD_HOSTILE AzureTraceSynthesizer {
  public:
   struct Config {
     int days = 31;

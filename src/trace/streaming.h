@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/trace/workload.h"
 
@@ -31,7 +32,7 @@ namespace flexpipe {
 
 // Pull interface the streaming runner drives: one request at a time, in
 // non-decreasing arrival order.
-class RequestStream {
+class FLEXPIPE_THREAD_HOSTILE RequestStream {
  public:
   virtual ~RequestStream() = default;
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/trace/arrival.h"
 
@@ -29,7 +30,7 @@ struct RequestSpec {
 
 // Token-length sampler mirroring the Splitwise corpus shape: conversation-style prompts
 // with a log-normal body and occasional long-context outliers.
-class LengthSampler {
+class FLEXPIPE_THREAD_COMPATIBLE LengthSampler {
  public:
   struct Config {
     double prompt_median = 512.0;
@@ -54,7 +55,7 @@ class LengthSampler {
 };
 
 // Builds complete workloads from an arrival process and a length sampler.
-class WorkloadGenerator {
+class FLEXPIPE_THREAD_COMPATIBLE WorkloadGenerator {
  public:
   struct Config {
     int model_index = 0;

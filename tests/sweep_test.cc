@@ -1,0 +1,213 @@
+// Parallel sweep driver tests: the bit-identity contract (per-arm results equal the
+// serial reference at any worker count), deterministic completion-order-independent
+// merging, exactly-once arm execution, and worker-count env parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/sweep.h"
+#include "src/core/experiment.h"
+#include "src/core/flexpipe_system.h"
+
+namespace flexpipe {
+namespace bench {
+namespace {
+
+ExperimentEnvConfig SmallEnvConfig() {
+  ExperimentEnvConfig config;
+  config.models = {Llama2_7B()};
+  config.partitioner.ladder = {2, 4, 8, 16};
+  config.seed = 7;
+  return config;
+}
+
+// One self-contained serving cell, shaped like a real bench arm: private env, system
+// and stream, returning scalar metrics plus the full completion-time series so the
+// comparison below is sensitive to any divergence in simulated behavior.
+ArmResult ServingCell(double rate, double cv, uint64_t seed) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), config);
+
+  WorkloadGenerator::Config wconfig;
+  wconfig.lengths.prompt_median = 256;
+  wconfig.lengths.output_median = 16;
+  StreamingWorkloadSource stream =
+      StreamingWorkloadSource::WithCv(wconfig, rate, cv, 30 * kSecond, Rng(seed));
+  StreamingRunReport report = RunStreamingWorkload(
+      env, system, stream, RunOptions{.drain_grace = 120 * kSecond});
+
+  ArmResult result;
+  result.metrics = {
+      {"submitted", static_cast<double>(report.submitted)},
+      {"completed", static_cast<double>(system.metrics().completed())},
+      {"executed_events", static_cast<double>(env.sim().executed_events())},
+      {"mean_latency_s", system.metrics().MeanLatencySec()},
+  };
+  for (const CompletionSample& sample : system.metrics().completions()) {
+    result.series.push_back(static_cast<double>(sample.done_time));
+    result.series.push_back(static_cast<double>(sample.latency));
+  }
+  result.rows.push_back({"completed", std::to_string(system.metrics().completed())});
+  return result;
+}
+
+std::vector<SweepArm> ServingArms() {
+  // Distinct (rate, cv, seed) per arm so a cross-arm mixup cannot cancel out.
+  std::vector<SweepArm> arms;
+  arms.push_back({"low-cv", [] { return ServingCell(4.0, 1.0, 3); }});
+  arms.push_back({"bursty", [] { return ServingCell(6.0, 4.0, 11); }});
+  arms.push_back({"high-rate", [] { return ServingCell(8.0, 2.0, 23); }});
+  return arms;
+}
+
+void ExpectBitIdentical(const ArmResult& a, const ArmResult& b, size_t arm) {
+  ASSERT_EQ(a.metrics.size(), b.metrics.size()) << "arm " << arm;
+  for (size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].first, b.metrics[i].first) << "arm " << arm;
+    // Bit-identical, no tolerance: the arms are deterministic universes.
+    EXPECT_EQ(a.metrics[i].second, b.metrics[i].second)
+        << "arm " << arm << " metric " << a.metrics[i].first;
+  }
+  ASSERT_EQ(a.series.size(), b.series.size()) << "arm " << arm;
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i], b.series[i]) << "arm " << arm << " sample " << i;
+  }
+  EXPECT_EQ(a.rows, b.rows) << "arm " << arm;
+  EXPECT_EQ(a.exit_code, b.exit_code) << "arm " << arm;
+}
+
+TEST(ParallelSweep, ParallelMatchesSerialBitIdentically) {
+  const std::vector<ArmResult> serial = ParallelSweepRunner(1).Run(ServingArms());
+
+  std::vector<int> worker_counts = {2, 4,
+                                    static_cast<int>(std::thread::hardware_concurrency())};
+  for (int workers : worker_counts) {
+    if (workers < 1) {
+      continue;  // hardware_concurrency may report 0
+    }
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const std::vector<ArmResult> parallel = ParallelSweepRunner(workers).Run(ServingArms());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t arm = 0; arm < serial.size(); ++arm) {
+      ExpectBitIdentical(serial[arm], parallel[arm], arm);
+    }
+  }
+}
+
+TEST(ParallelSweep, AllArmsRunExactlyOnce) {
+  constexpr size_t kArms = 17;  // more arms than workers: the cursor must hand out all
+  // One slot per arm, each written only by whichever worker claims that arm — the
+  // slots are disjoint, so concurrent writers never touch the same element.
+  std::vector<int> run_counts(kArms, 0);
+  std::vector<SweepArm> arms;
+  for (size_t i = 0; i < kArms; ++i) {
+    arms.push_back({"arm" + std::to_string(i), [&run_counts, i] {
+                      ++run_counts[i];
+                      ArmResult result;
+                      result.metrics = {{"index", static_cast<double>(i)}};
+                      return result;
+                    }});
+  }
+  std::vector<ArmResult> results = ParallelSweepRunner(4).Run(arms);
+  ASSERT_EQ(results.size(), kArms);
+  for (size_t i = 0; i < kArms; ++i) {
+    EXPECT_EQ(run_counts[i], 1) << "arm " << i;
+    // Each result sits in the slot of the arm that produced it, not completion order.
+    ASSERT_EQ(results[i].metrics.size(), 1u);
+    EXPECT_EQ(results[i].metrics[0].second, static_cast<double>(i));
+  }
+}
+
+TEST(ParallelSweep, EmptyAndSingleArmEdgeCases) {
+  EXPECT_TRUE(ParallelSweepRunner(4).Run({}).empty());
+
+  std::vector<SweepArm> one;
+  one.push_back({"only", [] {
+                   ArmResult result;
+                   result.metrics = {{"value", 42.0}};
+                   return result;
+                 }});
+  std::vector<ArmResult> results = ParallelSweepRunner(8).Run(one);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].metrics[0].second, 42.0);
+}
+
+TEST(MergeByArmIndex, IsCompletionOrderInvariant) {
+  constexpr size_t kArms = 6;
+  auto make_result = [](size_t index) {
+    ArmResult result;
+    result.metrics = {{"index", static_cast<double>(index)}};
+    result.series = {static_cast<double>(index) * 10.0};
+    result.exit_code = static_cast<int>(index % 2);
+    return result;
+  };
+  auto completions_in = [&](const std::vector<size_t>& order) {
+    std::vector<std::pair<size_t, ArmResult>> completed;
+    for (size_t index : order) {
+      completed.emplace_back(index, make_result(index));
+    }
+    return completed;
+  };
+
+  // Identity, reversed, rotated and adversarially interleaved completion orders must
+  // all scatter into the same arm-indexed output.
+  const std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {3, 4, 5, 0, 1, 2}, {1, 5, 0, 4, 2, 3}};
+  for (const std::vector<size_t>& order : orders) {
+    std::vector<ArmResult> merged = MergeByArmIndex(completions_in(order), kArms);
+    ASSERT_EQ(merged.size(), kArms);
+    for (size_t i = 0; i < kArms; ++i) {
+      ASSERT_EQ(merged[i].metrics.size(), 1u);
+      EXPECT_EQ(merged[i].metrics[0].second, static_cast<double>(i));
+      ASSERT_EQ(merged[i].series.size(), 1u);
+      EXPECT_EQ(merged[i].series[0], static_cast<double>(i) * 10.0);
+      EXPECT_EQ(merged[i].exit_code, static_cast<int>(i % 2));
+    }
+  }
+}
+
+TEST(MergeByArmIndex, RejectsMalformedCompletionSets) {
+  ArmResult blank;
+  // Unknown arm index.
+  EXPECT_DEATH(MergeByArmIndex({{2, blank}}, 2), "unknown arm index");
+  // Duplicate completion for one arm.
+  EXPECT_DEATH(MergeByArmIndex({{0, blank}, {0, blank}}, 2), "duplicate completion");
+  // Missing completion.
+  EXPECT_DEATH(MergeByArmIndex({{0, blank}}, 2), "missing completion");
+}
+
+TEST(SweepWorkers, EnvParsing) {
+  const char* saved = std::getenv("FLEXPIPE_SWEEP_WORKERS");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  unsetenv("FLEXPIPE_SWEEP_WORKERS");
+  EXPECT_EQ(SweepWorkersFromEnv(), 1) << "unset defaults to the serial reference path";
+  setenv("FLEXPIPE_SWEEP_WORKERS", "", 1);
+  EXPECT_EQ(SweepWorkersFromEnv(), 1);
+  setenv("FLEXPIPE_SWEEP_WORKERS", "3", 1);
+  EXPECT_EQ(SweepWorkersFromEnv(), 3);
+  setenv("FLEXPIPE_SWEEP_WORKERS", "garbage", 1);
+  EXPECT_EQ(SweepWorkersFromEnv(), 1);
+  setenv("FLEXPIPE_SWEEP_WORKERS", "-2", 1);
+  EXPECT_EQ(SweepWorkersFromEnv(), 1);
+  setenv("FLEXPIPE_SWEEP_WORKERS", "0", 1);
+  EXPECT_GE(SweepWorkersFromEnv(), 1) << "0 maps to hardware_concurrency, clamped >= 1";
+  setenv("FLEXPIPE_SWEEP_WORKERS", "auto", 1);
+  EXPECT_GE(SweepWorkersFromEnv(), 1);
+
+  if (saved != nullptr) {
+    setenv("FLEXPIPE_SWEEP_WORKERS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("FLEXPIPE_SWEEP_WORKERS");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flexpipe
