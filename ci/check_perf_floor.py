@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare bench --json runs against checked-in per-bench floors.
+"""Perf-smoke gate: compare bench --json runs against checked-in per-bench bounds.
 
 Usage: check_perf_floor.py <floor-json> <bench-json> [<bench-json> ...]
 
-Every bench named in the floor spec must appear exactly once across the given
-reports and have exited 0. Fails (exit 1) when any floored metric comes in more
-than `allowed_regression` below its floor. Prints every floored metric so the
+Every bench named in the spec's "floors" or "ceilings" must appear exactly once
+across the given reports and have exited 0. Fails (exit 1) when any floored
+metric comes in more than `allowed_regression` below its floor, or any ceiled
+metric more than `allowed_regression` above its ceiling (a ceiling of 0 is
+exact: any positive value trips it). Prints every bounded metric so the
 uploaded artifacts are self-explanatory.
 """
 import json
@@ -17,7 +19,7 @@ def main() -> int:
         print(__doc__)
         return 2
     with open(sys.argv[1]) as f:
-        floor_spec = json.load(f)
+        spec = json.load(f)
 
     benches = {}
     for path in sys.argv[2:]:
@@ -29,9 +31,12 @@ def main() -> int:
                 return 1
             benches[bench["name"]] = bench
 
-    allowed = float(floor_spec["allowed_regression"])
+    allowed = float(spec["allowed_regression"])
+    floors = spec.get("floors", {})
+    ceilings = spec.get("ceilings", {})
     failed = False
-    for bench_name, floors in floor_spec["floors"].items():
+
+    for bench_name in sorted(set(floors) | set(ceilings)):
         bench = benches.get(bench_name)
         if bench is None:
             print(f"FAIL {bench_name}: bench missing from the given reports")
@@ -41,7 +46,7 @@ def main() -> int:
             print(f"FAIL {bench_name}: exited with {bench['exit_code']}")
             failed = True
             continue
-        for metric, floor in floors.items():
+        for metric, floor in floors.get(bench_name, {}).items():
             value = bench["metrics"].get(metric)
             if value is None:
                 print(f"FAIL {bench_name}.{metric}: metric missing from bench output")
@@ -52,6 +57,17 @@ def main() -> int:
             print(f"{verdict} {bench_name}.{metric}: {value:,.1f} "
                   f"(floor {floor:,.1f}, trip below {threshold:,.1f})")
             failed = failed or value < threshold
+        for metric, ceiling in ceilings.get(bench_name, {}).items():
+            value = bench["metrics"].get(metric)
+            if value is None:
+                print(f"FAIL {bench_name}.{metric}: metric missing from bench output")
+                failed = True
+                continue
+            threshold = ceiling * (1.0 + allowed)
+            verdict = "ok" if value <= threshold else "FAIL"
+            print(f"{verdict} {bench_name}.{metric}: {value:,.1f} "
+                  f"(ceiling {ceiling:,.1f}, trip above {threshold:,.1f})")
+            failed = failed or value > threshold
     return 1 if failed else 0
 
 

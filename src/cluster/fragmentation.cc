@@ -74,6 +74,11 @@ void FragmentationGenerator::ApplySnapshot() {
 
 void FragmentationGenerator::ChurnStep(double fraction) {
   for (GpuId id : cluster_->AllGpuIds()) {
+    // Dead/partitioned GPUs host no background churn. Skipping *before* the draw keeps
+    // the draw sequence bit-identical to pre-fault builds whenever no fault has fired.
+    if (cluster_->GpuFailed(id)) {
+      continue;
+    }
     if (rng_.Uniform() < fraction) {
       SampleGpu(cluster_->gpu(id));
     }
@@ -81,6 +86,9 @@ void FragmentationGenerator::ChurnStep(double fraction) {
 }
 
 bool FragmentationGenerator::MaybeReoccupy(GpuId id) {
+  if (cluster_->GpuFailed(id)) {
+    return false;  // nothing left to grab; no draw consumed (see ChurnStep)
+  }
   // §3.1: "Due to the immediate reallocation of released GPUs to competing workloads" —
   // model a high grab probability once our reservation is gone.
   if (rng_.Uniform() < 0.7) {

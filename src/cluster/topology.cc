@@ -82,7 +82,50 @@ Cluster::Cluster(const ClusterConfig& config) {
   for (Gpu& g : gpus_) {
     g.owner_ = this;
   }
+  gpu_failed_.assign(gpus_.size(), 0);
+  gpu_usable_.assign(gpus_.size(), 1);
+  rack_reachable_.assign(racks_.size(), 1);
   RebuildFreeIndex();
+}
+
+void Cluster::SetGpuFailed(GpuId id) {
+  size_t i = static_cast<size_t>(id);
+  if (gpu_failed_[i] != 0) {
+    return;
+  }
+  gpu_failed_[i] = 1;
+  ++failed_gpu_count_;
+  RefreshGpuUsable(id);
+}
+
+void Cluster::SetServerFailed(ServerId id) {
+  for (GpuId g : server(id).gpus) {
+    SetGpuFailed(g);
+  }
+}
+
+void Cluster::SetRackReachable(RackId id, bool reachable) {
+  size_t i = static_cast<size_t>(id);
+  uint8_t flag = reachable ? 1 : 0;
+  if (rack_reachable_[i] == flag) {
+    return;
+  }
+  rack_reachable_[i] = flag;
+  for (ServerId sid : racks_[i].servers) {
+    for (GpuId g : server(sid).gpus) {
+      bool usable = gpu_failed_[static_cast<size_t>(g)] == 0 && flag != 0;
+      gpu_usable_[static_cast<size_t>(g)] = usable ? 1 : 0;
+    }
+    RecomputeServer(sid);
+  }
+}
+
+void Cluster::RefreshGpuUsable(GpuId id) {
+  ServerId sid = gpus_[static_cast<size_t>(id)].server();
+  bool usable = gpu_failed_[static_cast<size_t>(id)] == 0 &&
+                rack_reachable_[static_cast<size_t>(servers_[static_cast<size_t>(sid)].rack)] != 0;
+  gpu_usable_[static_cast<size_t>(id)] = usable ? 1 : 0;
+  RecomputeServer(sid);
 }
 
 void Cluster::RebuildFreeIndex() {
@@ -102,6 +145,9 @@ void Cluster::RebuildFreeIndex() {
     Bytes mx = 0;
     double headroom = 0.0;
     for (GpuId g : s.gpus) {
+      if (!GpuUsable(g)) {
+        continue;  // failed or partitioned: contributes nothing to the index
+      }
       mx = std::max(mx, gpu(g).free_memory());
       headroom = std::max(headroom, std::max(0.0, 1.0 - gpu(g).sm_utilization()));
     }
@@ -136,13 +182,19 @@ void Cluster::BucketRemove(ServerId id) {
 }
 
 void Cluster::OnGpuFreeChanged(GpuId id) {
-  ServerId sid = gpus_[static_cast<size_t>(id)].server();
+  RecomputeServer(gpus_[static_cast<size_t>(id)].server());
+}
+
+void Cluster::RecomputeServer(ServerId sid) {
   const Server& s = servers_[static_cast<size_t>(sid)];
   // Per-server GPU counts are tiny (<= 4 in every config), so recomputing the maxima
   // is cheaper than maintaining per-server heaps.
   Bytes mx = 0;
   double headroom = 0.0;
   for (GpuId g : s.gpus) {
+    if (!GpuUsable(g)) {
+      continue;
+    }
     const Gpu& gpu = gpus_[static_cast<size_t>(g)];
     mx = std::max(mx, gpu.free_memory());
     headroom = std::max(headroom, std::max(0.0, 1.0 - gpu.sm_utilization()));
@@ -174,7 +226,7 @@ std::vector<GpuId> Cluster::GpusWithFreeMemory(Bytes bytes) const {
   // unordered bucket visit is invisible to callers.
   ForEachServerWithFreeAtLeast(bytes, [&](ServerId sid) {
     for (GpuId g : server(sid).gpus) {
-      if (gpu(g).free_memory() >= bytes) {
+      if (GpuUsable(g) && gpu(g).free_memory() >= bytes) {
         out.push_back(g);
       }
     }
@@ -198,7 +250,7 @@ std::vector<GpuId> Cluster::BestColocatedGroup(Bytes bytes_per_gpu) const {
     }
     std::vector<GpuId> eligible;
     for (GpuId g : s.gpus) {
-      if (gpu(g).free_memory() >= bytes_per_gpu) {
+      if (GpuUsable(g) && gpu(g).free_memory() >= bytes_per_gpu) {
         eligible.push_back(g);
       }
     }

@@ -152,6 +152,26 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   // GPUs with at least `bytes` free, sorted by descending free memory.
   std::vector<GpuId> GpusWithFreeMemory(Bytes bytes) const;
 
+  // -- Faults ---------------------------------------------------------------------------
+  // Marks a GPU (or every GPU on a server) permanently dead: it leaves the free-GPU
+  // index and placement never selects it again. Reservation accounting is deliberately
+  // preserved — the owning serving system still releases what it reserved, so the
+  // Reserve/Release bookkeeping stays balanced through a failure.
+  void SetGpuFailed(GpuId id);
+  void SetServerFailed(ServerId id);
+  // Rack network partition: the rack's GPUs keep their occupancy but are unusable
+  // (excluded from the index and placement) until the rack is marked reachable again.
+  void SetRackReachable(RackId id, bool reachable);
+
+  bool GpuFailed(GpuId id) const { return gpu_failed_[static_cast<size_t>(id)] != 0; }
+  bool RackReachable(RackId id) const {
+    return rack_reachable_[static_cast<size_t>(id)] != 0;
+  }
+  // Alive and reachable: the single predicate every placement loop checks. One byte
+  // load on the no-fault hot path.
+  bool GpuUsable(GpuId id) const { return gpu_usable_[static_cast<size_t>(id)] != 0; }
+  int failed_gpu_count() const { return failed_gpu_count_; }
+
   // Largest set of same-server GPUs each having `bytes` free (for tensor-parallel
   // feasibility measurements); returns the GPU ids of the best server.
   std::vector<GpuId> BestColocatedGroup(Bytes bytes_per_gpu) const;
@@ -213,10 +233,21 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   void BucketInsert(ServerId id, int bucket);
   void BucketRemove(ServerId id);
   void RebuildFreeIndex();
+  // Recomputes one server's free-memory maximum / headroom over its *usable* GPUs and
+  // re-buckets it if the maximum moved.
+  void RecomputeServer(ServerId id);
+  // Re-derives gpu_usable_ for one GPU from the failed flag and rack reachability.
+  void RefreshGpuUsable(GpuId id);
 
   std::vector<Gpu> gpus_;
   std::vector<Server> servers_;
   std::vector<Rack> racks_;
+
+  // Fault state (see SetGpuFailed / SetRackReachable).
+  std::vector<uint8_t> gpu_failed_;
+  std::vector<uint8_t> gpu_usable_;
+  std::vector<uint8_t> rack_reachable_;
+  int failed_gpu_count_ = 0;
 
   // Free-GPU index state (see ForEachServerWithFreeAtLeast).
   std::vector<Bytes> server_max_free_;

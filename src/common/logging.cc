@@ -2,15 +2,33 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/common/thread_annotations.h"
 
 namespace flexpipe {
 namespace {
 
+// FLEXPIPE_LOG_LEVEL=debug|info|warn|error|off overrides the default filter —
+// the bench binaries take no log flag, and suppressed INFO lines (launch
+// retries giving up, for one) are the first thing to check when a run misbehaves.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("FLEXPIPE_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
 // Atomic so concurrent sweep workers can read the filter while the main thread
 // (tests, examples) adjusts it; relaxed — the level is advisory, not a fence.
-FLEXPIPE_THREAD_SAFE_GLOBAL std::atomic<LogLevel> g_level{LogLevel::kWarn};
+FLEXPIPE_THREAD_SAFE_GLOBAL std::atomic<LogLevel> g_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -191,8 +191,8 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
 
       for (GpuId id : server.gpus) {
         const Gpu& gpu = cluster_->gpu(id);
-        if (gpu.free_memory() < need) {
-          continue;  // Eq. 7
+        if (!cluster_->GpuUsable(id) || gpu.free_memory() < need) {
+          continue;  // Eq. 7; failed/partitioned GPUs are never candidates
         }
         if (registry_->HostsModel(id, model_id) ||
             std::find(chosen.begin(), chosen.end(), id) != chosen.end()) {
@@ -246,8 +246,8 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
     double best_score = -1e18;
     for (GpuId id : cluster_->AllGpuIds()) {
       const Gpu& gpu = cluster_->gpu(id);
-      if (gpu.free_memory() < need) {
-        continue;  // Eq. 7
+      if (!cluster_->GpuUsable(id) || gpu.free_memory() < need) {
+        continue;  // Eq. 7; failed/partitioned GPUs are never candidates
       }
       // `chosen` is exactly the set of GPUs used by earlier stages (<= 32 entries):
       // same membership test the old unordered_set answered, scanned flat.

@@ -129,58 +129,53 @@ RunReport RunWorkload(ExperimentEnv& env, ServingSystemBase& system,
   return RunWorkload(env, std::vector<ServingSystemBase*>{&system}, specs, storage, options);
 }
 
-namespace {
+Request* RequestPool::Acquire(const RequestSpec& spec, TimeNs warmup) {
+  Request* request;
+  if (!free_.empty()) {
+    request = free_.back();
+    free_.pop_back();
+  } else {
+    slab_.emplace_back();
+    request = &slab_.back();
+  }
+  *request = Request{};
+  request->spec = spec;
+  request->spec.arrival += warmup;
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  return request;
+}
 
-// Recycling pool for streamed requests. Slab-backed (deque: stable addresses), with a
-// free list refilled by the systems' release hooks — the slab's size is the high-water
-// mark of concurrently live requests, not the trace length.
-class RequestPool {
- public:
-  Request* Acquire(const RequestSpec& spec, TimeNs warmup) {
-    Request* request;
-    if (!free_.empty()) {
-      request = free_.back();
-      free_.pop_back();
-    } else {
-      slab_.emplace_back();
-      request = &slab_.back();
+void RequestPool::Release(Request* request) {
+  FLEXPIPE_CHECK(live_ > 0);
+  --live_;
+  free_.push_back(request);
+}
+
+WorkloadHarness::WorkloadHarness(ExperimentEnv& env,
+                                 std::vector<ServingSystemBase*> systems_by_model)
+    : env_(env), systems_(std::move(systems_by_model)) {
+  FLEXPIPE_CHECK(!systems_.empty());
+}
+
+WorkloadHarness::~WorkloadHarness() {
+  // The hooks capture the pool by address; never leave them dangling.
+  Finish();
+}
+
+StreamingRunReport WorkloadHarness::RunPhase(RequestStream& stream,
+                                             const RunOptions& options) {
+  FLEXPIPE_CHECK_MSG(!finished_, "RunPhase after Finish");
+  if (!started_) {
+    started_ = true;
+    for (ServingSystemBase* system : systems_) {
+      system->set_request_release_hook(
+          [this](Request* request) { pool_.Release(request); });
+      system->Start();
     }
-    *request = Request{};
-    request->spec = spec;
-    request->spec.arrival += warmup;
-    ++live_;
-    peak_live_ = std::max(peak_live_, live_);
-    return request;
-  }
-
-  void Release(Request* request) {
-    FLEXPIPE_CHECK(live_ > 0);
-    --live_;
-    free_.push_back(request);
-  }
-
-  size_t peak_live() const { return peak_live_; }
-
- private:
-  std::deque<Request> slab_;
-  std::vector<Request*> free_;
-  size_t live_ = 0;
-  size_t peak_live_ = 0;
-};
-
-}  // namespace
-
-StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
-                                        std::vector<ServingSystemBase*> systems_by_model,
-                                        RequestStream& stream, const RunOptions& options) {
-  FLEXPIPE_CHECK(!systems_by_model.empty());
-  RequestPool pool;
-  for (ServingSystemBase* system : systems_by_model) {
-    system->set_request_release_hook([&pool](Request* request) { pool.Release(request); });
-    system->Start();
-  }
-  if (options.enable_churn) {
-    env.StartChurn();
+    if (options.enable_churn) {
+      env_.StartChurn();
+    }
   }
 
   // One self-rescheduling arrival event: fire the pending request, draw the next one
@@ -194,6 +189,13 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
     RequestPool* pool;
     TimeNs warmup;
     RequestSpec next_spec;
+    // Streams number their requests densely from 1, so a later phase's stream would
+    // reissue ids still live from an earlier phase — and id collisions corrupt every
+    // id-keyed structure downstream (KV residency, recovery masks). Rebasing by the
+    // highest id any earlier phase produced keeps ids unique across the harness's
+    // lifetime; the first phase rebases by 0, bit-identical to the single-phase runner.
+    RequestId id_base = 0;
+    RequestId max_id = 0;
     bool has_next = false;
     int64_t submitted = 0;
     EventId pending = 0;
@@ -205,6 +207,8 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
     void Fire() {
       pending = 0;
       Request* request = pool->Acquire(next_spec, warmup);
+      request->spec.id += id_base;
+      max_id = std::max(max_id, request->spec.id);
       ++submitted;
       ServingSystemBase* system;
       if (systems->size() == 1) {
@@ -222,19 +226,17 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
     }
   };
 
-  Simulation& sim = env.sim();
-  ArrivalDriver driver{&sim, &stream, &systems_by_model, &pool, options.warmup,
-                       RequestSpec{}};
+  Simulation& sim = env_.sim();
+  ArrivalDriver driver{&sim, &stream, &systems_, &pool_, options.warmup, RequestSpec{},
+                       /*id_base=*/max_id_seen_};
   driver.has_next = stream.Next(&driver.next_spec);
   if (driver.has_next) {
     driver.Arm();
   }
 
-  std::unique_ptr<PeriodicSimulationAuditor> auditor;
-  if (kAuditBuild && options.audit_interval > 0) {
-    auditor = std::make_unique<PeriodicSimulationAuditor>(&sim, &env.cluster(),
-                                                          systems_by_model,
-                                                          options.audit_interval);
+  if (auditor_ == nullptr && kAuditBuild && options.audit_interval > 0) {
+    auditor_ = std::make_unique<PeriodicSimulationAuditor>(&sim, &env_.cluster(), systems_,
+                                                           options.audit_interval);
   }
 
   // The stream's end time bounds every arrival, so the default horizon is known before
@@ -244,23 +246,42 @@ StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
     horizon = stream.end_time() + options.warmup + options.drain_grace;
   }
   sim.RunUntil(horizon);
-  // A custom horizon can cut the run before the stream drains; drop the armed arrival
+  // A custom horizon can cut the phase before the stream drains; drop the armed arrival
   // so nothing fires into this frame after it returns. Requests still queued or in
-  // flight die with the pool — the caller must not run the simulation further.
+  // flight stay live in the shared pool — a later phase (or the drain) finishes them.
   if (driver.pending != 0) {
     sim.Cancel(driver.pending);
   }
-  for (ServingSystemBase* system : systems_by_model) {
-    system->Finish();
-    system->set_request_release_hook(nullptr);
-  }
 
+  total_submitted_ += driver.submitted;
+  max_id_seen_ = std::max(max_id_seen_, driver.max_id);
   StreamingRunReport report;
   report.submitted = driver.submitted;
   report.ran_until = sim.now();
   report.warmup = options.warmup;
-  report.peak_live_requests = pool.peak_live();
-  report.audit_events = auditor ? auditor->audits_run() : 0;
+  report.peak_live_requests = pool_.peak_live();
+  report.audit_events = auditor_ ? auditor_->audits_run() : 0;
+  return report;
+}
+
+void WorkloadHarness::Finish() {
+  if (finished_ || !started_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  for (ServingSystemBase* system : systems_) {
+    system->Finish();
+    system->set_request_release_hook(nullptr);
+  }
+}
+
+StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
+                                        std::vector<ServingSystemBase*> systems_by_model,
+                                        RequestStream& stream, const RunOptions& options) {
+  WorkloadHarness harness(env, std::move(systems_by_model));
+  StreamingRunReport report = harness.RunPhase(stream, options);
+  harness.Finish();
   return report;
 }
 

@@ -8,6 +8,7 @@
 #ifndef FLEXPIPE_SRC_CORE_EXPERIMENT_H_
 #define FLEXPIPE_SRC_CORE_EXPERIMENT_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -132,13 +133,79 @@ struct StreamingRunReport {
   TimeNs measured_span() const { return ran_until - warmup; }
 };
 
+// Recycling pool for streamed requests. Slab-backed (deque: stable addresses), with a
+// free list refilled by the systems' release hooks — the slab's size is the high-water
+// mark of concurrently live requests, not the trace length.
+class FLEXPIPE_THREAD_HOSTILE RequestPool {
+ public:
+  Request* Acquire(const RequestSpec& spec, TimeNs warmup);
+  void Release(Request* request);
+
+  // Currently live (queued + in flight) requests; the zero-loss accounting in the
+  // failure benches checks submitted == completed + live after the drain.
+  size_t live() const { return live_; }
+  size_t peak_live() const { return peak_live_; }
+
+ private:
+  std::deque<Request> slab_;
+  std::vector<Request*> free_;
+  size_t live_ = 0;
+  size_t peak_live_ = 0;
+};
+
+class PeriodicSimulationAuditor;
+
+// Caller-owned streaming harness: the request pool, release hooks and arrival driver
+// that RunStreamingWorkload used to own internally. Owning them here lets chained-phase
+// scenarios (pre-storm warmup -> storm -> drain) run several streams back to back while
+// sharing ONE pool — a request displaced by a fault in phase 2 was acquired in phase 1,
+// so per-phase pools would break the recycling (and the zero-loss accounting).
+//
+// The first RunPhase installs the release hooks, starts the systems (and churn /
+// debug-build auditor per its options); later phases reuse all of it. Each phase's
+// stream must emit arrivals at absolute times >= the current simulated time. Finish()
+// tears the hooks down; the pool must outlive every request still in flight, so keep
+// the harness alive until the systems are done.
+class FLEXPIPE_THREAD_HOSTILE WorkloadHarness {
+ public:
+  WorkloadHarness(ExperimentEnv& env, std::vector<ServingSystemBase*> systems_by_model);
+  ~WorkloadHarness();
+  WorkloadHarness(const WorkloadHarness&) = delete;
+  WorkloadHarness& operator=(const WorkloadHarness&) = delete;
+
+  // Drains `stream` until options.horizon (0 = stream end + warmup + drain_grace).
+  // The report's `submitted` counts this phase only; peak_live/audit_events are
+  // cumulative across phases.
+  StreamingRunReport RunPhase(RequestStream& stream, const RunOptions& options = RunOptions{});
+
+  // Finish()es the systems and detaches the release hooks. Idempotent; no RunPhase
+  // calls afterwards.
+  void Finish();
+
+  int64_t total_submitted() const { return total_submitted_; }
+  const RequestPool& pool() const { return pool_; }
+
+ private:
+  ExperimentEnv& env_;
+  std::vector<ServingSystemBase*> systems_;
+  RequestPool pool_;
+  std::unique_ptr<PeriodicSimulationAuditor> auditor_;
+  int64_t total_submitted_ = 0;
+  // Highest request id issued so far: later phases rebase their stream's dense 1-based
+  // ids past it, so ids stay unique across the harness (id collisions would corrupt
+  // id-keyed state like KV residency).
+  RequestId max_id_seen_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
 // Streaming analogue of RunWorkload: requests are drawn from `stream` one at a time by
 // a self-rescheduling arrival event (exactly one pending arrival exists at any moment,
 // instead of one pre-scheduled event per trace entry), and completed requests are
 // recycled. Memory — request storage and engine arena alike — stays proportional to
 // in-flight work, so multi-hour multi-million-request scenarios fit in a flat
 // footprint. Routing mirrors RunWorkload: one system serves everything, several
-// systems split by spec.model_index.
+// systems split by spec.model_index. Thin wrapper over a single-phase WorkloadHarness.
 StreamingRunReport RunStreamingWorkload(ExperimentEnv& env,
                                         std::vector<ServingSystemBase*> systems_by_model,
                                         RequestStream& stream,

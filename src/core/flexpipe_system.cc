@@ -226,7 +226,8 @@ PipelineInstance* FlexPipeSystem::LaunchAt(ModelContext& model, int stages, doub
     hrg_.RecordScalingEvent(s, now);
     hrg_.AddLoadStream(s);
   }
-  // Streams retire when loading is expected to finish (estimate: delay + worst stage).
+  // Streams retire when loading is expected to finish (estimate: delay + worst stage),
+  // or immediately if the instance is released mid-load (see RetireLoadStreams).
   TimeNs worst_load = 0;
   for (int s = 0; s < plan.num_stages(); ++s) {
     Bytes params = plan.stages[static_cast<size_t>(s)].param_bytes;
@@ -235,11 +236,9 @@ PipelineInstance* FlexPipeSystem::LaunchAt(ModelContext& model, int stages, doub
                    : ctx_.cost_model->ColdLoadTime(params);
     worst_load = std::max(worst_load, static_cast<TimeNs>(static_cast<double>(t) * slowdown));
   }
-  ctx_.sim->Schedule(delay + worst_load, [this, servers] {
-    for (ServerId s : servers) {
-      hrg_.RemoveLoadStream(s);
-    }
-  });
+  pending_load_streams_[inst->id()] = servers;
+  ctx_.sim->Schedule(delay + worst_load,
+                     [this, id = inst->id()] { RetireLoadStreams(id); });
   // Keep affinity timestamps fresh on servers we now occupy.
   if (model.config.enable_host_cache) {
     for (ServerId s : servers) {
@@ -247,6 +246,21 @@ PipelineInstance* FlexPipeSystem::LaunchAt(ModelContext& model, int stages, doub
     }
   }
   return inst;
+}
+
+void FlexPipeSystem::RetireLoadStreams(int instance_id) {
+  auto it = pending_load_streams_.find(instance_id);
+  if (it == pending_load_streams_.end()) {
+    return;
+  }
+  for (ServerId s : it->second) {
+    hrg_.RemoveLoadStream(s);
+  }
+  pending_load_streams_.erase(it);
+}
+
+void FlexPipeSystem::OnInstanceReleased(int instance_id) {
+  RetireLoadStreams(instance_id);
 }
 
 void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
@@ -266,6 +280,64 @@ void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
                        LaunchWithRetry(*model_ptr, stages, cv, remaining_attempts - 1,
                                        waited + model_ptr->config.retry_backoff);
                      });
+}
+
+void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
+  if (model.config.stuck_loader_factor <= 0.0) {
+    return;
+  }
+  TimeNs now = ctx_.sim->now();
+  // Snapshot: restarting deregisters from the router mid-iteration otherwise.
+  std::vector<PipelineInstance*> loading;
+  for (PipelineInstance* inst : router_.instances()) {
+    // Migration targets load too, but a session holds pointers into them — the
+    // refactor path owns their lifecycle (and aborts them itself on failure).
+    if (inst->model_id() == model.config.model_id &&
+        inst->state() == InstanceState::kLoading &&
+        migration_pinned_.count(inst->id()) == 0) {
+      loading.push_back(inst);
+    }
+  }
+  double cv = ObservedCv(model);
+  int restarts = 0;
+  for (PipelineInstance* inst : loading) {
+    if (restarts >= model.config.max_launches_per_tick) {
+      break;
+    }
+    TimeNs remaining = inst->load_finish_time() - now;
+    if (remaining <= model.config.stuck_loader_margin) {
+      continue;
+    }
+    // What the same placement would cost if launched right now (cold: a restarted
+    // loader starts its pull from scratch).
+    double slowdown = 1.0;
+    for (GpuId g : inst->gpus()) {
+      slowdown = std::max(slowdown, hrg_.LoadSlowdown(ctx_.cluster->ServerOf(g)));
+    }
+    TimeNs fresh = 0;
+    for (int s = 0; s < inst->plan().num_stages(); ++s) {
+      Bytes params = inst->plan().stages[static_cast<size_t>(s)].param_bytes;
+      TimeNs t = ctx_.cost_model->ColdLoadTime(params);
+      fresh = std::max(fresh, static_cast<TimeNs>(static_cast<double>(t) * slowdown));
+    }
+    TimeNs threshold =
+        static_cast<TimeNs>(model.config.stuck_loader_factor * static_cast<double>(fresh)) +
+        model.config.stuck_loader_margin;
+    if (remaining <= threshold) {
+      continue;
+    }
+    int stages = inst->num_stages();
+    // Not a fault: admitted-but-unserved requests requeue without touching the
+    // failure counters, and the loader's reservation frees before the relaunch so
+    // the replacement can reuse the same GPUs.
+    std::vector<Request*> displaced = inst->FailNow();
+    ReleaseInstance(inst);
+    if (!displaced.empty()) {
+      router_.RequeueFront(displaced);
+    }
+    LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
+    ++restarts;
+  }
 }
 
 void FlexPipeSystem::RetireOne(ModelContext& model) {
@@ -394,6 +466,213 @@ void FlexPipeSystem::OnMigrationDone(PipelineInstance* old_instance,
   router_.Pump();
 }
 
+const KvValidityMask* FlexPipeSystem::recovery_mask_for(RequestId id) const {
+  auto it = recovery_masks_.find(id);
+  return it != recovery_masks_.end() ? it->second.get() : nullptr;
+}
+
+void FlexPipeSystem::OnRequestComplete(Request* request) {
+  if (!recovery_masks_.empty()) {
+    recovery_masks_.erase(request->spec.id);
+  }
+}
+
+void FlexPipeSystem::CacheSurvivingStageParams(PipelineInstance* instance) {
+  const ModelContext& model = ContextFor(instance->model_id());
+  if (!model.config.enable_host_cache) {
+    return;
+  }
+  TimeNs now = ctx_.sim->now();
+  const PipelinePlan& plan = instance->plan();
+  for (int s = 0; s < plan.num_stages(); ++s) {
+    GpuId g = instance->gpus()[static_cast<size_t>(s)];
+    if (!ctx_.cluster->GpuUsable(g)) {
+      continue;
+    }
+    const StagePlan& sp = plan.stages[static_cast<size_t>(s)];
+    host_cache_.Put(ctx_.cluster->ServerOf(g), model.config.model_id, sp.fine_begin,
+                    sp.fine_end, sp.param_bytes, now);
+  }
+}
+
+void FlexPipeSystem::TrackRecoveryMask(Request* request) {
+  int context = request->context_tokens();
+  if (context <= 0) {
+    return;
+  }
+  // A fresh mask is all-invalid — exactly the failure semantics: the dead instance
+  // held the only KV copy, so every context token must be recomputed (Eq. 10 with an
+  // empty valid set).
+  kv_invalidated_tokens_ += context;
+  recovery_masks_[request->spec.id] = std::make_unique<KvValidityMask>(context);
+}
+
+void FlexPipeSystem::RecoverDisplacedRequest(Request* request, bool reform) {
+  if (request->phase != RequestPhase::kDecoding) {
+    return;  // never prefilled; requeues as-is
+  }
+  if (reform) {
+    request->recompute_tokens = request->tokens_generated;
+    ++failure_stats_.requests_resumed;
+    TrackRecoveryMask(request);
+  } else {
+    request->tokens_generated = 0;
+    request->first_token_time = -1;
+    request->recompute_tokens = 0;
+    ++failure_stats_.requests_restarted;
+  }
+  request->phase = RequestPhase::kQueued;
+}
+
+void FlexPipeSystem::OnGpusLost(const std::vector<GpuId>& lost) {
+  std::vector<PipelineInstance*> victims = UnreleasedInstancesOn(lost);
+  if (victims.empty()) {
+    return;  // nothing of ours stood on the lost GPUs
+  }
+  auto is_victim = [&victims](const PipelineInstance* inst) {
+    return std::find(victims.begin(), victims.end(), inst) != victims.end();
+  };
+  std::vector<int> affected;  // model ids, first-seen order (deterministic)
+  auto note_model = [&affected](int model_id) {
+    if (std::find(affected.begin(), affected.end(), model_id) == affected.end()) {
+      affected.push_back(model_id);
+    }
+  };
+  for (PipelineInstance* v : victims) {
+    note_model(v->model_id());
+  }
+
+  // Teardown-policy models raze their whole fleet, not just the dead instances: the
+  // PipeBoost-style baseline re-places the deployment from scratch.
+  for (int model_id : affected) {
+    ModelContext& model = ContextFor(model_id);
+    if (model.config.fault_recovery != FaultRecoveryPolicy::kTeardown) {
+      continue;
+    }
+    for (InstanceRecord& rec : records_) {
+      if (!rec.released && rec.model_id == model_id && !is_victim(rec.instance.get())) {
+        victims.push_back(rec.instance.get());
+      }
+    }
+  }
+
+  // Abort migrations touching a victim. The surviving endpoint becomes a victim too —
+  // a target holds partially migrated KV it can no longer complete — and the limbo
+  // requests (extracted at halt, not yet resumed) are reclaimed so they requeue exactly
+  // once. Fixpoint loop: sessions can share a target, so one abort can implicate a
+  // session already passed over.
+  std::vector<Request*> limbo;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& session : sessions_) {
+      if (session->finished() || session->aborted()) {
+        continue;
+      }
+      PipelineInstance* src = session->source();
+      PipelineInstance* dst = session->target();
+      if (!is_victim(src) && !is_victim(dst)) {
+        continue;
+      }
+      std::vector<Request*> reclaimed = session->Abort();
+      limbo.insert(limbo.end(), reclaimed.begin(), reclaimed.end());
+      ModelContext& model = ContextFor(src->model_id());
+      --model.refactors_in_progress;
+      migration_pinned_.erase(src->id());
+      migration_pinned_.erase(dst->id());
+      if (model.refactors_in_progress == 0) {
+        for (auto it = migration_pinned_.begin(); it != migration_pinned_.end();) {
+          it = it->second == model.config.model_id ? migration_pinned_.erase(it)
+                                                  : std::next(it);
+        }
+      }
+      if (!is_victim(src)) {
+        victims.push_back(src);
+        note_model(src->model_id());
+      }
+      if (!is_victim(dst)) {
+        victims.push_back(dst);
+        note_model(dst->model_id());
+      }
+      changed = true;
+    }
+  }
+
+  // Fail the victims. Under kReform the stages on still-usable GPUs seed the host cache
+  // first, so the replacements warm-start from the same servers; decoding requests keep
+  // their progress and pay a recompute prefill instead of restarting.
+  std::vector<Request*> displaced;
+  for (PipelineInstance* victim : victims) {
+    ModelContext& model = ContextFor(victim->model_id());
+    bool reform = model.config.fault_recovery == FaultRecoveryPolicy::kReform;
+    if (reform) {
+      CacheSurvivingStageParams(victim);
+    }
+    size_t before = displaced.size();
+    FailInstance(victim, /*restart_decoding=*/!reform, &displaced);
+    if (reform) {
+      for (size_t i = before; i < displaced.size(); ++i) {
+        if (displaced[i]->recompute_tokens > 0) {
+          TrackRecoveryMask(displaced[i]);
+        }
+      }
+    }
+  }
+  for (Request* r : limbo) {
+    ModelContext& model = ContextFor(r->model_id());
+    RecoverDisplacedRequest(r, model.config.fault_recovery == FaultRecoveryPolicy::kReform);
+    displaced.push_back(r);
+  }
+
+  // A server whose every GPU is dead took its host RAM — and its cached parameter
+  // images — with it. Partitioned GPUs keep their memory; the cache survives a heal.
+  std::vector<ServerId> dead_servers;
+  for (GpuId g : lost) {
+    if (!ctx_.cluster->GpuFailed(g)) {
+      continue;
+    }
+    ServerId s = ctx_.cluster->ServerOf(g);
+    if (std::find(dead_servers.begin(), dead_servers.end(), s) != dead_servers.end()) {
+      continue;
+    }
+    bool all_dead = true;
+    for (GpuId sg : ctx_.cluster->server(s).gpus) {
+      all_dead = all_dead && ctx_.cluster->GpuFailed(sg);
+    }
+    if (all_dead) {
+      dead_servers.push_back(s);
+    }
+  }
+  for (ServerId s : dead_servers) {
+    host_cache_.DropServer(s);
+  }
+
+  RequeueDisplaced(std::move(displaced));
+
+  // Replace what died immediately rather than waiting for the next control tick.
+  // Reform relaunches one-for-one at the fast-loading fine granularity (Fig. 7's burst
+  // path — recovery is the ultimate burst); teardown cold-starts its fleet at the
+  // coarse initial granularity.
+  for (int model_id : affected) {
+    ModelContext& model = ContextFor(model_id);
+    int torn_down = 0;
+    for (PipelineInstance* v : victims) {
+      if (v->model_id() == model_id) {
+        ++torn_down;
+      }
+    }
+    double cv = ObservedCv(model);
+    bool reform = model.config.fault_recovery == FaultRecoveryPolicy::kReform;
+    int stages = reform ? model.fast_scale_stages : model.config.initial_stages;
+    int launches =
+        reform ? torn_down : std::max(MinInstances(model, stages), torn_down);
+    for (int i = 0; i < launches; ++i) {
+      LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/10, /*waited=*/0);
+    }
+  }
+  router_.Pump();
+}
+
 void FlexPipeSystem::Tick() {
   for (auto& model : contexts_) {
     TickModel(*model);
@@ -401,6 +680,7 @@ void FlexPipeSystem::Tick() {
 }
 
 void FlexPipeSystem::TickModel(ModelContext& model) {
+  RestartStuckLoaders(model);
   double cv = ObservedCv(model);
   double demand = ProjectedDemand(model);
   TimeNs now = ctx_.sim->now();

@@ -38,6 +38,18 @@
 
 namespace flexpipe {
 
+// What FlexPipe does when GPUs die under a live fleet (fig15):
+//   kReform   — migration-based re-formation: abort sessions touching dead instances,
+//               keep decode progress via KV recompute, seed the host cache from the
+//               surviving stages, and relaunch at the fast-loading fine granularity.
+//   kTeardown — the PipeBoost-style naive baseline: tear down every instance of the
+//               affected model, drop all decode progress, and cold-start the initial
+//               fleet from scratch.
+enum class FaultRecoveryPolicy {
+  kReform = 0,
+  kTeardown = 1,
+};
+
 struct FlexPipeConfig {
   int model_id = 0;
   int initial_stages = 4;
@@ -61,6 +73,17 @@ struct FlexPipeConfig {
   bool enable_hrg = true;
   bool enable_affinity = true;
   bool enable_host_cache = true;
+
+  FaultRecoveryPolicy fault_recovery = FaultRecoveryPolicy::kReform;
+
+  // Stuck-loader restart (controller hygiene): an instance whose load was priced at a
+  // contention peak keeps that price for its whole load, so once the peak clears it can
+  // lag a fresh launch by minutes. Each tick, loaders whose remaining load exceeds
+  // `stuck_loader_factor` x the current fresh-load estimate (plus the margin) are
+  // released and relaunched at today's contention — the simulated analogue of killing
+  // a pod stuck in init. 0 disables.
+  double stuck_loader_factor = 2.0;
+  TimeNs stuck_loader_margin = 10 * kSecond;
 };
 
 class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
@@ -82,6 +105,10 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   void Start() override;
   void OnArrival(Request* request) override;
   void Finish() override;
+  // Recovery per the affected model's FaultRecoveryPolicy: aborts migrations touching
+  // dead instances (reclaiming their limbo requests exactly once), applies the decode
+  // policy, drops host-cache state on fully-dead servers, and relaunches replacements.
+  void OnGpusLost(const std::vector<GpuId>& lost) override;
   // Base invariants plus HRG stream tallies and host-cache vs cluster accounting.
   void CollectAuditViolations(std::vector<std::string>* out) const override;
 
@@ -101,6 +128,14 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
     return contexts_.front()->granularity;
   }
   int model_count() const { return static_cast<int>(contexts_.size()); }
+
+  // -- Recovery introspection (fig15 / fault tests) --------------------------------------
+  // Under kReform a displaced decoding request's KV is invalidated through an Eq. 10
+  // mask at failure time (all context tokens invalid — the dead instance held the only
+  // copy) and dropped once the request completes after its recompute pass. Returns
+  // nullptr for requests with no failure in flight.
+  const KvValidityMask* recovery_mask_for(RequestId id) const;
+  int64_t kv_invalidated_tokens() const { return kv_invalidated_tokens_; }
 
  private:
   // Per-model controller state (§4's control loop instantiated once per model).
@@ -132,6 +167,17 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   PipelineInstance* LaunchAt(ModelContext& model, int stages, double cv);
   void LaunchWithRetry(ModelContext& model, int stages, double cv, int remaining_attempts,
                        TimeNs waited);
+  // Drops the HRG load streams opened for `instance_id` if they are still pending.
+  // Idempotent: called both at the load's estimated finish and — crucial under failure
+  // storms — from OnInstanceReleased when the instance dies mid-load, so razed fleets
+  // do not leave zombie streams inflating every later launch's contention slowdown.
+  void RetireLoadStreams(int instance_id);
+  void OnInstanceReleased(int instance_id) override;
+  // Releases and relaunches loaders lagging far behind the current fresh-load
+  // estimate (see FlexPipeConfig::stuck_loader_factor). At most
+  // max_launches_per_tick restarts per call; admitted-but-unserved requests
+  // requeue silently (a loader restart is hygiene, not a fault).
+  void RestartStuckLoaders(ModelContext& model);
   void RetireOne(ModelContext& model);
   void BeginRefactor(ModelContext& model, std::vector<PipelineInstance*> old_instances,
                      int new_stages, double cv);
@@ -139,6 +185,17 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   void CacheInstanceParams(PipelineInstance* instance);
   std::vector<bool> WarmFlags(const ModelContext& model, const PipelinePlan& plan,
                               const std::vector<GpuId>& gpus) const;
+  void OnRequestComplete(Request* request) override;
+
+  // -- Fault recovery helpers ------------------------------------------------------------
+  // Like CacheInstanceParams, but only for stages standing on still-usable GPUs: a dead
+  // stage's server may be gone, and seeding the cache from it would warm-start from
+  // memory that no longer exists.
+  void CacheSurvivingStageParams(PipelineInstance* instance);
+  // Applies the per-request decode policy to a request reclaimed from an aborted
+  // migration (FailInstance never sees it) and records the recovery mask under kReform.
+  void RecoverDisplacedRequest(Request* request, bool reform);
+  void TrackRecoveryMask(Request* request);
 
   // Stable addresses: controller callbacks capture raw ModelContext pointers.
   std::vector<std::unique_ptr<ModelContext>> contexts_;
@@ -156,6 +213,13 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   // Instances pinned by an in-flight migration (sources and targets), keyed by
   // instance id -> model id: exempt from scale-in until the model's wave completes.
   std::map<int, int> migration_pinned_;
+  // Servers whose HRG load streams are still open per loading instance; entries are
+  // erased by RetireLoadStreams (estimated-finish event or early release).
+  std::map<int, std::vector<ServerId>> pending_load_streams_;
+  // Eq. 10 masks for requests displaced by a failure under kReform, keyed by request
+  // id; erased when the request completes (its recompute pass rebuilt the KV).
+  std::map<RequestId, std::unique_ptr<KvValidityMask>> recovery_masks_;
+  int64_t kv_invalidated_tokens_ = 0;
 };
 
 }  // namespace flexpipe

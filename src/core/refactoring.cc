@@ -72,6 +72,9 @@ void MigrationSession::Start() {
 }
 
 void MigrationSession::OnSnapshotDone(TimeNs duration) {
+  if (aborted_) {
+    return;  // a fault killed an endpoint while the snapshot transfer was in flight
+  }
   result_.snapshot_duration = duration;
   from_->HaltAndExtract([this](std::vector<Request*> extracted) {
     OnHalted(std::move(extracted));
@@ -79,22 +82,23 @@ void MigrationSession::OnSnapshotDone(TimeNs duration) {
 }
 
 void MigrationSession::OnHalted(std::vector<Request*> extracted) {
-  std::vector<Request*> decoding;
-  std::vector<Request*> queued;
+  if (aborted_) {
+    return;
+  }
   for (Request* r : extracted) {
     if (r->phase == RequestPhase::kDecoding) {
-      decoding.push_back(r);
+      limbo_decoding_.push_back(r);
     } else {
-      queued.push_back(r);
+      limbo_queued_.push_back(r);
     }
   }
 
   // Delta phase (Eq. 10): only tokens generated after the snapshot are invalid and need
   // synchronization before decode can resume on the new topology. The tails are marked
   // valid only once the delta transfer lands on the target — marking them here would
-  // make the consistency check in FinishAt vacuous.
+  // make the consistency check in FinishNow vacuous.
   Bytes delta_bytes = 0;
-  for (Request* r : decoding) {
+  for (Request* r : limbo_decoding_) {
     const SnapshotState* state = StateFor(r->spec.id);
     int snap_tokens = state != nullptr ? state->snapshot_tokens : 0;
     int delta = std::max(0, r->tokens_generated - snap_tokens);
@@ -102,19 +106,36 @@ void MigrationSession::OnHalted(std::vector<Request*> extracted) {
   }
   result_.delta_bytes = delta_bytes;
 
-  TimeNs halt_time = sim_->now();
+  halt_time_ = sim_->now();
   if (delta_bytes == 0) {
-    FinishAt(halt_time, std::move(decoding), std::move(queued));
+    FinishNow();
     return;
   }
   GpuId src = from_->gpus().front();
   GpuId dst = to_->gpus().front();
   transfer_->Transfer(src, dst, delta_bytes, transfer_->PreferredProtocol(src, dst),
-                      [this, halt_time, decoding = std::move(decoding),
-                       queued = std::move(queued)](TimeNs /*duration*/) mutable {
-                        MarkDeltaValid(decoding);
-                        FinishAt(halt_time, std::move(decoding), std::move(queued));
+                      [this](TimeNs /*duration*/) {
+                        if (aborted_) {
+                          return;  // Abort reclaimed the limbo requests already
+                        }
+                        MarkDeltaValid(limbo_decoding_);
+                        FinishNow();
                       });
+}
+
+std::vector<Request*> MigrationSession::Abort() {
+  if (aborted_ || finished_) {
+    return {};
+  }
+  aborted_ = true;
+  std::vector<Request*> limbo;
+  limbo.reserve(limbo_decoding_.size() + limbo_queued_.size());
+  limbo.insert(limbo.end(), limbo_decoding_.begin(), limbo_decoding_.end());
+  limbo.insert(limbo.end(), limbo_queued_.begin(), limbo_queued_.end());
+  limbo_decoding_.clear();
+  limbo_queued_.clear();
+  on_done_ = nullptr;
+  return limbo;
 }
 
 void MigrationSession::MarkDeltaValid(const std::vector<Request*>& decoding) {
@@ -127,9 +148,12 @@ void MigrationSession::MarkDeltaValid(const std::vector<Request*>& decoding) {
   }
 }
 
-void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
-                                std::vector<Request*> queued) {
-  result_.pause_duration = sim_->now() - halt_time;
+void MigrationSession::FinishNow() {
+  std::vector<Request*> decoding = std::move(limbo_decoding_);
+  std::vector<Request*> queued = std::move(limbo_queued_);
+  limbo_decoding_.clear();
+  limbo_queued_.clear();
+  result_.pause_duration = sim_->now() - halt_time_;
 
   // `queued` holds exactly the never-prefilled requests at this point; count them now so
   // restarts appended below are not double-counted as requeued.
@@ -162,6 +186,7 @@ void MigrationSession::FinishAt(TimeNs halt_time, std::vector<Request*> decoding
   if (!queued.empty()) {
     router_->RequeueFront(std::move(queued));
   }
+  finished_ = true;
   DoneCallback cb = std::move(on_done_);
   cb(from_, result_);
 }

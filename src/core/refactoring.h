@@ -51,10 +51,22 @@ class MigrationSession {
 
   void Start();
   bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  bool aborted() const { return aborted_; }
+  PipelineInstance* source() const { return from_; }
+  PipelineInstance* target() const { return to_; }
+
+  // Fault path: either endpoint's GPUs died mid-session. Deactivates every pending
+  // continuation (transfer callbacks become no-ops; on_done_ never fires) and returns
+  // the requests the session holds in limbo — extracted from the source at halt but
+  // not yet resumed or requeued. Decoding limbo requests keep their phase and token
+  // counts; the caller applies its recovery policy and requeues them exactly once.
+  // Empty before the halt (requests still live on the source) and after finish.
+  std::vector<Request*> Abort();
 
   // Introspection (tests): the Eq. 10 validity mask tracked for a request, or nullptr.
   // Tail tokens generated during the snapshot stay invalid until the delta transfer
-  // completes — the FinishAt consistency check relies on that timing.
+  // completes — the resume-time consistency check relies on that timing.
   const KvValidityMask* MaskFor(RequestId id) const;
 
  private:
@@ -69,8 +81,8 @@ class MigrationSession {
   void OnSnapshotDone(TimeNs duration);
   void OnHalted(std::vector<Request*> extracted);
   void MarkDeltaValid(const std::vector<Request*>& decoding);
-  void FinishAt(TimeNs halt_time, std::vector<Request*> decoding,
-                std::vector<Request*> queued);
+  // Resume phase: injects/requeues the limbo requests and fires on_done_.
+  void FinishNow();
   const SnapshotState* StateFor(RequestId id) const;
   SnapshotState* StateFor(RequestId id);
 
@@ -82,7 +94,14 @@ class MigrationSession {
   DoneCallback on_done_;
 
   bool started_ = false;
+  bool finished_ = false;
+  bool aborted_ = false;
   MigrationResult result_;
+  // Limbo custody between halt and resume: the extracted requests live here (not in
+  // closure captures) so Abort can reclaim them if a fault lands mid-delta-transfer.
+  TimeNs halt_time_ = 0;
+  std::vector<Request*> limbo_decoding_;
+  std::vector<Request*> limbo_queued_;
   // Sorted by request id (binary-search lookups); one session tracks at most one
   // instance's decoding set, so the flat vector stays small and iterates
   // deterministically.

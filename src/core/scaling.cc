@@ -208,6 +208,15 @@ TimeNs HostParamCache::LastHosted(ServerId server, int model_id) const {
   return -1;
 }
 
+void HostParamCache::DropServer(ServerId server) {
+  auto& list = entries_[static_cast<size_t>(server)];
+  for (const Entry& e : list) {
+    cluster_->ReleaseHostMemory(server, e.bytes);
+  }
+  list.clear();
+  last_hosted_[static_cast<size_t>(server)].clear();
+}
+
 AffinityScheduler::AffinityScheduler(const Cluster* cluster, const HostParamCache* cache,
                                      const ScalingConfig& config)
     : cluster_(cluster), cache_(cache), config_(config) {
@@ -224,7 +233,7 @@ double AffinityScheduler::Score(ServerId server, int model_id, TimeNs now,
   const Server& s = cluster_->server(server);
   int avail = 0;
   for (GpuId g : s.gpus) {
-    if (cluster_->gpu(g).free_memory() >= free_gpu_threshold) {
+    if (cluster_->GpuUsable(g) && cluster_->gpu(g).free_memory() >= free_gpu_threshold) {
       ++avail;
     }
   }

@@ -101,6 +101,10 @@ class FLEXPIPE_THREAD_HOSTILE HostParamCache {
   void Touch(ServerId server, int model_id, TimeNs now);
   // Last time this server hosted (or cached) the model; -1 if never.
   TimeNs LastHosted(ServerId server, int model_id) const;
+  // Fault path: the server died, taking its host RAM — and every cached parameter
+  // image — with it. Releases the accounting and forgets the hosting history so the
+  // affinity score stops steering placements toward the corpse.
+  void DropServer(ServerId server);
 
   Bytes UsedOn(ServerId server) const;
   int64_t evictions() const { return evictions_; }

@@ -207,6 +207,65 @@ void ServingSystemBase::ReleaseInstance(PipelineInstance* instance) {
   NoteGpuDelta(-static_cast<int>(record->gpus.size()));
   instance->MarkReleased();
   record->released = true;
+  OnInstanceReleased(instance->id());
+}
+
+std::vector<PipelineInstance*> ServingSystemBase::UnreleasedInstancesOn(
+    const std::vector<GpuId>& lost) {
+  std::vector<PipelineInstance*> victims;
+  for (InstanceRecord& record : records_) {
+    if (record.released) {
+      continue;
+    }
+    for (GpuId g : record.gpus) {
+      if (std::find(lost.begin(), lost.end(), g) != lost.end()) {
+        victims.push_back(record.instance.get());
+        break;
+      }
+    }
+  }
+  return victims;
+}
+
+void ServingSystemBase::FailInstance(PipelineInstance* instance, bool restart_decoding,
+                                     std::vector<Request*>* displaced) {
+  ++failure_stats_.instances_lost;
+  std::vector<Request*> extracted = instance->FailNow();
+  for (Request* r : extracted) {
+    if (r->phase == RequestPhase::kDecoding) {
+      if (restart_decoding) {
+        r->tokens_generated = 0;
+        r->first_token_time = -1;
+        r->recompute_tokens = 0;
+        ++failure_stats_.requests_restarted;
+      } else {
+        // Token ids live on the host; only the KV died. The next prompt pass rebuilds
+        // it (prompt + recompute tokens) and decode resumes where it left off.
+        r->recompute_tokens = r->tokens_generated;
+        ++failure_stats_.requests_resumed;
+      }
+      r->phase = RequestPhase::kQueued;
+    }
+    displaced->push_back(r);
+  }
+  ReleaseInstance(instance);
+}
+
+void ServingSystemBase::RequeueDisplaced(std::vector<Request*> displaced) {
+  if (displaced.empty()) {
+    return;
+  }
+  failure_stats_.requests_requeued += static_cast<int64_t>(displaced.size());
+  router_.RequeueFront(displaced);
+}
+
+void ServingSystemBase::OnGpusLost(const std::vector<GpuId>& lost) {
+  std::vector<PipelineInstance*> victims = UnreleasedInstancesOn(lost);
+  std::vector<Request*> displaced;
+  for (PipelineInstance* instance : victims) {
+    FailInstance(instance, /*restart_decoding=*/true, &displaced);
+  }
+  RequeueDisplaced(std::move(displaced));
 }
 
 ServingSystemBase::InstanceRecord* ServingSystemBase::FindRecord(int instance_id) {

@@ -66,6 +66,14 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
   // End-of-run hook (cancel controllers etc.).
   virtual void Finish() {}
 
+  // Fault notification: the listed GPUs just became unusable (dead or partitioned).
+  // The base implementation is the naive teardown recovery every baseline gets: each
+  // instance standing on a lost GPU is failed, its decoding requests restart from
+  // token zero, and everything displaced is requeued at the front of the router —
+  // exactly once, so submitted == completed + outstanding still balances. FlexPipe
+  // overrides this with migration-based re-formation.
+  virtual void OnGpusLost(const std::vector<GpuId>& lost);
+
   // Appends one line per violated cross-module invariant (router bookkeeping,
   // placement registry vs instance records); appends nothing when consistent.
   // Subclasses extend with their own invariants (FlexPipe adds the HRG and
@@ -100,6 +108,15 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
   double MeanAllocationWaitSec() const { return alloc_wait_s_.mean(); }
   int live_instances() const;
 
+  // -- Failure accounting (fig15) ------------------------------------------------------
+  struct FailureStats {
+    int instances_lost = 0;
+    int64_t requests_requeued = 0;   // displaced back to the router, exactly once each
+    int64_t requests_restarted = 0;  // mid-decode progress dropped (teardown recovery)
+    int64_t requests_resumed = 0;    // mid-decode progress kept via KV recompute (reform)
+  };
+  const FailureStats& failure_stats() const { return failure_stats_; }
+
  protected:
   // Debug-build invariant audits compare the registry against the records.
   friend class SimulationAuditor;
@@ -115,6 +132,12 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
 
   // Subclass hook invoked after metrics collection for each completed request.
   virtual void OnRequestComplete(Request* /*request*/) {}
+
+  // Subclass hook invoked at the end of ReleaseInstance, after router and cluster
+  // bookkeeping. Lets subclasses drop per-instance state they track outside the
+  // records — e.g. parameter-load streams that must retire the moment a loading
+  // instance dies, not at its originally estimated finish time.
+  virtual void OnInstanceReleased(int /*instance_id*/) {}
 
   // Reserves the given GPUs, pays `provisioning_delay`, then loads and activates. The
   // instance registers with the router when loading begins.
@@ -135,6 +158,21 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
 
   // Live (active or still-loading/provisioning) instances serving `model_id`.
   int ActiveOrLoadingForModel(int model_id) const;
+
+  // Unreleased instances with at least one stage on a lost GPU, in record order.
+  std::vector<PipelineInstance*> UnreleasedInstancesOn(const std::vector<GpuId>& lost);
+
+  // Fails one instance abruptly: FailNow, apply the per-request decode policy
+  // (`restart_decoding` true drops generated tokens; false keeps them and charges a
+  // recompute prefill), release the instance, and append the displaced requests to
+  // `*displaced` (caller requeues them in one batch).
+  void FailInstance(PipelineInstance* instance, bool restart_decoding,
+                    std::vector<Request*>* displaced);
+
+  // Requeues displaced requests at the front of the router and bumps the counters.
+  void RequeueDisplaced(std::vector<Request*> displaced);
+
+  FailureStats failure_stats_;
 
   // Subclass constructors declare every model they deploy; OnArrival enforces it, and
   // the metrics collector pre-sizes its per-model table from the declarations.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/macros.h"
 #include "src/common/stats.h"
 
 namespace flexpipe {
@@ -84,6 +85,100 @@ RecoveryReport AnalyzeRecovery(const std::vector<CompletionSample>& completions,
     report.mean_recovery_s = stats.mean();
     report.max_recovery_s = stats.max();
     report.median_recovery_s = Percentile(durations, 50.0);
+  }
+  return report;
+}
+
+FailureRecoveryReport AnalyzeFailureRecovery(const std::vector<CompletionSample>& completions,
+                                             const std::vector<TimeNs>& fault_times,
+                                             TimeNs horizon,
+                                             const FailureRecoveryConfig& config) {
+  FailureRecoveryReport report;
+  FLEXPIPE_CHECK(config.window > 0 && config.hold_windows > 0);
+  std::vector<TimeNs> faults;
+  for (TimeNs t : fault_times) {
+    if (t >= 0 && t < horizon) {
+      faults.push_back(t);
+    }
+  }
+  std::sort(faults.begin(), faults.end());
+  report.fault_count = static_cast<int>(faults.size());
+  if (faults.empty()) {
+    report.recovered = true;  // nothing to recover from
+    return report;
+  }
+
+  // Windowed goodput over [0, horizon).
+  const double window_s = ToSeconds(config.window);
+  const int64_t num_windows = (horizon + config.window - 1) / config.window;
+  std::vector<double> rate(static_cast<size_t>(num_windows), 0.0);
+  for (const auto& c : completions) {
+    if (c.done_time < 0 || c.done_time >= horizon) {
+      continue;
+    }
+    rate[static_cast<size_t>(c.done_time / config.window)] += 1.0 / window_s;
+  }
+
+  // Baseline: mean rate over the lookback windows fully before the first fault.
+  const int64_t first_fault_w = faults.front() / config.window;
+  int64_t base_begin = (faults.front() - config.baseline_lookback) / config.window;
+  base_begin = std::max<int64_t>(base_begin, 0);
+  double base_sum = 0.0;
+  int64_t base_count = 0;
+  for (int64_t w = base_begin; w < first_fault_w; ++w) {
+    base_sum += rate[static_cast<size_t>(w)];
+    ++base_count;
+  }
+  double baseline = base_count > 0 ? base_sum / static_cast<double>(base_count) : 0.0;
+  report.pre_fault_goodput_rps = baseline;
+  if (baseline <= 0.0) {
+    report.recovered = true;  // no measurable pre-fault service level
+    return report;
+  }
+  const double threshold = baseline * config.recovered_fraction;
+
+  // One pass over the windows from the first fault. Faults landing inside an open
+  // episode merge into it (the storm case) by resetting the hold streak.
+  size_t next_fault = 0;
+  bool in_episode = false;
+  int64_t episode_start_w = 0;
+  int ok_streak = 0;
+  for (int64_t w = first_fault_w; w < num_windows; ++w) {
+    while (next_fault < faults.size() &&
+           faults[next_fault] / config.window == w) {
+      if (!in_episode) {
+        in_episode = true;
+        episode_start_w = w;
+      }
+      ok_streak = 0;
+      ++next_fault;
+    }
+    if (!in_episode) {
+      continue;
+    }
+    double shortfall = baseline - rate[static_cast<size_t>(w)];
+    if (shortfall > 0.0) {
+      report.dip_area_rps_s += shortfall * window_s;
+      report.dip_depth_rps = std::max(report.dip_depth_rps, shortfall);
+    }
+    ok_streak = rate[static_cast<size_t>(w)] >= threshold ? ok_streak + 1 : 0;
+    if (ok_streak >= config.hold_windows) {
+      int64_t recover_w = w - config.hold_windows + 1;
+      double recovery_s = static_cast<double>(recover_w - episode_start_w) * window_s;
+      report.time_to_recover_s = std::max(report.time_to_recover_s, recovery_s);
+      report.total_recovery_s += recovery_s;
+      in_episode = false;
+      ok_streak = 0;
+    }
+  }
+  report.recovered = !in_episode && next_fault == faults.size();
+  if (in_episode) {
+    // The episode never closed: charge the span from episode start to the horizon as a
+    // lower bound on its recovery time, so an arm that never climbs back reports a
+    // *worse* time-to-recover than any arm that did (not a vacuous zero).
+    double open_s = static_cast<double>(num_windows - episode_start_w) * window_s;
+    report.time_to_recover_s = std::max(report.time_to_recover_s, open_s);
+    report.total_recovery_s += open_s;
   }
   return report;
 }

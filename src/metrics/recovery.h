@@ -37,6 +37,43 @@ struct RecoveryReport {
 RecoveryReport AnalyzeRecovery(const std::vector<CompletionSample>& completions,
                                const RecoveryConfig& config = RecoveryConfig{});
 
+// -- Failure recovery (fig15) -----------------------------------------------------------
+//
+// Stall analysis above is latency-centric; failure storms are throughput-centric: the
+// interesting signal is how deep goodput dips when instances die and how long it takes
+// to climb back. We bin completions into fixed windows, take the pre-fault windows as
+// the baseline rate, and for each injected fault measure:
+//   * time-to-recover — first window at/after the fault whose rate is back to
+//     `recovered_fraction` of baseline and stays there for `hold_windows` windows;
+//   * dip depth — baseline minus the minimum windowed rate inside the recovery span;
+//   * dip area — ∫ max(0, baseline - rate) dt over the span (requests of service lost).
+// Overlapping faults merge into one episode (the storm case); per-fault numbers then
+// describe the merged episode.
+
+struct FailureRecoveryConfig {
+  TimeNs window = 1 * kSecond;          // goodput binning granularity
+  double recovered_fraction = 0.95;     // rate/baseline at which recovery is declared
+  int hold_windows = 3;                 // consecutive windows required above threshold
+  TimeNs baseline_lookback = 30 * kSecond;  // pre-fault span defining the baseline rate
+};
+
+struct FailureRecoveryReport {
+  int fault_count = 0;                  // faults covered by the completion series
+  double pre_fault_goodput_rps = 0.0;   // baseline rate before the first fault
+  // Worst (max) episode recovery time. An episode still open at the horizon charges
+  // its span-to-horizon as a lower bound, so "never recovered" dominates any real
+  // recovery time instead of reading as zero.
+  double time_to_recover_s = 0.0;
+  double total_recovery_s = 0.0;        // summed episode recovery times
+  double dip_depth_rps = 0.0;           // worst shortfall below baseline
+  double dip_area_rps_s = 0.0;          // total requests of service lost to the dips
+  bool recovered = false;               // every episode climbed back within the series
+};
+
+FailureRecoveryReport AnalyzeFailureRecovery(
+    const std::vector<CompletionSample>& completions, const std::vector<TimeNs>& fault_times,
+    TimeNs horizon, const FailureRecoveryConfig& config = FailureRecoveryConfig{});
+
 }  // namespace flexpipe
 
 #endif  // FLEXPIPE_SRC_METRICS_RECOVERY_H_

@@ -210,6 +210,51 @@ void PipelineInstance::CheckHaltAndDrain() {
   }
 }
 
+std::vector<Request*> PipelineInstance::FailNow() {
+  FLEXPIPE_CHECK(state_ != InstanceState::kReleased);
+  // Cancel in-flight waves: their FinishIteration must never run against a dead
+  // instance. (The BeginLoading activation event guards on kLoading itself.)
+  for (Group& g : groups_) {
+    if (g.busy) {
+      sim_->Cancel(g.wave_event);
+      g.busy = false;
+      g.wave_event = 0;
+    }
+  }
+  busy_groups_ = 0;
+  state_ = InstanceState::kHalting;  // blocks admissions until the caller releases us
+  on_halt_ = nullptr;
+  on_drained_ = nullptr;
+
+  std::vector<Request*> extracted;
+  for (Request* r : pending_) {
+    r->phase = RequestPhase::kQueued;
+    extracted.push_back(r);
+  }
+  pending_.clear();
+  for (Group& g : groups_) {
+    for (Request* r : g.prefilling) {
+      r->phase = RequestPhase::kQueued;
+      extracted.push_back(r);
+    }
+    for (Request* r : g.wave_prefilling) {
+      // The wave died mid-prompt-pass; nothing of it survives.
+      r->phase = RequestPhase::kQueued;
+      extracted.push_back(r);
+    }
+    for (Request* r : g.decoding) {
+      extracted.push_back(r);  // stays kDecoding; caller picks recompute vs restart
+    }
+    g.prefilling.clear();
+    g.wave_prefilling.clear();
+    g.decoding.clear();
+    g.wave_decode_count = 0;
+  }
+  kv_.Clear();
+  inflight_ = 0;
+  return extracted;
+}
+
 TimeNs PipelineInstance::StageIterationTime(size_t stage, int prefill_tokens,
                                             int decode_batch) const {
   const StageConfig& cfg = stages_[stage];
@@ -273,11 +318,12 @@ void PipelineInstance::AdmitFromPending(Group& group) {
     Request* r = pending_.front();
     // The budget caps prompt work per iteration, but one request always gets through so
     // prompts longer than the budget cannot be starved.
-    if (admitted_any && r->spec.prompt_tokens > budget_tokens) {
+    int prompt_cost = r->spec.prompt_tokens + r->recompute_tokens;
+    if (admitted_any && prompt_cost > budget_tokens) {
       break;
     }
     pending_.pop_front();
-    budget_tokens -= r->spec.prompt_tokens;
+    budget_tokens -= prompt_cost;
     --budget_requests;
     r->phase = RequestPhase::kPrefilling;
     group.prefilling.push_back(r);
@@ -315,7 +361,9 @@ void PipelineInstance::TryStart(size_t group_index) {
 
   int prefill_tokens = 0;
   for (const Request* r : group.wave_prefilling) {
-    prefill_tokens += r->spec.prompt_tokens;
+    // recompute_tokens is the KV-rebuild tail of a failure-recovered request: tokens it
+    // already generated whose KV died with the old instance (0 outside recovery).
+    prefill_tokens += r->spec.prompt_tokens + r->recompute_tokens;
   }
   int decode_batch = static_cast<int>(group.wave_decode_count);
 
@@ -365,7 +413,8 @@ void PipelineInstance::TryStart(size_t group_index) {
   ++stats_.iterations;
 
   // The capture fits std::function's inline buffer: scheduling a wave allocates nothing.
-  sim_->Schedule(t - sim_->now(), [this, group_index] { FinishIteration(group_index); });
+  group.wave_event =
+      sim_->Schedule(t - sim_->now(), [this, group_index] { FinishIteration(group_index); });
 }
 
 void PipelineInstance::CompleteRequest(Request* request) {
@@ -382,6 +431,7 @@ void PipelineInstance::CompleteRequest(Request* request) {
 void PipelineInstance::FinishIteration(size_t group_index) {
   Group& group = groups_[group_index];
   group.busy = false;
+  group.wave_event = 0;
   --busy_groups_;
   TimeNs now = sim_->now();
 
@@ -392,8 +442,15 @@ void PipelineInstance::FinishIteration(size_t group_index) {
 
   for (Request* r : group.wave_prefilling) {
     r->phase = RequestPhase::kDecoding;
-    r->first_token_time = now;
-    r->tokens_generated = 1;
+    // A recovered request (recompute_tokens > 0) keeps its original first-token time
+    // and generated-token count: this prompt pass only rebuilt KV it had already
+    // earned. On the normal path both fields are at their initial values, so these
+    // writes are identical to the historical unconditional ones.
+    if (r->first_token_time < 0) {
+      r->first_token_time = now;
+    }
+    r->tokens_generated += 1;
+    r->recompute_tokens = 0;
     ++stats_.prefills_completed;
     ++stats_.tokens_generated;
     if (r->remaining_tokens() <= 0) {

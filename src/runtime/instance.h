@@ -112,6 +112,13 @@ class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
   // admitted request (decoding and not-yet-prefilled) to `cb`. KV is cleared.
   void HaltAndExtract(HaltCallback cb);
 
+  // Abrupt failure: the GPUs under this instance just died. Cancels in-flight waves
+  // (no iteration boundary — the KV is simply gone), returns every admitted request
+  // exactly once (pending/prefilling reset to kQueued; decoding kept as-is so the
+  // caller can choose resume-with-recompute vs full restart), and leaves the instance
+  // inert for the caller to release. Valid in any pre-released state.
+  std::vector<Request*> FailNow();
+
   void MarkReleased() { state_ = InstanceState::kReleased; }
 
   // -- Serving -----------------------------------------------------------------------
@@ -177,6 +184,8 @@ class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
     std::vector<Request*> wave_prefilling;
     size_t wave_decode_count = 0;
     bool busy = false;
+    // The pending FinishIteration event while `busy`; lets FailNow cancel mid-wave.
+    EventId wave_event = 0;
   };
 
   TimeNs StageIterationTime(size_t stage, int prefill_tokens, int decode_batch) const;

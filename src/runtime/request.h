@@ -25,6 +25,11 @@ struct Request {
 
   int tokens_generated = 0;  // includes the token produced by the prefill pass
 
+  // Failure recovery: tokens this request had generated when its instance died. Their
+  // KV is gone, so the next prompt pass re-processes them (prompt + recompute) before
+  // decode resumes; cleared when that pass exits. 0 everywhere outside recovery.
+  int recompute_tokens = 0;
+
   TimeNs first_exec_start = -1;  // first time any stage computed for this request
   TimeNs first_token_time = -1;  // prefill pass exit (TTFT)
   TimeNs done_time = -1;

@@ -170,18 +170,32 @@ AuditReport SimulationAuditor::AuditFreeGpuIndex(const Cluster& cluster) {
 
   for (ServerId sid = 0; sid < cluster.server_count(); ++sid) {
     const Server& s = cluster.server(sid);
-    // Same recomputation OnGpuFreeChanged performs, from the GPUs themselves.
+    // Same recomputation RecomputeServer performs, from the GPUs themselves: failed or
+    // partitioned GPUs contribute nothing. The all-GPU maximum is kept alongside so the
+    // most likely fault-path bug — an index that still counts a dead GPU — is reported
+    // as itself rather than as a generic stale maximum.
     Bytes mx = 0;
+    Bytes mx_all = 0;
     double headroom = 0.0;
     for (GpuId g : s.gpus) {
       const Gpu& gpu = cluster.gpu(g);
+      mx_all = std::max(mx_all, gpu.free_memory());
+      if (!cluster.GpuUsable(g)) {
+        continue;
+      }
       mx = std::max(mx, gpu.free_memory());
       headroom = std::max(headroom, std::max(0.0, 1.0 - gpu.sm_utilization()));
     }
     if (cluster.server_max_free_[static_cast<size_t>(sid)] != mx) {
-      Violation(&out) << "server " << sid << " cached max free "
-                      << cluster.server_max_free_[static_cast<size_t>(sid)]
-                      << " but its GPUs say " << mx;
+      if (mx_all != mx && cluster.server_max_free_[static_cast<size_t>(sid)] == mx_all) {
+        Violation(&out) << "server " << sid
+                        << " free-GPU index still counts a failed/partitioned GPU (cached "
+                        << mx_all << " but the usable maximum is " << mx << ")";
+      } else {
+        Violation(&out) << "server " << sid << " cached max free "
+                        << cluster.server_max_free_[static_cast<size_t>(sid)]
+                        << " but its GPUs say " << mx;
+      }
     }
     if (cluster.server_max_headroom_[static_cast<size_t>(sid)] != headroom) {
       Violation(&out) << "server " << sid << " cached max headroom disagrees with its GPUs";
@@ -247,6 +261,15 @@ AuditReport SimulationAuditor::AuditRouter(const Router& router) {
   if (router.max_queue_length_ < total) {
     Violation(&out) << "queue high-water mark " << router.max_queue_length_
                     << " is below the current total " << total;
+  }
+
+  // Lost-instance hygiene: a failed (released) instance must never stay registered —
+  // the router would keep dispatching onto a corpse.
+  for (const PipelineInstance* instance : router.instances_) {
+    if (instance->state() == InstanceState::kReleased) {
+      Violation(&out) << "released instance " << instance->id() << " (model "
+                      << instance->model_id() << ") is still registered with the router";
+    }
   }
 
   // The per-model buckets must be exactly the registered fleet partitioned by model,
@@ -385,6 +408,14 @@ void SimulationAuditor::TestOnlyLeakArenaSlot(Simulation* sim) {
 
 void SimulationAuditor::TestOnlyCorruptBucketIndex(Cluster* cluster, int32_t server) {
   cluster->server_max_free_[static_cast<size_t>(server)] += kGiB;
+}
+
+void SimulationAuditor::TestOnlyFailGpuWithoutReindex(Cluster* cluster, int32_t gpu) {
+  cluster->gpu_failed_[static_cast<size_t>(gpu)] = 1;
+  cluster->gpu_usable_[static_cast<size_t>(gpu)] = 0;
+  ++cluster->failed_gpu_count_;
+  // Deliberately no RecomputeServer: the cached maxima keep counting the dead GPU,
+  // which is exactly the inconsistency the dead-GPU detector attributes.
 }
 
 void SimulationAuditor::TestOnlyMisrouteQueuedRequest(Router* router, Request* request,

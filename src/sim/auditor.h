@@ -86,6 +86,10 @@ class FLEXPIPE_THREAD_COMPATIBLE SimulationAuditor {
   // Inflates one server's cached free-memory maximum so it no longer matches its
   // GPUs (a stale bucket-index entry).
   static void TestOnlyCorruptBucketIndex(Cluster* cluster, int32_t server);
+  // Marks a GPU failed without re-deriving its server's cached maxima: the bucket
+  // index keeps counting the dead GPU, the exact inconsistency the fault path must
+  // never produce (and the dead-GPU detector attributes by name).
+  static void TestOnlyFailGpuWithoutReindex(Cluster* cluster, int32_t gpu);
   // Enqueues `request` under `wrong_model`'s queue with the incremental counters
   // kept consistent, so only the queue/model-mismatch detector fires.
   static void TestOnlyMisrouteQueuedRequest(Router* router, Request* request,

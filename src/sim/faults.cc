@@ -1,0 +1,122 @@
+#include "src/sim/faults.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+
+namespace flexpipe {
+
+FaultPlan FaultPlan::SingleServer(TimeNs when, ServerId server) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kServerFailure, server});
+  return plan;
+}
+
+FaultPlan FaultPlan::RackPartition(TimeNs when, RackId rack, TimeNs heal_after) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kRackPartition, rack});
+  if (heal_after > 0) {
+    plan.events.push_back({when + heal_after, FaultKind::kRackHeal, rack});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FleetChurn(TimeNs start, TimeNs spacing, double fraction,
+                                const Cluster& cluster, uint64_t seed) {
+  std::vector<ServerId> candidates;
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    if (!cluster.server(s).gpus.empty()) {
+      candidates.push_back(s);
+    }
+  }
+  int kills = static_cast<int>(static_cast<double>(candidates.size()) * fraction);
+  kills = std::clamp(kills, 0, static_cast<int>(candidates.size()));
+
+  // Partial Fisher-Yates on the candidate list: the first `kills` entries are a
+  // uniform sample without replacement, fully determined by the seed.
+  Rng rng = Rng(seed).Child("fleet-churn");
+  FaultPlan plan;
+  for (int i = 0; i < kills; ++i) {
+    int64_t j = rng.UniformInt(i, static_cast<int64_t>(candidates.size()) - 1);
+    std::swap(candidates[static_cast<size_t>(i)], candidates[static_cast<size_t>(j)]);
+    plan.events.push_back({start + static_cast<TimeNs>(i) * spacing,
+                           FaultKind::kServerFailure,
+                           candidates[static_cast<size_t>(i)]});
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulation* sim, Cluster* cluster)
+    : sim_(sim), cluster_(cluster) {}
+
+void FaultInjector::AddGpuLossListener(GpuLossListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    FLEXPIPE_CHECK(event.when >= sim_->now());
+    sim_->ScheduleAt(event.when, [this, event] { Fire(event); });
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  ++faults_fired_;
+  // Mutate the cluster before anyone is told: by the time a listener runs, the free
+  // index already excludes the lost GPUs, so recovery placement cannot land on them.
+  std::vector<GpuId> lost;
+  switch (event.kind) {
+    case FaultKind::kGpuFailure: {
+      GpuId id = event.target;
+      if (!cluster_->GpuFailed(id)) {
+        bool was_usable = cluster_->GpuUsable(id);
+        cluster_->SetGpuFailed(id);
+        if (was_usable) {
+          lost.push_back(id);
+        }
+      }
+      break;
+    }
+    case FaultKind::kServerFailure: {
+      for (GpuId g : cluster_->server(event.target).gpus) {
+        if (!cluster_->GpuFailed(g)) {
+          bool was_usable = cluster_->GpuUsable(g);
+          cluster_->SetGpuFailed(g);
+          if (was_usable) {
+            lost.push_back(g);
+          }
+        }
+      }
+      break;
+    }
+    case FaultKind::kRackPartition: {
+      if (cluster_->RackReachable(event.target)) {
+        cluster_->SetRackReachable(event.target, false);
+        for (ServerId s : cluster_->rack(event.target).servers) {
+          for (GpuId g : cluster_->server(s).gpus) {
+            if (!cluster_->GpuFailed(g)) {
+              lost.push_back(g);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case FaultKind::kRackHeal: {
+      cluster_->SetRackReachable(event.target, true);
+      break;
+    }
+  }
+  if (lost.empty()) {
+    return;
+  }
+  gpus_lost_ += static_cast<int>(lost.size());
+  loss_times_.push_back(sim_->now());
+  for (const GpuLossListener& listener : listeners_) {
+    listener(lost);
+  }
+}
+
+}  // namespace flexpipe

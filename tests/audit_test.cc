@@ -80,6 +80,40 @@ TEST(FreeIndexAudit, DetectsStaleServerMaximum) {
   EXPECT_TRUE(AnyMentions(report, "server 3"));
 }
 
+TEST(FreeIndexAudit, CleanThroughFaultChurn) {
+  // The real fault path re-derives every cached maximum: failures and partitions must
+  // never leave the index counting an unusable GPU.
+  Cluster cluster(EvalClusterConfig());
+  cluster.gpu(2).Reserve(GiB(8), 0.2);
+  cluster.SetGpuFailed(2);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+  cluster.SetServerFailed(cluster.ServerOf(5));
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+  cluster.SetRackReachable(1, false);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+  cluster.SetRackReachable(1, true);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(FreeIndexAudit, DetectsIndexStillCountingDeadGpu) {
+  Cluster cluster(EvalClusterConfig());
+  // Make GPU 0 its server's unique free-memory maximum, so skipping the re-index after
+  // its death leaves the cached maximum attributable to the dead GPU alone.
+  const ServerId server = cluster.ServerOf(0);
+  for (GpuId g : cluster.server(server).gpus) {
+    if (g != 0) {
+      cluster.gpu(g).Reserve(GiB(4), 0.1);
+    }
+  }
+  ASSERT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+
+  SimulationAuditor::TestOnlyFailGpuWithoutReindex(&cluster, 0);
+  AuditReport report = SimulationAuditor::AuditFreeGpuIndex(cluster);
+  ASSERT_FALSE(report.empty());
+  // The detector names the failure mode, not just a generic stale maximum.
+  EXPECT_TRUE(AnyMentions(report, "failed/partitioned GPU"));
+}
+
 // -- Router -----------------------------------------------------------------------------
 
 TEST(RouterAudit, DetectsQueueModelMismatch) {

@@ -1,0 +1,393 @@
+// Fault-injection and recovery tests: the cluster-level fault primitives, the seeded
+// storm builders, the goodput-dip recovery metric, and the end-to-end contracts the
+// fig15 bench relies on — bit-identical storm replay at a fixed seed, exactly-once
+// requeue of displaced requests (submitted == completed after the drain), partition
+// heals restoring routability, and an armed-but-empty fault plan perturbing nothing
+// (the mechanism behind the untouched fig9/fig13 golden signatures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/core/experiment.h"
+#include "src/core/flexpipe_system.h"
+#include "src/metrics/recovery.h"
+#include "src/sim/auditor.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulation.h"
+
+namespace flexpipe {
+namespace {
+
+// -- Fault plan builders ------------------------------------------------------------------
+
+TEST(FaultPlanTest, SingleServerAndRackPartitionShapes) {
+  FaultPlan server = FaultPlan::SingleServer(5 * kSecond, /*server=*/3);
+  ASSERT_EQ(server.events.size(), 1u);
+  EXPECT_EQ(server.events[0].when, 5 * kSecond);
+  EXPECT_EQ(server.events[0].kind, FaultKind::kServerFailure);
+  EXPECT_EQ(server.events[0].target, 3);
+
+  FaultPlan healing = FaultPlan::RackPartition(10 * kSecond, /*rack=*/1, 4 * kSecond);
+  ASSERT_EQ(healing.events.size(), 2u);
+  EXPECT_EQ(healing.events[0].kind, FaultKind::kRackPartition);
+  EXPECT_EQ(healing.events[1].kind, FaultKind::kRackHeal);
+  EXPECT_EQ(healing.events[1].when, 14 * kSecond);
+
+  FaultPlan permanent = FaultPlan::RackPartition(10 * kSecond, /*rack=*/1, 0);
+  EXPECT_EQ(permanent.events.size(), 1u);
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlanTest, FleetChurnIsSeededAndSpaced) {
+  Cluster cluster(EvalClusterConfig());
+  int gpu_servers = 0;
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    if (!cluster.server(s).gpus.empty()) {
+      ++gpu_servers;
+    }
+  }
+
+  FaultPlan a = FaultPlan::FleetChurn(10 * kSecond, kSecond, 0.10, cluster, 99);
+  FaultPlan b = FaultPlan::FleetChurn(10 * kSecond, kSecond, 0.10, cluster, 99);
+  ASSERT_EQ(a.events.size(), static_cast<size_t>(gpu_servers / 10));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].when, 10 * kSecond + static_cast<TimeNs>(i) * kSecond);
+    EXPECT_EQ(a.events[i].kind, FaultKind::kServerFailure);
+    EXPECT_EQ(a.events[i].target, b.events[i].target);  // same seed, same victims
+  }
+  // Victims are drawn without replacement.
+  std::vector<int32_t> targets;
+  for (const FaultEvent& e : a.events) {
+    targets.push_back(e.target);
+  }
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(std::adjacent_find(targets.begin(), targets.end()), targets.end());
+
+  // A different seed reshuffles the victim sample.
+  FaultPlan c = FaultPlan::FleetChurn(10 * kSecond, kSecond, 0.10, cluster, 100);
+  bool any_differs = false;
+  for (size_t i = 0; i < c.events.size(); ++i) {
+    any_differs = any_differs || c.events[i].target != a.events[i].target;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+// -- Cluster fault primitives -------------------------------------------------------------
+
+TEST(ClusterFaultTest, FailedGpuLeavesIndexButKeepsAccounting) {
+  Cluster cluster(EvalClusterConfig());
+  const GpuId victim = 0;
+  cluster.gpu(victim).Reserve(GiB(10), 0.3);
+  ASSERT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+
+  cluster.SetGpuFailed(victim);
+  EXPECT_TRUE(cluster.GpuFailed(victim));
+  EXPECT_FALSE(cluster.GpuUsable(victim));
+  EXPECT_EQ(cluster.failed_gpu_count(), 1);
+
+  std::vector<GpuId> free = cluster.GpusWithFreeMemory(GiB(1));
+  EXPECT_EQ(std::find(free.begin(), free.end(), victim), free.end());
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+
+  // The owning system still releases what it reserved: Reserve/Release stays balanced
+  // through the failure and the index (which already excludes the GPU) stays clean.
+  cluster.gpu(victim).Release(GiB(10), 0.3);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(ClusterFaultTest, ServerFailureKillsEveryGpu) {
+  Cluster cluster(EvalClusterConfig());
+  ServerId victim = -1;
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    if (cluster.server(s).gpus.size() > 1) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  cluster.SetServerFailed(victim);
+  for (GpuId g : cluster.server(victim).gpus) {
+    EXPECT_TRUE(cluster.GpuFailed(g));
+    EXPECT_FALSE(cluster.GpuUsable(g));
+  }
+  EXPECT_EQ(cluster.failed_gpu_count(),
+            static_cast<int>(cluster.server(victim).gpus.size()));
+  EXPECT_EQ(cluster.server_max_free(victim), 0);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(ClusterFaultTest, RackPartitionQuarantinesAndHealRestores) {
+  Cluster cluster(EvalClusterConfig());
+  const RackId rack = 0;
+  std::vector<GpuId> rack_gpus;
+  for (ServerId s : cluster.rack(rack).servers) {
+    for (GpuId g : cluster.server(s).gpus) {
+      rack_gpus.push_back(g);
+    }
+  }
+  ASSERT_FALSE(rack_gpus.empty());
+  const size_t usable_before = cluster.GpusWithFreeMemory(GiB(1)).size();
+
+  cluster.SetRackReachable(rack, false);
+  EXPECT_FALSE(cluster.RackReachable(rack));
+  EXPECT_EQ(cluster.failed_gpu_count(), 0);  // partitioned, not dead
+  for (GpuId g : rack_gpus) {
+    EXPECT_FALSE(cluster.GpuUsable(g));
+    EXPECT_FALSE(cluster.GpuFailed(g));
+  }
+  EXPECT_EQ(cluster.GpusWithFreeMemory(GiB(1)).size(), usable_before - rack_gpus.size());
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+
+  cluster.SetRackReachable(rack, true);
+  for (GpuId g : rack_gpus) {
+    EXPECT_TRUE(cluster.GpuUsable(g));
+  }
+  EXPECT_EQ(cluster.GpusWithFreeMemory(GiB(1)).size(), usable_before);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+// -- Goodput-dip recovery metric ----------------------------------------------------------
+
+TEST(FailureRecoveryMetricTest, MeasuresDipDepthAreaAndRecoveryTime) {
+  // Steady 10 rps, a 5-second outage at t=20s, then full rate again.
+  std::vector<CompletionSample> completions;
+  for (TimeNs t = 0; t < 60 * kSecond; t += 100 * kMillisecond) {
+    if (t >= 20 * kSecond && t < 25 * kSecond) {
+      continue;
+    }
+    completions.push_back({t, 50 * kMillisecond});
+  }
+  FailureRecoveryReport report = AnalyzeFailureRecovery(
+      completions, {20 * kSecond}, /*horizon=*/60 * kSecond);
+  EXPECT_EQ(report.fault_count, 1);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_NEAR(report.pre_fault_goodput_rps, 10.0, 0.5);
+  EXPECT_NEAR(report.time_to_recover_s, 5.0, 1.5);
+  EXPECT_NEAR(report.dip_depth_rps, 10.0, 0.5);
+  EXPECT_NEAR(report.dip_area_rps_s, 50.0, 10.0);
+}
+
+TEST(FailureRecoveryMetricTest, NeverRecoveringOutageIsReported) {
+  std::vector<CompletionSample> completions;
+  for (TimeNs t = 0; t < 20 * kSecond; t += 100 * kMillisecond) {
+    completions.push_back({t, 50 * kMillisecond});
+  }
+  FailureRecoveryReport report = AnalyzeFailureRecovery(
+      completions, {20 * kSecond}, /*horizon=*/60 * kSecond);
+  EXPECT_EQ(report.fault_count, 1);
+  EXPECT_FALSE(report.recovered);
+  // The open episode charges its span to the horizon: strictly worse than any arm
+  // that actually recovered within the series.
+  EXPECT_NEAR(report.time_to_recover_s, 40.0, 1.5);
+}
+
+TEST(FailureRecoveryMetricTest, NoFaultsIsTriviallyRecovered) {
+  FailureRecoveryReport report = AnalyzeFailureRecovery({}, {}, 60 * kSecond);
+  EXPECT_EQ(report.fault_count, 0);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.dip_area_rps_s, 0.0);
+}
+
+// -- End-to-end storms --------------------------------------------------------------------
+
+ExperimentEnvConfig SmallEnvConfig() {
+  ExperimentEnvConfig config;
+  config.models = {Llama2_7B()};
+  config.partitioner.ladder = {2, 4, 8, 16};
+  config.seed = 7;
+  return config;
+}
+
+FlexPipeConfig SmallFlexPipeConfig() {
+  FlexPipeConfig config;
+  config.initial_stages = 4;
+  config.target_peak_rps = 8.0;
+  return config;
+}
+
+// Longer decodes than the audit-test workload so a mid-run fault reliably lands while
+// requests are mid-decode (the interesting recovery case).
+std::vector<RequestSpec> StormWorkload() {
+  WorkloadGenerator::Config wconfig;
+  wconfig.lengths.prompt_median = 256;
+  wconfig.lengths.output_median = 64;
+  WorkloadGenerator gen(wconfig);
+  Rng rng(3);
+  return gen.GenerateWithCv(rng, /*rate=*/4.0, /*cv=*/4.0, 30 * kSecond);
+}
+
+struct StormOutcome {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t events = 0;  // engine events net of the debug-build auditor's own
+  ServingSystemBase::FailureStats stats;
+  int faults_fired = 0;
+  int gpus_lost = 0;
+  std::vector<TimeNs> loss_times;
+  std::vector<CompletionSample> completions;
+  int64_t kv_invalidated_tokens = 0;
+  bool recovered = false;
+};
+
+// Runs the small FlexPipe deployment under `plan` (armed only when `arm` is set, so the
+// same helper produces the no-injector control run) and returns the full trace.
+StormOutcome RunStorm(FaultRecoveryPolicy policy, bool arm, const FaultPlan& plan) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeConfig fconfig = SmallFlexPipeConfig();
+  fconfig.fault_recovery = policy;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), fconfig);
+  FaultInjector injector(&env.sim(), &env.cluster());
+  injector.AddGpuLossListener(
+      [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+  if (arm) {
+    injector.Arm(plan);
+  }
+
+  std::vector<RequestSpec> specs = StormWorkload();
+  std::vector<Request> storage;
+  RunReport report =
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  // The post-storm state must audit clean in every build: the free-GPU index excludes
+  // the dead GPUs and the router holds no instance that was lost to a fault.
+  EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+
+  StormOutcome out;
+  out.submitted = report.submitted;
+  out.completed = system.metrics().completed();
+  out.events = env.sim().executed_events() - report.audit_events;
+  out.stats = system.failure_stats();
+  out.faults_fired = injector.faults_fired();
+  out.gpus_lost = injector.gpus_lost();
+  out.loss_times = injector.loss_times();
+  out.completions = system.metrics().completions();
+  out.kv_invalidated_tokens = system.kv_invalidated_tokens();
+  out.recovered = AnalyzeFailureRecovery(out.completions, out.loss_times,
+                                         report.ran_until)
+                      .recovered;
+  return out;
+}
+
+FaultPlan ChurnPlan(const ExperimentEnvConfig& config, double fraction) {
+  // Built against a throwaway cluster with the same config: topology shape (not
+  // occupancy) determines the victim sample, so the plan transfers to the run's
+  // cluster exactly.
+  Cluster cluster(config.cluster);
+  return FaultPlan::FleetChurn(10 * kSecond, 500 * kMillisecond, fraction, cluster, 99);
+}
+
+TEST(FaultStormTest, EmptyPlanIsBitIdenticalToNoInjector) {
+  StormOutcome without = RunStorm(FaultRecoveryPolicy::kReform, false, FaultPlan{});
+  StormOutcome with_empty = RunStorm(FaultRecoveryPolicy::kReform, true, FaultPlan{});
+
+  EXPECT_EQ(with_empty.faults_fired, 0);
+  EXPECT_EQ(with_empty.gpus_lost, 0);
+  EXPECT_EQ(without.submitted, with_empty.submitted);
+  EXPECT_EQ(without.completed, with_empty.completed);
+  EXPECT_EQ(without.events, with_empty.events);
+  ASSERT_EQ(without.completions.size(), with_empty.completions.size());
+  for (size_t i = 0; i < without.completions.size(); ++i) {
+    EXPECT_EQ(without.completions[i].done_time, with_empty.completions[i].done_time);
+    EXPECT_EQ(without.completions[i].latency, with_empty.completions[i].latency);
+  }
+  EXPECT_EQ(without.stats.instances_lost, 0);
+  EXPECT_EQ(with_empty.stats.instances_lost, 0);
+}
+
+TEST(FaultStormTest, StormReplayIsBitIdentical) {
+  FaultPlan plan = ChurnPlan(SmallEnvConfig(), 0.4);
+  StormOutcome first = RunStorm(FaultRecoveryPolicy::kReform, true, plan);
+  StormOutcome second = RunStorm(FaultRecoveryPolicy::kReform, true, plan);
+
+  EXPECT_GT(first.stats.instances_lost, 0);
+  EXPECT_EQ(first.submitted, second.submitted);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.faults_fired, second.faults_fired);
+  EXPECT_EQ(first.gpus_lost, second.gpus_lost);
+  EXPECT_EQ(first.loss_times, second.loss_times);
+  EXPECT_EQ(first.stats.instances_lost, second.stats.instances_lost);
+  EXPECT_EQ(first.stats.requests_requeued, second.stats.requests_requeued);
+  EXPECT_EQ(first.stats.requests_restarted, second.stats.requests_restarted);
+  EXPECT_EQ(first.stats.requests_resumed, second.stats.requests_resumed);
+  EXPECT_EQ(first.kv_invalidated_tokens, second.kv_invalidated_tokens);
+  ASSERT_EQ(first.completions.size(), second.completions.size());
+  for (size_t i = 0; i < first.completions.size(); ++i) {
+    EXPECT_EQ(first.completions[i].done_time, second.completions[i].done_time);
+    EXPECT_EQ(first.completions[i].latency, second.completions[i].latency);
+  }
+}
+
+TEST(FaultStormTest, MidDecodeLossRequeuesExactlyOnceUnderReform) {
+  StormOutcome out =
+      RunStorm(FaultRecoveryPolicy::kReform, true, ChurnPlan(SmallEnvConfig(), 0.4));
+
+  ASSERT_GT(out.stats.instances_lost, 0);
+  EXPECT_GT(out.stats.requests_requeued, 0);
+  // Exactly-once: every submitted request completes exactly once despite displacement —
+  // a lost request would leave completed < submitted, a double-requeue would
+  // double-complete and overshoot.
+  EXPECT_EQ(out.completed, out.submitted);
+  // Reform keeps decode progress: nothing restarts from token zero, and every resumed
+  // request carries an Eq. 10 all-invalid mask over its regenerated context.
+  EXPECT_EQ(out.stats.requests_restarted, 0);
+  if (out.stats.requests_resumed > 0) {
+    EXPECT_GT(out.kv_invalidated_tokens, 0);
+  }
+  EXPECT_TRUE(out.recovered);
+}
+
+TEST(FaultStormTest, TeardownPolicyRestartsInsteadOfResuming) {
+  StormOutcome out =
+      RunStorm(FaultRecoveryPolicy::kTeardown, true, ChurnPlan(SmallEnvConfig(), 0.4));
+
+  ASSERT_GT(out.stats.instances_lost, 0);
+  EXPECT_GT(out.stats.requests_requeued, 0);
+  EXPECT_EQ(out.completed, out.submitted);
+  // The PipeBoost-style baseline drops progress wholesale: no KV is ever resumed.
+  EXPECT_EQ(out.stats.requests_resumed, 0);
+  EXPECT_EQ(out.kv_invalidated_tokens, 0);
+}
+
+TEST(FaultStormTest, PartitionHealRestoresRoutability) {
+  // Quarantine half the racks mid-run; every partition heals 8 seconds later.
+  ExperimentEnvConfig env_config = SmallEnvConfig();
+  FaultPlan plan;
+  for (RackId rack = 0; rack < 3; ++rack) {
+    FaultPlan p = FaultPlan::RackPartition(10 * kSecond + rack * kSecond, rack,
+                                           8 * kSecond);
+    plan.events.insert(plan.events.end(), p.events.begin(), p.events.end());
+  }
+
+  ExperimentEnv env(env_config);
+  FlexPipeSystem system(env.Context(), &env.ladder(0), SmallFlexPipeConfig());
+  FaultInjector injector(&env.sim(), &env.cluster());
+  injector.AddGpuLossListener(
+      [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+  injector.Arm(plan);
+
+  std::vector<RequestSpec> specs = StormWorkload();
+  std::vector<Request> storage;
+  RunReport report =
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_EQ(injector.faults_fired(), 6);  // 3 partitions + 3 heals
+  EXPECT_GT(system.failure_stats().instances_lost, 0);
+  // Partitions are temporary: nothing is dead and the whole cluster is routable again.
+  EXPECT_EQ(env.cluster().failed_gpu_count(), 0);
+  for (RackId rack = 0; rack < env.cluster().rack_count(); ++rack) {
+    EXPECT_TRUE(env.cluster().RackReachable(rack));
+  }
+  for (GpuId g = 0; g < env.cluster().gpu_count(); ++g) {
+    EXPECT_TRUE(env.cluster().GpuUsable(g));
+  }
+  // Routability after the heal: the drained system completed the full workload.
+  EXPECT_EQ(system.metrics().completed(), report.submitted);
+  EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+}
+
+}  // namespace
+}  // namespace flexpipe
