@@ -79,6 +79,31 @@ Cluster::Cluster(const ClusterConfig& config) {
     }
   }
 
+  // Failure-domain derivation: power domains tile the rack id space in order, and
+  // thermal zones chunk each rack's construction-order server list into groups of
+  // `servers_per_thermal_zone`, numbered cluster-wide in (rack, chunk) order. Both are
+  // pure functions of the config, so replays see identical domains.
+  int racks_per_domain = std::max(1, config.racks_per_power_domain);
+  power_domain_racks_.resize(
+      static_cast<size_t>((rack_count + racks_per_domain - 1) / racks_per_domain));
+  for (int r = 0; r < rack_count; ++r) {
+    power_domain_racks_[static_cast<size_t>(r / racks_per_domain)].push_back(r);
+  }
+  int zone_size = std::max(1, config.servers_per_thermal_zone);
+  for (const Rack& rack : racks_) {
+    for (size_t i = 0; i < rack.servers.size(); ++i) {
+      if (i % static_cast<size_t>(zone_size) == 0) {
+        thermal_zone_servers_.emplace_back();
+      }
+      ThermalZoneId zone = static_cast<ThermalZoneId>(thermal_zone_servers_.size()) - 1;
+      thermal_zone_servers_.back().push_back(rack.servers[i]);
+      servers_[static_cast<size_t>(rack.servers[i])].thermal_zone = zone;
+    }
+  }
+  for (Server& s : servers_) {
+    s.power_domain = static_cast<PowerDomainId>(s.rack / racks_per_domain);
+  }
+
   for (Gpu& g : gpus_) {
     g.owner_ = this;
   }

@@ -28,6 +28,8 @@ namespace flexpipe {
 using GpuId = int32_t;
 using ServerId = int32_t;
 using RackId = int32_t;
+using PowerDomainId = int32_t;
+using ThermalZoneId = int32_t;
 
 inline constexpr GpuId kInvalidGpu = -1;
 inline constexpr ServerId kInvalidServer = -1;
@@ -96,6 +98,11 @@ class FLEXPIPE_THREAD_HOSTILE Gpu {
 struct Server {
   ServerId id = kInvalidServer;
   RackId rack = -1;
+  // Correlated-failure domains, derived deterministically from the rack layout (see
+  // Cluster's constructor): the power domain groups whole racks behind one feed, the
+  // thermal zone groups consecutive same-rack servers sharing airflow.
+  PowerDomainId power_domain = -1;
+  ThermalZoneId thermal_zone = -1;
   std::vector<GpuId> gpus;
   Bytes host_memory = GiB(256);   // paper: each server has >= 256 GB
   Bytes host_memory_used = 0;
@@ -115,6 +122,12 @@ struct ClusterConfig {
   int racks = 6;
   GpuSpec gpu_spec;
   Bytes host_memory = GiB(256);
+  // Correlated-failure domain shape: consecutive racks share a power feed (a feed trip
+  // drops them together) and consecutive servers within a rack share airflow (a thermal
+  // runaway cooks its zone neighbours). Both ids derive deterministically from the rack
+  // layout, so the same config always yields the same domains.
+  int racks_per_power_domain = 2;
+  int servers_per_thermal_zone = 4;
 };
 
 class FLEXPIPE_THREAD_HOSTILE Cluster {
@@ -145,6 +158,26 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   bool SameServer(GpuId a, GpuId b) const { return ServerOf(a) == ServerOf(b); }
   bool SameRack(GpuId a, GpuId b) const {
     return RackOf(ServerOf(a)) == RackOf(ServerOf(b));
+  }
+
+  // -- Failure domains ------------------------------------------------------------------
+  // Derived deterministically from the rack layout at construction (see ClusterConfig):
+  // power domains tile the rack id space in order; thermal zones chunk each rack's
+  // server list, numbered cluster-wide in (rack, chunk) order so zones `z` and `z±1`
+  // are airflow neighbours (same rack, or adjacent across a rack boundary).
+  PowerDomainId PowerDomainOf(ServerId id) const { return server(id).power_domain; }
+  ThermalZoneId ThermalZoneOf(ServerId id) const { return server(id).thermal_zone; }
+  int power_domain_count() const {
+    return static_cast<int>(power_domain_racks_.size());
+  }
+  int thermal_zone_count() const {
+    return static_cast<int>(thermal_zone_servers_.size());
+  }
+  const std::vector<RackId>& PowerDomainRacks(PowerDomainId id) const {
+    return power_domain_racks_[static_cast<size_t>(id)];
+  }
+  const std::vector<ServerId>& ThermalZoneServers(ThermalZoneId id) const {
+    return thermal_zone_servers_[static_cast<size_t>(id)];
   }
 
   std::vector<GpuId> AllGpuIds() const;
@@ -242,6 +275,10 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   std::vector<Gpu> gpus_;
   std::vector<Server> servers_;
   std::vector<Rack> racks_;
+
+  // Failure-domain membership (fixed at construction).
+  std::vector<std::vector<RackId>> power_domain_racks_;
+  std::vector<std::vector<ServerId>> thermal_zone_servers_;
 
   // Fault state (see SetGpuFailed / SetRackReachable).
   std::vector<uint8_t> gpu_failed_;

@@ -68,7 +68,8 @@ TopologyAwarePlacer::TopologyAwarePlacer(Cluster* cluster, const NetworkModel* n
 
 double TopologyAwarePlacer::ScoreGpu(const Gpu& gpu, Bytes need, int /*model_id*/, double cv,
                                      GpuId prev_gpu, const ServerScoreFn& hrg_penalty,
-                                     const ServerScoreFn& affinity_bonus) const {
+                                     const ServerScoreFn& affinity_bonus,
+                                     const SpreadState* spread) const {
   // Throughput proxy: remaining SM headroom. Memory-efficiency term of Eq. 6: divide by
   // the memory the stage would consume relative to what is free (tight fits score lower).
   double headroom = std::max(0.0, 1.0 - gpu.sm_utilization());
@@ -99,6 +100,11 @@ double TopologyAwarePlacer::ScoreGpu(const Gpu& gpu, Bytes need, int /*model_id*
   if (affinity_bonus) {
     score += config_.affinity_weight * affinity_bonus(server);
   }
+  // Recovery-aware spread: subtract-only, so the indexed path's score upper bounds
+  // stay valid without knowing about it.
+  if (spread != nullptr) {
+    score -= spread->Penalty(cluster_->RackOf(server), cluster_->PowerDomainOf(server));
+  }
   return score;
 }
 
@@ -117,6 +123,17 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
   // Eq. 9 penalty depends only on (config, cv): hoist it out of the candidate loop.
   // The expression matches ScoreGpu's verbatim, so the value is bit-identical.
   const double gamma = config_.gamma0 * (1.0 + config_.alpha_cv * cv * cv);
+
+  // Recovery-aware spread state (opt-in): weight 0 builds nothing and adds nothing,
+  // keeping decisions bit-identical to the pre-spread placer.
+  const bool use_spread = config_.domain_spread_weight > 0.0;
+  SpreadState spread;
+  if (use_spread) {
+    spread.per_rack.assign(static_cast<size_t>(cluster_->rack_count()), 0);
+    spread.per_domain.assign(static_cast<size_t>(cluster_->power_domain_count()), 0);
+    spread.weight_per_stage =
+        config_.domain_spread_weight / static_cast<double>(plan.num_stages());
+  }
 
   GpuId prev = kInvalidGpu;
   for (int s = 0; s < plan.num_stages(); ++s) {
@@ -189,6 +206,14 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
         return;
       }
 
+      // Spread penalty is a per-server constant for this stage; being subtract-only it
+      // never invalidates the bounds above (which simply omit it).
+      double spread_term = 0.0;
+      if (use_spread) {
+        spread_term =
+            spread.Penalty(cluster_->RackOf(sid), cluster_->PowerDomainOf(sid));
+      }
+
       for (GpuId id : server.gpus) {
         const Gpu& gpu = cluster_->gpu(id);
         if (!cluster_->GpuUsable(id) || gpu.free_memory() < need) {
@@ -215,6 +240,9 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
         if (affinity_bonus) {
           score += scratch.affinity_term;
         }
+        if (use_spread) {
+          score -= spread_term;
+        }
         // Argmax with lowest-id tie-break: order-invariant, so the unordered bucket
         // visit yields the exact GPU the id-ascending full scan used to pick.
         if (score > best_score || (score == best_score && id < best)) {
@@ -227,6 +255,11 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
     if (best == kInvalidGpu) {
       return {};
     }
+    if (use_spread) {
+      ServerId best_server = cluster_->ServerOf(best);
+      ++spread.per_rack[static_cast<size_t>(cluster_->RackOf(best_server))];
+      ++spread.per_domain[static_cast<size_t>(cluster_->PowerDomainOf(best_server))];
+    }
     chosen.push_back(best);
     prev = best;
   }
@@ -238,6 +271,15 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
     const ServerScoreFn& affinity_bonus) const {
   std::vector<GpuId> chosen;
   chosen.reserve(static_cast<size_t>(plan.num_stages()));
+
+  const bool use_spread = config_.domain_spread_weight > 0.0;
+  SpreadState spread;
+  if (use_spread) {
+    spread.per_rack.assign(static_cast<size_t>(cluster_->rack_count()), 0);
+    spread.per_domain.assign(static_cast<size_t>(cluster_->power_domain_count()), 0);
+    spread.weight_per_stage =
+        config_.domain_spread_weight / static_cast<double>(plan.num_stages());
+  }
 
   GpuId prev = kInvalidGpu;
   for (int s = 0; s < plan.num_stages(); ++s) {
@@ -255,7 +297,8 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
           registry_->HostsModel(id, model_id)) {
         continue;  // same-model anti-colocation (hard rule, §6.2)
       }
-      double score = ScoreGpu(gpu, need, model_id, cv, prev, hrg_penalty, affinity_bonus);
+      double score = ScoreGpu(gpu, need, model_id, cv, prev, hrg_penalty, affinity_bonus,
+                              use_spread ? &spread : nullptr);
       if (score > best_score) {
         best_score = score;
         best = id;
@@ -263,6 +306,11 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
     }
     if (best == kInvalidGpu) {
       return {};
+    }
+    if (use_spread) {
+      ServerId best_server = cluster_->ServerOf(best);
+      ++spread.per_rack[static_cast<size_t>(cluster_->RackOf(best_server))];
+      ++spread.per_domain[static_cast<size_t>(cluster_->PowerDomainOf(best_server))];
     }
     chosen.push_back(best);
     prev = best;

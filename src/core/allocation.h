@@ -39,6 +39,15 @@ struct PlacementConfig {
   double affinity_weight = 0.25;
   double hrg_weight = 0.35;
   double sm_per_stage = 0.6;   // SM share a stage consumes
+  // Recovery-aware spread (opt-in): penalizes packing many stages of the pipeline
+  // being placed into one rack / power domain, so a correlated failure (rack
+  // partition, power-feed trip) cannot take every stage of an instance at once. The
+  // penalty per candidate is weight * (stages already placed in its power domain +
+  // stages already placed in its rack) / num_stages — same-rack concentration is
+  // charged twice since a rack sits inside its domain. 0 (the default) skips the
+  // term entirely: decisions stay bit-identical to the pre-spread placer, pinned by
+  // placement_test's randomized equivalence cases.
+  double domain_spread_weight = 0.0;
 };
 
 // Tracks which GPUs host which models' stages (for the anti-colocation rule and the
@@ -102,8 +111,24 @@ class FLEXPIPE_THREAD_HOSTILE TopologyAwarePlacer {
     double affinity_term = 0.0;  // config.affinity_weight * affinity_bonus(server)
   };
 
+  // Stages already committed to each rack / power domain for the pipeline currently
+  // being placed (only materialized when config.domain_spread_weight > 0). Both
+  // placement paths evaluate Penalty() through this one expression so the fp result
+  // is bit-identical between them.
+  struct SpreadState {
+    std::vector<int> per_rack;
+    std::vector<int> per_domain;
+    double weight_per_stage = 0.0;  // config.domain_spread_weight / num_stages
+    double Penalty(RackId rack, PowerDomainId domain) const {
+      return weight_per_stage *
+             (static_cast<double>(per_domain[static_cast<size_t>(domain)]) +
+              static_cast<double>(per_rack[static_cast<size_t>(rack)]));
+    }
+  };
+
   double ScoreGpu(const Gpu& gpu, Bytes need, int model_id, double cv, GpuId prev_gpu,
-                  const ServerScoreFn& hrg_penalty, const ServerScoreFn& affinity_bonus) const;
+                  const ServerScoreFn& hrg_penalty, const ServerScoreFn& affinity_bonus,
+                  const SpreadState* spread) const;
 
   Cluster* cluster_;
   const NetworkModel* network_;

@@ -30,12 +30,15 @@ FlexPipeSystem::ModelContext::ModelContext(const SystemContext& ctx,
     : ladder(ladder_in),
       config(config_in),
       rng(Rng(ctx.seed).Child("flexpipe-" + std::to_string(config_in.model_id))),
+      backoff_rng(Rng(ctx.seed).Child("flexpipe-backoff-" +
+                                      std::to_string(config_in.model_id))),
       cv_monitor(),
       granularity(ladder_in, ctx.cost_model, ctx.network, config_in.workload,
                   config_in.granularity) {
   FLEXPIPE_CHECK(ladder_in != nullptr);
   FLEXPIPE_CHECK(!ladder_in->granularities.empty());
   current_stages = config_in.initial_stages;
+  brownout_cutoff = std::max(1, config_in.brownout_priority_levels);
   // Fig. 7: elastic scale-outs use the finest granularity that loads quickly (stage
   // parameters fetch in parallel), then consolidation merges them once traffic settles.
   fast_scale_stages = ladder->granularities.back();
@@ -101,7 +104,7 @@ void FlexPipeSystem::Start() {
     int count = MinInstances(*model, model->current_stages);
     for (int i = 0; i < count; ++i) {
       LaunchWithRetry(*model, model->current_stages, /*cv=*/1.0, /*remaining_attempts=*/10,
-                      /*waited=*/0);
+                      /*attempt=*/0);
     }
   }
   // One shared control loop at the tightest requested cadence; every model's
@@ -114,8 +117,55 @@ void FlexPipeSystem::Start() {
 }
 
 void FlexPipeSystem::OnArrival(Request* request) {
-  ContextFor(request->model_id()).cv_monitor.RecordArrival(ctx_.sim->now());
+  ModelContext& model = ContextFor(request->model_id());
+  // Shed requests still register as demand: the arrival-rate signal must keep driving
+  // relaunches even while admission is throttled, or brownout would self-sustain.
+  model.cv_monitor.RecordArrival(ctx_.sim->now());
+  if (model.config.enable_brownout &&
+      model.brownout_cutoff < model.config.brownout_priority_levels &&
+      PriorityClass(model, *request) >= model.brownout_cutoff) {
+    ShedRequest(request);
+    return;
+  }
   router_.Submit(request);
+}
+
+int FlexPipeSystem::PriorityClass(const ModelContext& model, const Request& request) const {
+  int levels = model.config.brownout_priority_levels;
+  int cls = request.spec.priority >= 0
+                ? request.spec.priority
+                : static_cast<int>(request.spec.id % static_cast<RequestId>(levels));
+  return std::min(cls, levels - 1);
+}
+
+void FlexPipeSystem::UpdateBrownout(ModelContext& model) {
+  int levels = model.config.brownout_priority_levels;
+  if (!model.config.enable_brownout || levels <= 0) {
+    return;
+  }
+  int model_id = model.config.model_id;
+  int active = 0;
+  for (const InstanceRecord& r : records_) {
+    if (!r.released && r.model_id == model_id &&
+        r.instance->state() == InstanceState::kActive) {
+      ++active;
+    }
+  }
+  int floor = MinInstances(model, model.current_stages);
+  if (active >= floor) {
+    model.fleet_ever_active = true;
+    model.brownout_cutoff = levels;
+    return;
+  }
+  if (!model.fleet_ever_active) {
+    return;  // cold start, not capacity loss: admit and queue as always
+  }
+  // Shed classes proportional to the active-capacity deficit (lose half the floor,
+  // shed half the classes), always keeping class 0 admitted.
+  double deficit = 1.0 - static_cast<double>(active) / static_cast<double>(floor);
+  int shed = static_cast<int>(std::ceil(deficit * static_cast<double>(levels)));
+  shed = std::min(std::max(shed, 1), levels - 1);
+  model.brownout_cutoff = levels - shed;
 }
 
 void FlexPipeSystem::Finish() { control_task_.reset(); }
@@ -264,7 +314,7 @@ void FlexPipeSystem::OnInstanceReleased(int instance_id) {
 }
 
 void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
-                                     int remaining_attempts, TimeNs waited) {
+                                     int remaining_attempts, int attempt) {
   PipelineInstance* inst = LaunchAt(model, stages, cv);
   if (inst != nullptr) {
     return;
@@ -274,12 +324,24 @@ void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
                       stages, model.config.model_id);
     return;
   }
+  // Bounded exponential backoff: attempt k waits min(retry_backoff * 2^k, cap). The
+  // first retry waits exactly retry_backoff, matching the historical fixed interval.
+  TimeNs backoff = model.config.retry_backoff;
+  TimeNs cap = std::max(model.config.relaunch_backoff_cap, model.config.retry_backoff);
+  for (int i = 0; i < attempt && backoff < cap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, cap);
+  if (model.config.relaunch_jitter > 0.0) {
+    double j = model.config.relaunch_jitter;
+    backoff = static_cast<TimeNs>(static_cast<double>(backoff) *
+                                  (1.0 - j + 2.0 * j * model.backoff_rng.Uniform()));
+    backoff = std::max<TimeNs>(backoff, 1);
+  }
   ModelContext* model_ptr = &model;
-  ctx_.sim->Schedule(model.config.retry_backoff,
-                     [this, model_ptr, stages, cv, remaining_attempts, waited] {
-                       LaunchWithRetry(*model_ptr, stages, cv, remaining_attempts - 1,
-                                       waited + model_ptr->config.retry_backoff);
-                     });
+  ctx_.sim->Schedule(backoff, [this, model_ptr, stages, cv, remaining_attempts, attempt] {
+    LaunchWithRetry(*model_ptr, stages, cv, remaining_attempts - 1, attempt + 1);
+  });
 }
 
 void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
@@ -335,7 +397,7 @@ void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
     if (!displaced.empty()) {
       router_.RequeueFront(displaced);
     }
-    LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
+    LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/5, /*attempt=*/0);
     ++restarts;
   }
 }
@@ -667,8 +729,11 @@ void FlexPipeSystem::OnGpusLost(const std::vector<GpuId>& lost) {
     int launches =
         reform ? torn_down : std::max(MinInstances(model, stages), torn_down);
     for (int i = 0; i < launches; ++i) {
-      LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/10, /*waited=*/0);
+      LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/10, /*attempt=*/0);
     }
+    // Enter brownout right away if the loss left the active fleet under its floor —
+    // the replacements just launched are still provisioning/loading.
+    UpdateBrownout(model);
   }
   router_.Pump();
 }
@@ -681,6 +746,9 @@ void FlexPipeSystem::Tick() {
 
 void FlexPipeSystem::TickModel(ModelContext& model) {
   RestartStuckLoaders(model);
+  // Brownout follows the active fleet each tick: it deepens if more capacity dies,
+  // lifts the moment relaunches activate and the floor is met again.
+  UpdateBrownout(model);
   double cv = ObservedCv(model);
   double demand = ProjectedDemand(model);
   TimeNs now = ctx_.sim->now();
@@ -755,7 +823,7 @@ void FlexPipeSystem::TickModel(ModelContext& model) {
   if (have < needed) {
     int launches = std::min(model.config.max_launches_per_tick, needed - have);
     for (int i = 0; i < launches; ++i) {
-      LaunchWithRetry(model, scale_stages, cv, /*remaining_attempts=*/5, /*waited=*/0);
+      LaunchWithRetry(model, scale_stages, cv, /*remaining_attempts=*/5, /*attempt=*/0);
     }
     model.overcapacity_since = -1;
   } else if (have > needed) {

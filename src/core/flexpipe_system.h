@@ -84,6 +84,23 @@ struct FlexPipeConfig {
   // a pod stuck in init. 0 disables.
   double stuck_loader_factor = 2.0;
   TimeNs stuck_loader_margin = 10 * kSecond;
+
+  // -- Degraded-mode serving (fig16) ----------------------------------------------------
+  // Brownout: once a fleet that had come up loses enough capacity that its *active*
+  // instance count falls below the floor (MinInstances), admission control sheds the
+  // lowest-priority request classes until capacity returns. Requests bucket into
+  // `brownout_priority_levels` classes via RequestSpec::priority (derived from the
+  // request id when unset); the number of shed classes scales with the capacity
+  // deficit and class 0 is never shed. Opt-in: the default admits everything.
+  bool enable_brownout = false;
+  int brownout_priority_levels = 4;
+  // Relaunch retries back off exponentially from `retry_backoff` doubling up to this
+  // cap (the first retry always waits exactly `retry_backoff`), with optional
+  // multiplicative jitter in [1-j, 1+j] drawn from a dedicated per-model Rng stream —
+  // deterministic, and separate from the provisioning-delay stream so enabling jitter
+  // never shifts other draws. jitter 0 (default) adds no draws at all.
+  TimeNs relaunch_backoff_cap = 30 * kSecond;
+  double relaunch_jitter = 0.0;
 };
 
 class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
@@ -146,6 +163,9 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
     const GranularityLadder* ladder;
     FlexPipeConfig config;
     Rng rng;
+    // Dedicated stream for relaunch-backoff jitter: drawing here never perturbs the
+    // provisioning-delay draws on `rng` (golden signatures depend on that stream).
+    Rng backoff_rng;
     CvMonitor cv_monitor;
     GranularityController granularity;
     int current_stages = 0;
@@ -153,6 +173,11 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
     int refactors_in_progress = 0;
     TimeNs overcapacity_since = -1;
     TimeNs last_refactor_time = 0;
+    // Brownout state: classes >= cutoff are shed at admission; cutoff == levels means
+    // no shedding. fleet_ever_active distinguishes capacity *lost* (brownout) from
+    // capacity still coming up at cold start (admit and queue, as always).
+    int brownout_cutoff = 0;
+    bool fleet_ever_active = false;
   };
 
   void Tick();
@@ -165,8 +190,15 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   int MinInstances(const ModelContext& model, int stages) const;
 
   PipelineInstance* LaunchAt(ModelContext& model, int stages, double cv);
+  // Retries a failed launch with bounded exponential backoff: attempt k (0-based)
+  // waits min(retry_backoff * 2^k, relaunch_backoff_cap), jittered when configured.
   void LaunchWithRetry(ModelContext& model, int stages, double cv, int remaining_attempts,
-                       TimeNs waited);
+                       int attempt);
+  // Re-evaluates the brownout cutoff from the model's active fleet vs its floor.
+  void UpdateBrownout(ModelContext& model);
+  // Admission class of `request` in [0, brownout_priority_levels): spec.priority when
+  // assigned, else derived deterministically from the request id.
+  int PriorityClass(const ModelContext& model, const Request& request) const;
   // Drops the HRG load streams opened for `instance_id` if they are still pending.
   // Idempotent: called both at the load's estimated finish and — crucial under failure
   // storms — from OnInstanceReleased when the instance dies mid-load, so razed fleets

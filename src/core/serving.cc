@@ -34,6 +34,8 @@ void ServingSystemBase::CollectAuditViolations(std::vector<std::string>* out) co
   out->insert(out->end(), router.begin(), router.end());
   AuditReport registry = SimulationAuditor::AuditPlacementRegistry(*this);
   out->insert(out->end(), registry.begin(), registry.end());
+  AuditReport domains = SimulationAuditor::AuditFailureDomains(*ctx_.cluster, *this);
+  out->insert(out->end(), domains.begin(), domains.end());
 }
 
 void ServingSystemBase::NoteGpuDelta(int delta) {
@@ -230,6 +232,16 @@ std::vector<PipelineInstance*> ServingSystemBase::UnreleasedInstancesOn(
 void ServingSystemBase::FailInstance(PipelineInstance* instance, bool restart_decoding,
                                      std::vector<Request*>* displaced) {
   ++failure_stats_.instances_lost;
+  // The cluster is mutated before fault listeners run, so "every stage unusable right
+  // now" identifies instances a single correlated fault took out whole — as opposed to
+  // partial losses (re-formable) or healthy instances razed by teardown policy.
+  bool whole_pipeline = true;
+  for (GpuId g : instance->gpus()) {
+    whole_pipeline = whole_pipeline && !ctx_.cluster->GpuUsable(g);
+  }
+  if (whole_pipeline) {
+    ++failure_stats_.whole_pipeline_losses;
+  }
   std::vector<Request*> extracted = instance->FailNow();
   for (Request* r : extracted) {
     if (r->phase == RequestPhase::kDecoding) {
@@ -257,6 +269,14 @@ void ServingSystemBase::RequeueDisplaced(std::vector<Request*> displaced) {
   }
   failure_stats_.requests_requeued += static_cast<int64_t>(displaced.size());
   router_.RequeueFront(displaced);
+}
+
+void ServingSystemBase::ShedRequest(Request* request) {
+  FLEXPIPE_CHECK(request != nullptr);
+  ++failure_stats_.requests_shed;
+  if (release_hook_) {
+    release_hook_(request);  // hands the storage back; never touch the pointer again
+  }
 }
 
 void ServingSystemBase::OnGpusLost(const std::vector<GpuId>& lost) {

@@ -114,6 +114,11 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
     int64_t requests_requeued = 0;   // displaced back to the router, exactly once each
     int64_t requests_restarted = 0;  // mid-decode progress dropped (teardown recovery)
     int64_t requests_resumed = 0;    // mid-decode progress kept via KV recompute (reform)
+    // Instances whose every stage GPU was unusable at failure-handling time: a
+    // correlated fault took the whole pipeline at once, leaving nothing to re-form
+    // from. The fig16 spread-placement ablation compares exactly this count.
+    int whole_pipeline_losses = 0;
+    int64_t requests_shed = 0;       // refused at admission by brownout (fig16)
   };
   const FailureStats& failure_stats() const { return failure_stats_; }
 
@@ -171,6 +176,12 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
 
   // Requeues displaced requests at the front of the router and bumps the counters.
   void RequeueDisplaced(std::vector<Request*> displaced);
+
+  // Brownout admission control (degraded-mode serving): refuses `request` without it
+  // ever entering the router — the arrival is counted as shed and the request storage
+  // is handed straight back through the release hook. The caller must not touch the
+  // pointer afterwards.
+  void ShedRequest(Request* request);
 
   FailureStats failure_stats_;
 

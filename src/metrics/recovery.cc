@@ -130,9 +130,25 @@ FailureRecoveryReport AnalyzeFailureRecovery(const std::vector<CompletionSample>
     ++base_count;
   }
   double baseline = base_count > 0 ? base_sum / static_cast<double>(base_count) : 0.0;
+  if (baseline <= 0.0) {
+    // Degenerate baseline: the fault landed with less than one full pre-fault window
+    // (base_count == 0) or before the service completed anything. Fall back to the
+    // whole-series mean rate so the episode is still measured against *some* service
+    // level instead of being declared vacuously recovered.
+    double total = 0.0;
+    for (double r : rate) {
+      total += r;
+    }
+    baseline = num_windows > 0 ? total / static_cast<double>(num_windows) : 0.0;
+  }
   report.pre_fault_goodput_rps = baseline;
   if (baseline <= 0.0) {
-    report.recovered = true;  // no measurable pre-fault service level
+    // No completions anywhere in the series: with real faults injected this is a dead
+    // system. Charge the first-fault-to-horizon span as the (never-ending) episode.
+    report.recovered = false;
+    double open_s = ToSeconds(horizon - faults.front());
+    report.time_to_recover_s = open_s;
+    report.total_recovery_s = open_s;
     return report;
   }
   const double threshold = baseline * config.recovered_fraction;
@@ -179,6 +195,23 @@ FailureRecoveryReport AnalyzeFailureRecovery(const std::vector<CompletionSample>
     double open_s = static_cast<double>(num_windows - episode_start_w) * window_s;
     report.time_to_recover_s = std::max(report.time_to_recover_s, open_s);
     report.total_recovery_s += open_s;
+  }
+  return report;
+}
+
+FailureRecoveryReport AnalyzeFailureRecovery(const std::vector<CompletionSample>& completions,
+                                             const std::vector<TimeNs>& fault_times,
+                                             TimeNs horizon, const FailureImpact& impact,
+                                             const FailureRecoveryConfig& config) {
+  FailureRecoveryReport report =
+      AnalyzeFailureRecovery(completions, fault_times, horizon, config);
+  if (impact.submitted > 0) {
+    report.shed_rate =
+        static_cast<double>(impact.requests_shed) / static_cast<double>(impact.submitted);
+  }
+  if (impact.instances_lost > 0) {
+    report.domain_survivability = 1.0 - static_cast<double>(impact.whole_pipeline_losses) /
+                                            static_cast<double>(impact.instances_lost);
   }
   return report;
 }

@@ -68,11 +68,36 @@ struct FailureRecoveryReport {
   double dip_depth_rps = 0.0;           // worst shortfall below baseline
   double dip_area_rps_s = 0.0;          // total requests of service lost to the dips
   bool recovered = false;               // every episode climbed back within the series
+  // Degraded-mode serving metrics, filled by the FailureImpact overload below.
+  double shed_rate = 0.0;               // brownout-shed requests / submitted
+  // 1 - whole-pipeline losses / instances lost: 1.0 means every lost instance kept at
+  // least one stage alive (spread placement doing its job), 0.0 means every loss took
+  // the whole pipeline at once.
+  double domain_survivability = 1.0;
+};
+
+// Degenerate baselines are handled rather than declared vacuously recovered: a fault
+// with fewer than one full pre-fault window (or a service that produced nothing before
+// the fault) falls back to the whole-series mean rate as its baseline, and a series
+// with no completions at all reports recovered = false with the first-fault-to-horizon
+// span charged as the recovery time (pinned in recovery_test).
+FailureRecoveryReport AnalyzeFailureRecovery(
+    const std::vector<CompletionSample>& completions, const std::vector<TimeNs>& fault_times,
+    TimeNs horizon, const FailureRecoveryConfig& config = FailureRecoveryConfig{});
+
+// Capacity-loss accounting from the serving system's FailureStats, turned into the
+// shed-rate / domain-survivability ratios of the report.
+struct FailureImpact {
+  int64_t submitted = 0;
+  int64_t requests_shed = 0;
+  int instances_lost = 0;
+  int whole_pipeline_losses = 0;
 };
 
 FailureRecoveryReport AnalyzeFailureRecovery(
     const std::vector<CompletionSample>& completions, const std::vector<TimeNs>& fault_times,
-    TimeNs horizon, const FailureRecoveryConfig& config = FailureRecoveryConfig{});
+    TimeNs horizon, const FailureImpact& impact,
+    const FailureRecoveryConfig& config = FailureRecoveryConfig{});
 
 }  // namespace flexpipe
 

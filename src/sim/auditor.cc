@@ -383,6 +383,48 @@ AuditReport SimulationAuditor::AuditHrg(const HierarchicalResourceGraph& hrg) {
   return out;
 }
 
+AuditReport SimulationAuditor::AuditFailureDomains(const Cluster& cluster,
+                                                   const ServingSystemBase& system) {
+  AuditReport out;
+  // Zombie detection: an unreleased instance whose every stage GPU is unusable can
+  // never serve another token — the fault path was required to fail it synchronously
+  // inside the fault event, so finding one here means a correlated loss slipped
+  // through recovery.
+  for (const ServingSystemBase::InstanceRecord& record : system.records_) {
+    if (record.released || record.gpus.empty()) {
+      continue;
+    }
+    bool any_usable = false;
+    for (GpuId g : record.gpus) {
+      any_usable = any_usable || cluster.GpuUsable(g);
+    }
+    if (!any_usable) {
+      Violation(&out) << "instance " << record.instance->id() << " (model "
+                      << record.model_id << ") is unreleased but every one of its "
+                      << record.gpus.size()
+                      << " stage GPUs is unusable (zombie after a correlated fault)";
+    }
+  }
+
+  // Dead servers must be invisible to placement: if every GPU on a server has failed,
+  // its cached free-memory maximum must be zero so no allocation can land there.
+  for (ServerId sid = 0; sid < cluster.server_count(); ++sid) {
+    const Server& s = cluster.server(sid);
+    bool all_failed = !s.gpus.empty();
+    for (GpuId g : s.gpus) {
+      all_failed = all_failed && cluster.gpu_failed_[static_cast<size_t>(g)] != 0;
+    }
+    if (all_failed && cluster.server_max_free_[static_cast<size_t>(sid)] != 0) {
+      Violation(&out) << "server " << sid << " (power domain " << s.power_domain
+                      << ", thermal zone " << s.thermal_zone
+                      << ") has every GPU failed but still advertises "
+                      << cluster.server_max_free_[static_cast<size_t>(sid)]
+                      << " bytes free in the placement index";
+    }
+  }
+  return out;
+}
+
 AuditReport SimulationAuditor::AuditAll(const Simulation& sim, const Cluster& cluster,
                                         const std::vector<ServingSystemBase*>& systems) {
   AuditReport out = AuditArena(sim);

@@ -71,6 +71,15 @@ class FLEXPIPE_THREAD_COMPATIBLE SimulationAuditor {
   // the cluster's shape.
   static AuditReport AuditHrg(const HierarchicalResourceGraph& hrg);
 
+  // Failure-domain consistency after recovery settles: no unreleased instance stands
+  // entirely on unusable GPUs (a correlated fault that takes a whole pipeline must
+  // fail the instance synchronously — a surviving record is a zombie serving nothing),
+  // and servers whose every GPU is dead hold zero free-index entries (max-free 0, so
+  // placement can never land there). Fault handling runs to completion inside the
+  // fault event, so this holds at every audit point between events.
+  static AuditReport AuditFailureDomains(const Cluster& cluster,
+                                         const ServingSystemBase& system);
+
   // Runs every audit: arena, free-GPU index, then each system's own invariants via
   // ServingSystemBase::CollectAuditViolations (router, registry, and whatever the
   // subclass adds — FlexPipe contributes the HRG and host-cache accounting).

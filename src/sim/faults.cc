@@ -23,6 +23,61 @@ FaultPlan FaultPlan::RackPartition(TimeNs when, RackId rack, TimeNs heal_after) 
   return plan;
 }
 
+FaultPlan FaultPlan::PowerDomainOutage(TimeNs when, PowerDomainId domain,
+                                       const Cluster& cluster, TimeNs heal_after,
+                                       TimeNs heal_stagger) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kPowerDomainOutage, domain});
+  if (heal_after > 0) {
+    const std::vector<RackId>& racks = cluster.PowerDomainRacks(domain);
+    for (size_t i = 0; i < racks.size(); ++i) {
+      plan.events.push_back(
+          {when + heal_after + static_cast<TimeNs>(i) * heal_stagger,
+           FaultKind::kRackHeal, racks[i]});
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::ThermalCascade(TimeNs start, ThermalZoneId seed_zone,
+                                    const Cluster& cluster, double spread_factor,
+                                    TimeNs spread_interval, TimeNs quench_after,
+                                    uint64_t seed) {
+  int zone_count = cluster.thermal_zone_count();
+  FLEXPIPE_CHECK(seed_zone >= 0 && seed_zone < zone_count);
+  FaultPlan plan;
+  plan.events.push_back({start, FaultKind::kThermalZoneFailure, seed_zone});
+
+  // BFS in generations over the linear zone adjacency (z spreads to z-1 and z+1).
+  // Every Bernoulli draw is consumed in ascending-zone order within a generation, so
+  // the schedule is a pure function of (cluster shape, seed).
+  std::vector<uint8_t> infected(static_cast<size_t>(zone_count), 0);
+  infected[static_cast<size_t>(seed_zone)] = 1;
+  std::vector<ThermalZoneId> frontier = {seed_zone};
+  Rng rng = Rng(seed).Child("thermal-cascade");
+  for (int step = 1;
+       static_cast<TimeNs>(step) * spread_interval < quench_after && !frontier.empty();
+       ++step) {
+    std::vector<ThermalZoneId> next;
+    for (ThermalZoneId zone : frontier) {
+      for (ThermalZoneId nb : {zone - 1, zone + 1}) {
+        if (nb < 0 || nb >= zone_count || infected[static_cast<size_t>(nb)] != 0) {
+          continue;
+        }
+        if (rng.Bernoulli(spread_factor)) {
+          infected[static_cast<size_t>(nb)] = 1;
+          next.push_back(nb);
+          plan.events.push_back({start + static_cast<TimeNs>(step) * spread_interval,
+                                 FaultKind::kThermalZoneFailure, nb});
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::FleetChurn(TimeNs start, TimeNs spacing, double fraction,
                                 const Cluster& cluster, uint64_t seed) {
   std::vector<ServerId> candidates;
@@ -106,6 +161,38 @@ void FaultInjector::Fire(const FaultEvent& event) {
     }
     case FaultKind::kRackHeal: {
       cluster_->SetRackReachable(event.target, true);
+      break;
+    }
+    case FaultKind::kPowerDomainOutage: {
+      // All racks behind the feed drop in this one event: listeners observe the full
+      // correlated loss at once, so whole-pipeline-loss accounting sees the truth.
+      for (RackId r : cluster_->PowerDomainRacks(event.target)) {
+        if (!cluster_->RackReachable(r)) {
+          continue;
+        }
+        cluster_->SetRackReachable(r, false);
+        for (ServerId s : cluster_->rack(r).servers) {
+          for (GpuId g : cluster_->server(s).gpus) {
+            if (!cluster_->GpuFailed(g)) {
+              lost.push_back(g);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case FaultKind::kThermalZoneFailure: {
+      for (ServerId s : cluster_->ThermalZoneServers(event.target)) {
+        for (GpuId g : cluster_->server(s).gpus) {
+          if (!cluster_->GpuFailed(g)) {
+            bool was_usable = cluster_->GpuUsable(g);
+            cluster_->SetGpuFailed(g);
+            if (was_usable) {
+              lost.push_back(g);
+            }
+          }
+        }
+      }
       break;
     }
   }

@@ -26,6 +26,11 @@ struct RequestSpec {
   int prompt_tokens = 0;   // prefill length
   int output_tokens = 0;   // decode steps to produce
   TimeNs slo = 0;          // end-to-end deadline (0 = no SLO / use system default)
+  // Admission class for degraded-mode serving: 0 = highest priority, larger = more
+  // sheddable. -1 (the default everywhere) means "unassigned" — the serving system
+  // derives a deterministic class from the request id instead, so generators need no
+  // extra RNG draws and arrival streams stay bit-identical to pre-priority builds.
+  int priority = -1;
 };
 
 // Token-length sampler mirroring the Splitwise corpus shape: conversation-style prompts

@@ -206,5 +206,63 @@ TEST(SystemAudit, DetectsPhantomRegistryEntry) {
   EXPECT_TRUE(AnyMentions(all, "[" + system.name() + "]"));
 }
 
+// -- Failure domains ---------------------------------------------------------------------
+
+TEST(FailureDomainAudit, DetectsZombieInstanceOnDeadCapacity) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeSystem system(env.Context(), &env.ladder(0), SmallFlexPipeConfig());
+  system.Start();
+  env.sim().RunUntil(5 * kSecond);  // initial fleet is live
+  ASSERT_TRUE(
+      SimulationAuditor::AuditFailureDomains(env.cluster(), system).empty());
+
+  // Quarantine every rack behind the system's back — no injector, so OnGpusLost never
+  // runs and nothing fails the stranded instances. Every unreleased instance now
+  // stands entirely on unusable GPUs: exactly the zombie state recovery must prevent.
+  for (RackId r = 0; r < env.cluster().rack_count(); ++r) {
+    env.cluster().SetRackReachable(r, false);
+  }
+  AuditReport report = SimulationAuditor::AuditFailureDomains(env.cluster(), system);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(AnyMentions(report, "zombie"));
+  // The full audit surfaces it too (CollectAuditViolations includes the domain check).
+  std::vector<std::string> collected;
+  system.CollectAuditViolations(&collected);
+  EXPECT_TRUE(AnyMentions(collected, "zombie"));
+
+  // Healing the racks clears the finding without any other repair.
+  for (RackId r = 0; r < env.cluster().rack_count(); ++r) {
+    env.cluster().SetRackReachable(r, true);
+  }
+  EXPECT_TRUE(
+      SimulationAuditor::AuditFailureDomains(env.cluster(), system).empty());
+}
+
+TEST(FailureDomainAudit, DetectsDeadServerStillAdvertisingCapacity) {
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeSystem system(env.Context(), &env.ladder(0), SmallFlexPipeConfig());
+  system.Start();
+  env.sim().RunUntil(5 * kSecond);
+  ASSERT_TRUE(
+      SimulationAuditor::AuditFailureDomains(env.cluster(), system).empty());
+
+  // Kill every GPU on one server without the re-index the real fault path performs:
+  // the server is entirely dead yet still advertises free capacity to placement.
+  ServerId victim = kInvalidServer;
+  for (ServerId s = 0; s < env.cluster().server_count(); ++s) {
+    if (!env.cluster().server(s).gpus.empty() && env.cluster().server_max_free(s) > 0) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidServer);
+  for (GpuId g : env.cluster().server(victim).gpus) {
+    SimulationAuditor::TestOnlyFailGpuWithoutReindex(&env.cluster(), g);
+  }
+  AuditReport report = SimulationAuditor::AuditFailureDomains(env.cluster(), system);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(AnyMentions(report, "advertises"));
+}
+
 }  // namespace
 }  // namespace flexpipe

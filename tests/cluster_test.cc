@@ -57,6 +57,58 @@ TEST(Topology, SameServerAndRackRelations) {
   }
 }
 
+TEST(Topology, FailureDomainsPartitionTheCluster) {
+  ClusterConfig config = EvalClusterConfig();
+  Cluster cluster(config);
+
+  // Power domains tile the rack id space in order: 6 racks / 2 per domain = 3 domains,
+  // and together they cover every rack exactly once.
+  EXPECT_EQ(cluster.power_domain_count(), 3);
+  int racks_covered = 0;
+  for (PowerDomainId d = 0; d < cluster.power_domain_count(); ++d) {
+    for (RackId r : cluster.PowerDomainRacks(d)) {
+      EXPECT_EQ(r / config.racks_per_power_domain, d);
+      ++racks_covered;
+    }
+  }
+  EXPECT_EQ(racks_covered, cluster.rack_count());
+
+  // Every server's cached domain ids agree with the membership lists, and thermal
+  // zones never cross a rack boundary (airflow is per-rack).
+  int servers_covered = 0;
+  for (ThermalZoneId z = 0; z < cluster.thermal_zone_count(); ++z) {
+    const std::vector<ServerId>& members = cluster.ThermalZoneServers(z);
+    ASSERT_FALSE(members.empty());
+    ASSERT_LE(static_cast<int>(members.size()), config.servers_per_thermal_zone);
+    for (ServerId s : members) {
+      EXPECT_EQ(cluster.ThermalZoneOf(s), z);
+      EXPECT_EQ(cluster.RackOf(members[0]), cluster.RackOf(s));
+      ++servers_covered;
+    }
+  }
+  EXPECT_EQ(servers_covered, cluster.server_count());
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    EXPECT_EQ(cluster.PowerDomainOf(s),
+              cluster.RackOf(s) / config.racks_per_power_domain);
+  }
+
+  // Deterministic derivation: the same config always yields the same domains.
+  Cluster again(config);
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    EXPECT_EQ(cluster.PowerDomainOf(s), again.PowerDomainOf(s));
+    EXPECT_EQ(cluster.ThermalZoneOf(s), again.ThermalZoneOf(s));
+  }
+}
+
+TEST(Topology, DegenerateDomainShapesClampToOne) {
+  ClusterConfig config = EvalClusterConfig();
+  config.racks_per_power_domain = 0;   // clamped to 1: one domain per rack
+  config.servers_per_thermal_zone = 0; // clamped to 1: one zone per server
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.power_domain_count(), cluster.rack_count());
+  EXPECT_EQ(cluster.thermal_zone_count(), cluster.server_count());
+}
+
 TEST(Topology, HostMemoryReservation) {
   Cluster cluster(EvalClusterConfig());
   EXPECT_TRUE(cluster.TryReserveHostMemory(0, GiB(100)));

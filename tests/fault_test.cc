@@ -75,6 +75,74 @@ TEST(FaultPlanTest, FleetChurnIsSeededAndSpaced) {
   EXPECT_TRUE(any_differs);
 }
 
+TEST(FaultPlanTest, PowerDomainOutageShapeAndStaggeredHeals) {
+  Cluster cluster(EvalClusterConfig());
+  const std::vector<RackId>& racks = cluster.PowerDomainRacks(1);
+  ASSERT_FALSE(racks.empty());
+
+  FaultPlan plan =
+      FaultPlan::PowerDomainOutage(10 * kSecond, /*domain=*/1, cluster,
+                                   /*heal_after=*/5 * kSecond, /*heal_stagger=*/2 * kSecond);
+  ASSERT_EQ(plan.events.size(), 1u + racks.size());
+  EXPECT_EQ(plan.events[0].when, 10 * kSecond);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kPowerDomainOutage);
+  EXPECT_EQ(plan.events[0].target, 1);
+  // Heals are per-rack, staggered in rack-id order: breakers reset a branch at a time.
+  for (size_t i = 0; i < racks.size(); ++i) {
+    const FaultEvent& heal = plan.events[1 + i];
+    EXPECT_EQ(heal.kind, FaultKind::kRackHeal);
+    EXPECT_EQ(heal.target, racks[i]);
+    EXPECT_EQ(heal.when, 15 * kSecond + static_cast<TimeNs>(i) * 2 * kSecond);
+  }
+
+  FaultPlan permanent =
+      FaultPlan::PowerDomainOutage(10 * kSecond, 1, cluster, /*heal_after=*/0);
+  EXPECT_EQ(permanent.events.size(), 1u);
+}
+
+TEST(FaultPlanTest, ThermalCascadeIsSeededQuenchedAndMonotone) {
+  Cluster cluster(EvalClusterConfig());
+  ASSERT_GT(cluster.thermal_zone_count(), 4);
+  const ThermalZoneId seed_zone = cluster.thermal_zone_count() / 2;
+
+  // Same (cluster, seed) -> the exact same cascade schedule.
+  FaultPlan a = FaultPlan::ThermalCascade(5 * kSecond, seed_zone, cluster, 0.7,
+                                          2 * kSecond, 10 * kSecond, 17);
+  FaultPlan b = FaultPlan::ThermalCascade(5 * kSecond, seed_zone, cluster, 0.7,
+                                          2 * kSecond, 10 * kSecond, 17);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].when, b.events[i].when);
+    EXPECT_EQ(a.events[i].kind, FaultKind::kThermalZoneFailure);
+    EXPECT_EQ(a.events[i].target, b.events[i].target);
+  }
+
+  // Spread factor 0: the cascade never leaves the seed zone.
+  FaultPlan cold = FaultPlan::ThermalCascade(5 * kSecond, seed_zone, cluster, 0.0,
+                                             2 * kSecond, 10 * kSecond, 17);
+  ASSERT_EQ(cold.events.size(), 1u);
+  EXPECT_EQ(cold.events[0].target, seed_zone);
+
+  // Spread factor 1 is fully deterministic: each generation infects both linear
+  // neighbours of the frontier until cooling quenches at start + quench_after, so
+  // every event time is a whole number of intervals before the quench, each zone
+  // dies at most once, and times never decrease.
+  FaultPlan hot = FaultPlan::ThermalCascade(5 * kSecond, seed_zone, cluster, 1.0,
+                                            2 * kSecond, 6 * kSecond, 17);
+  EXPECT_EQ(hot.events.size(), 5u);  // seed, then ±1, then ±2 (quench stops step 3)
+  std::vector<int32_t> zones;
+  for (size_t i = 0; i < hot.events.size(); ++i) {
+    EXPECT_LT(hot.events[i].when, 5 * kSecond + 6 * kSecond);
+    EXPECT_EQ((hot.events[i].when - 5 * kSecond) % (2 * kSecond), 0);
+    if (i > 0) {
+      EXPECT_GE(hot.events[i].when, hot.events[i - 1].when);
+    }
+    zones.push_back(hot.events[i].target);
+  }
+  std::sort(zones.begin(), zones.end());
+  EXPECT_EQ(std::adjacent_find(zones.begin(), zones.end()), zones.end());
+}
+
 // -- Cluster fault primitives -------------------------------------------------------------
 
 TEST(ClusterFaultTest, FailedGpuLeavesIndexButKeepsAccounting) {
@@ -146,6 +214,125 @@ TEST(ClusterFaultTest, RackPartitionQuarantinesAndHealRestores) {
     EXPECT_TRUE(cluster.GpuUsable(g));
   }
   EXPECT_EQ(cluster.GpusWithFreeMemory(GiB(1)).size(), usable_before);
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(ClusterFaultTest, PowerDomainOutageIsOneAtomicLossAndHealsRestore) {
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  std::vector<GpuId> domain_gpus;
+  for (RackId r : cluster.PowerDomainRacks(0)) {
+    for (ServerId s : cluster.rack(r).servers) {
+      for (GpuId g : cluster.server(s).gpus) {
+        domain_gpus.push_back(g);
+      }
+    }
+  }
+  ASSERT_FALSE(domain_gpus.empty());
+
+  FaultInjector injector(&sim, &cluster);
+  std::vector<std::vector<GpuId>> losses;
+  injector.AddGpuLossListener(
+      [&losses](const std::vector<GpuId>& lost) { losses.push_back(lost); });
+  injector.Arm(FaultPlan::PowerDomainOutage(kSecond, /*domain=*/0, cluster,
+                                            /*heal_after=*/2 * kSecond,
+                                            /*heal_stagger=*/kSecond));
+  sim.RunUntilIdle();
+
+  // The whole domain dropped in ONE listener call — a pipeline spanning both racks
+  // observes the full correlated loss atomically, not as two partial losses.
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_EQ(losses[0].size(), domain_gpus.size());
+  // Partitioned, not dead — and after the staggered heals everything is usable again.
+  EXPECT_EQ(cluster.failed_gpu_count(), 0);
+  for (GpuId g : domain_gpus) {
+    EXPECT_TRUE(cluster.GpuUsable(g));
+  }
+  EXPECT_EQ(injector.faults_fired(),
+            1 + static_cast<int>(cluster.PowerDomainRacks(0).size()));
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(ClusterFaultTest, ThermalZoneFailureKillsTheZonePermanently) {
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  const ThermalZoneId zone = 1;
+  int zone_gpu_count = 0;
+  for (ServerId s : cluster.ThermalZoneServers(zone)) {
+    zone_gpu_count += static_cast<int>(cluster.server(s).gpus.size());
+  }
+
+  FaultInjector injector(&sim, &cluster);
+  FaultPlan plan;
+  plan.events.push_back({kSecond, FaultKind::kThermalZoneFailure, zone});
+  injector.Arm(plan);
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(cluster.failed_gpu_count(), zone_gpu_count);
+  EXPECT_EQ(injector.gpus_lost(), zone_gpu_count);
+  for (ServerId s : cluster.ThermalZoneServers(zone)) {
+    EXPECT_EQ(cluster.server_max_free(s), 0);
+    for (GpuId g : cluster.server(s).gpus) {
+      EXPECT_TRUE(cluster.GpuFailed(g));
+    }
+  }
+  EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
+}
+
+TEST(ClusterFaultTest, ComposedHealAndKillOrderingReportsLossesExactlyOnce) {
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  const RackId rack = 0;
+  ASSERT_GE(cluster.rack(rack).servers.size(), 2u);
+  // Two GPU-bearing servers in the partitioned rack.
+  ServerId killed_while_down = kInvalidServer;
+  ServerId killed_after_heal = kInvalidServer;
+  for (ServerId s : cluster.rack(rack).servers) {
+    if (cluster.server(s).gpus.empty()) {
+      continue;
+    }
+    if (killed_while_down == kInvalidServer) {
+      killed_while_down = s;
+    } else if (killed_after_heal == kInvalidServer) {
+      killed_after_heal = s;
+    }
+  }
+  ASSERT_NE(killed_while_down, kInvalidServer);
+  ASSERT_NE(killed_after_heal, kInvalidServer);
+
+  FaultPlan plan;
+  plan.events.push_back({1 * kSecond, FaultKind::kRackPartition, rack});
+  // Killed mid-partition: its GPUs were already reported unusable, so this fires no
+  // second loss notification — but the server is dead for good.
+  plan.events.push_back({1500 * kMillisecond, FaultKind::kServerFailure, killed_while_down});
+  plan.events.push_back({2 * kSecond, FaultKind::kRackHeal, rack});
+  // Killed after the heal: its GPUs were usable again, so this IS a fresh loss.
+  plan.events.push_back({3 * kSecond, FaultKind::kServerFailure, killed_after_heal});
+
+  FaultInjector injector(&sim, &cluster);
+  std::vector<std::vector<GpuId>> losses;
+  injector.AddGpuLossListener(
+      [&losses](const std::vector<GpuId>& lost) { losses.push_back(lost); });
+  injector.Arm(plan);
+  sim.RunUntilIdle();
+
+  int rack_gpus = 0;
+  for (ServerId s : cluster.rack(rack).servers) {
+    rack_gpus += static_cast<int>(cluster.server(s).gpus.size());
+  }
+  const int dead_a = static_cast<int>(cluster.server(killed_while_down).gpus.size());
+  const int dead_b = static_cast<int>(cluster.server(killed_after_heal).gpus.size());
+  ASSERT_EQ(losses.size(), 2u);  // partition, then the post-heal kill; mid-partition kill is silent
+  EXPECT_EQ(static_cast<int>(losses[0].size()), rack_gpus);
+  EXPECT_EQ(static_cast<int>(losses[1].size()), dead_b);
+  EXPECT_EQ(cluster.failed_gpu_count(), dead_a + dead_b);
+  // The mid-partition death survives the heal: only genuinely healthy GPUs returned.
+  for (GpuId g : cluster.server(killed_while_down).gpus) {
+    EXPECT_FALSE(cluster.GpuUsable(g));
+  }
+  for (GpuId g : cluster.server(killed_after_heal).gpus) {
+    EXPECT_FALSE(cluster.GpuUsable(g));
+  }
   EXPECT_TRUE(SimulationAuditor::AuditFreeGpuIndex(cluster).empty());
 }
 
@@ -387,6 +574,113 @@ TEST(FaultStormTest, PartitionHealRestoresRoutability) {
   // Routability after the heal: the drained system completed the full workload.
   EXPECT_EQ(system.metrics().completed(), report.submitted);
   EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+}
+
+TEST(FaultStormTest, PartitionDuringChurnStormComposesCleanly) {
+  // Fault plans are data, so storms compose by concatenation: a rack partitions (and
+  // later heals) in the middle of a rolling churn that may kill servers inside the
+  // quarantined rack. Exactly-once accounting must survive the overlap.
+  FaultPlan plan = ChurnPlan(SmallEnvConfig(), 0.3);
+  FaultPlan partition = FaultPlan::RackPartition(11 * kSecond, /*rack=*/0, 6 * kSecond);
+  plan.events.insert(plan.events.end(), partition.events.begin(), partition.events.end());
+
+  StormOutcome first = RunStorm(FaultRecoveryPolicy::kReform, true, plan);
+  StormOutcome second = RunStorm(FaultRecoveryPolicy::kReform, true, plan);
+
+  ASSERT_GT(first.stats.instances_lost, 0);
+  EXPECT_EQ(first.completed, first.submitted);
+  EXPECT_EQ(first.stats.requests_restarted, 0);
+  // The composed storm replays bit-identically, overlap and all.
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.loss_times, second.loss_times);
+  EXPECT_EQ(first.completed, second.completed);
+}
+
+TEST(FaultStormTest, UnhealedPartitionAtHorizonStillDrainsEverything) {
+  // The heal is scheduled far past the run horizon, so it never fires — the partition
+  // is effectively permanent for this run. That must not strand requests: the
+  // quarantined capacity was evacuated at fault time, so the drain completes from the
+  // surviving racks alone (the documented heal-past-horizon contract).
+  FaultPlan plan = FaultPlan::RackPartition(10 * kSecond, /*rack=*/0,
+                                            /*heal_after=*/100000 * kSecond);
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeSystem system(env.Context(), &env.ladder(0), SmallFlexPipeConfig());
+  FaultInjector injector(&env.sim(), &env.cluster());
+  injector.AddGpuLossListener(
+      [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+  injector.Arm(plan);
+
+  std::vector<RequestSpec> specs = StormWorkload();
+  std::vector<Request> storage;
+  RunReport report =
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_EQ(injector.faults_fired(), 1);  // the heal never fired
+  EXPECT_FALSE(env.cluster().RackReachable(0));
+  EXPECT_EQ(system.metrics().completed(), report.submitted);
+  EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+}
+
+TEST(FaultStormTest, BrownoutShedsLowPriorityTrafficUnderTotalCapacityLoss) {
+  // Every power domain trips at t=10s and heals 40s later: the fleet floor is
+  // unreachable for the whole outage, so brownout admission control must shed the
+  // lower priority classes while class 0 queues for the eventual relaunch.
+  ExperimentEnvConfig env_config = SmallEnvConfig();
+  ExperimentEnv env(env_config);
+  FlexPipeConfig fconfig = SmallFlexPipeConfig();
+  fconfig.enable_brownout = true;
+  FlexPipeSystem system(env.Context(), &env.ladder(0), fconfig);
+  FaultInjector injector(&env.sim(), &env.cluster());
+  injector.AddGpuLossListener(
+      [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+  FaultPlan plan;
+  for (PowerDomainId d = 0; d < env.cluster().power_domain_count(); ++d) {
+    FaultPlan p = FaultPlan::PowerDomainOutage(10 * kSecond, d, env.cluster(),
+                                               /*heal_after=*/40 * kSecond);
+    plan.events.insert(plan.events.end(), p.events.begin(), p.events.end());
+  }
+  injector.Arm(plan);
+
+  std::vector<RequestSpec> specs = StormWorkload();
+  std::vector<Request> storage;
+  RunReport report =
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  const ServingSystemBase::FailureStats& stats = system.failure_stats();
+  // The outage took whole pipelines (every stage GPU unusable at once).
+  EXPECT_GT(stats.instances_lost, 0);
+  EXPECT_GT(stats.whole_pipeline_losses, 0);
+  // Brownout shed some arrivals but never class 0, and the balance still closes
+  // exactly: every submitted request either completed or was shed, nothing stranded.
+  EXPECT_GT(stats.requests_shed, 0);
+  EXPECT_LT(stats.requests_shed, report.submitted);
+  EXPECT_EQ(system.metrics().completed() + stats.requests_shed, report.submitted);
+  EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+}
+
+TEST(FaultStormTest, BrownoutOffShedsNothing) {
+  // Same storm, brownout disabled (the default): no request is ever refused, so the
+  // whole workload completes after the heal — the opt-in flag gates all shedding.
+  ExperimentEnv env(SmallEnvConfig());
+  FlexPipeSystem system(env.Context(), &env.ladder(0), SmallFlexPipeConfig());
+  FaultInjector injector(&env.sim(), &env.cluster());
+  injector.AddGpuLossListener(
+      [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+  FaultPlan plan;
+  for (PowerDomainId d = 0; d < env.cluster().power_domain_count(); ++d) {
+    FaultPlan p = FaultPlan::PowerDomainOutage(10 * kSecond, d, env.cluster(),
+                                               /*heal_after=*/40 * kSecond);
+    plan.events.insert(plan.events.end(), p.events.begin(), p.events.end());
+  }
+  injector.Arm(plan);
+
+  std::vector<RequestSpec> specs = StormWorkload();
+  std::vector<Request> storage;
+  RunReport report =
+      RunWorkload(env, system, specs, storage, RunOptions{.drain_grace = 120 * kSecond});
+
+  EXPECT_EQ(system.failure_stats().requests_shed, 0);
+  EXPECT_EQ(system.metrics().completed(), report.submitted);
 }
 
 }  // namespace

@@ -185,6 +185,119 @@ TEST(PlacementEquivalence, EquivalenceHoldsAcrossReserveReleaseChurn) {
   }
 }
 
+TEST(PlacementEquivalence, IndexedMatchesNaiveScanWithDomainSpreadWeight) {
+  // The recovery-aware spread term must not break the indexed/naive equivalence: the
+  // penalty is subtract-only, so the indexed path's score upper bounds stay valid and
+  // both paths must keep choosing the same GPUs for any weight.
+  constexpr int kCases = 160;
+  Rng rng(20260808);
+  int feasible_cases = 0;
+
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    Cluster cluster(RandomClusterConfig(rng));
+    NetworkModel network(&cluster, NetworkConfig{});
+    ModelPlacementRegistry registry(cluster.gpu_count());
+    for (GpuId g = 0; g < cluster.gpu_count(); ++g) {
+      cluster.gpu(g).SetBackground(
+          static_cast<Bytes>(rng.Uniform() *
+                             static_cast<double>(cluster.gpu(g).memory_capacity())),
+          rng.Uniform(), static_cast<int>(rng.UniformInt(0, 4)));
+    }
+
+    PlacementConfig config;
+    config.gamma0 = rng.Uniform(0.0, 0.2);
+    config.topo_bonus_server = rng.Uniform(0.0, 0.5);
+    config.topo_bonus_rack = rng.Uniform(0.0, 0.3);
+    config.domain_spread_weight = rng.Uniform(0.0, 1.5);
+    TopologyAwarePlacer placer(&cluster, &network, &registry, config);
+
+    PipelinePlan plan = RandomPlan(rng, rng.Bernoulli(0.1));
+    double cv = rng.Uniform(0.0, 8.0);
+    std::vector<GpuId> indexed = placer.PlaceStages(plan, 0, cv, nullptr, nullptr);
+    std::vector<GpuId> reference =
+        placer.PlaceStagesReference(plan, 0, cv, nullptr, nullptr);
+    EXPECT_EQ(indexed, reference);
+    if (!reference.empty()) {
+      ++feasible_cases;
+    }
+  }
+  EXPECT_GT(feasible_cases, kCases / 4);
+}
+
+TEST(PlacementSpread, WeightZeroIsBitIdenticalToTheDefaultScore) {
+  // domain_spread_weight = 0 must be indistinguishable from a build without the spread
+  // term at all (the golden fig9/fig13 signatures depend on it): same cluster state,
+  // same plan, the explicit-zero and default configs pick the exact same GPUs.
+  Rng rng(41);
+  Cluster cluster(EvalClusterConfig());
+  Cluster cluster_zero(EvalClusterConfig());
+  NetworkModel network(&cluster, NetworkConfig{});
+  NetworkModel network_zero(&cluster_zero, NetworkConfig{});
+  ModelPlacementRegistry registry(cluster.gpu_count());
+  ModelPlacementRegistry registry_zero(cluster_zero.gpu_count());
+  for (GpuId g = 0; g < cluster.gpu_count(); ++g) {
+    Bytes background = static_cast<Bytes>(
+        rng.Uniform() * static_cast<double>(cluster.gpu(g).memory_capacity()));
+    double sm = rng.Uniform();
+    cluster.gpu(g).SetBackground(background, sm, 1);
+    cluster_zero.gpu(g).SetBackground(background, sm, 1);
+  }
+
+  PlacementConfig defaults;
+  PlacementConfig explicit_zero;
+  explicit_zero.domain_spread_weight = 0.0;
+  TopologyAwarePlacer placer(&cluster, &network, &registry, defaults);
+  TopologyAwarePlacer placer_zero(&cluster_zero, &network_zero, &registry_zero,
+                                  explicit_zero);
+  for (int c = 0; c < 24; ++c) {
+    SCOPED_TRACE("plan " + std::to_string(c));
+    PipelinePlan plan = RandomPlan(rng, false);
+    EXPECT_EQ(placer.PlaceStages(plan, 0, 1.5, nullptr, nullptr),
+              placer_zero.PlaceStages(plan, 0, 1.5, nullptr, nullptr));
+  }
+}
+
+TEST(PlacementSpread, PositiveWeightDispersesStagesAcrossFailureDomains) {
+  // On an idle cluster the topology bonuses pull every stage toward one rack; the
+  // spread term must counteract that and strictly widen the failure-domain footprint,
+  // so a correlated power/thermal fault can no longer take the whole pipeline.
+  auto domains_used = [](const Cluster& cluster, const std::vector<GpuId>& gpus) {
+    std::vector<PowerDomainId> domains;
+    for (GpuId g : gpus) {
+      domains.push_back(cluster.PowerDomainOf(cluster.ServerOf(g)));
+    }
+    std::sort(domains.begin(), domains.end());
+    domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+    return static_cast<int>(domains.size());
+  };
+
+  PipelinePlan plan;
+  for (int s = 0; s < 6; ++s) {
+    StagePlan sp;
+    sp.param_bytes = GiB(4);
+    plan.stages.push_back(sp);
+  }
+
+  Cluster packed(EvalClusterConfig());
+  NetworkModel packed_net(&packed, NetworkConfig{});
+  ModelPlacementRegistry packed_reg(packed.gpu_count());
+  TopologyAwarePlacer packer(&packed, &packed_net, &packed_reg, PlacementConfig{});
+  std::vector<GpuId> tight = packer.PlaceStages(plan, 0, 1.0, nullptr, nullptr);
+  ASSERT_FALSE(tight.empty());
+
+  Cluster spread(EvalClusterConfig());
+  NetworkModel spread_net(&spread, NetworkConfig{});
+  ModelPlacementRegistry spread_reg(spread.gpu_count());
+  PlacementConfig config;
+  config.domain_spread_weight = 4.0;
+  TopologyAwarePlacer spreader(&spread, &spread_net, &spread_reg, config);
+  std::vector<GpuId> wide = spreader.PlaceStages(plan, 0, 1.0, nullptr, nullptr);
+  ASSERT_FALSE(wide.empty());
+
+  EXPECT_GT(domains_used(spread, wide), domains_used(packed, tight));
+}
+
 TEST(FreeGpuIndex, MatchesBruteForceUnderChurn) {
   Rng rng(31);
   Cluster cluster(MeasurementClusterC1());

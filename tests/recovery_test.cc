@@ -1,0 +1,127 @@
+// Failure-recovery metric edge cases (satellite of the correlated-storm work).
+//
+// AnalyzeFailureRecovery feeds the fig15/fig16 pass/fail gates, so its degenerate
+// inputs must be pinned: an empty completion series with real faults is a dead system
+// (recovered = false, fault-to-horizon charged), a fault landing with less than one
+// full pre-fault window falls back to the whole-series mean as its baseline, and
+// back-to-back faults merge into one episode instead of double-counting the dip.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/metrics/recovery.h"
+
+namespace flexpipe {
+namespace {
+
+// Steady `rps` completions over [begin, end) with a fixed small latency.
+std::vector<CompletionSample> SteadyCompletions(TimeNs begin, TimeNs end, double rps) {
+  std::vector<CompletionSample> completions;
+  const TimeNs step = static_cast<TimeNs>(static_cast<double>(kSecond) / rps);
+  for (TimeNs t = begin; t < end; t += step) {
+    completions.push_back({t, 50 * kMillisecond});
+  }
+  return completions;
+}
+
+TEST(FailureRecoveryEdge, EmptySeriesWithFaultsIsADeadSystem) {
+  FailureRecoveryReport report =
+      AnalyzeFailureRecovery({}, {10 * kSecond}, /*horizon=*/60 * kSecond);
+  EXPECT_EQ(report.fault_count, 1);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_DOUBLE_EQ(report.pre_fault_goodput_rps, 0.0);
+  // The never-ending episode charges fault-to-horizon, so a dead arm always reports a
+  // worse time-to-recover than any arm that served anything at all.
+  EXPECT_NEAR(report.time_to_recover_s, 50.0, 1e-9);
+  EXPECT_NEAR(report.total_recovery_s, 50.0, 1e-9);
+}
+
+TEST(FailureRecoveryEdge, FaultAtTimeZeroFallsBackToWholeSeriesMean) {
+  // No pre-fault window exists at all (base_count == 0): the baseline must fall back
+  // to the whole-series mean instead of reading 0 and short-circuiting.
+  std::vector<CompletionSample> completions =
+      SteadyCompletions(5 * kSecond, 60 * kSecond, 10.0);
+  FailureRecoveryReport report =
+      AnalyzeFailureRecovery(completions, {0}, /*horizon=*/60 * kSecond);
+  EXPECT_EQ(report.fault_count, 1);
+  // 550 completions over 60 windows ~ 9.2 rps.
+  EXPECT_NEAR(report.pre_fault_goodput_rps, 550.0 / 60.0, 1e-6);
+  // Steady 10 rps clears 0.95x of that mean once service starts, so the episode closes.
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GT(report.time_to_recover_s, 0.0);
+  // The 5 silent leading seconds are genuine dip area against the mean baseline.
+  EXPECT_GT(report.dip_area_rps_s, 0.0);
+}
+
+TEST(FailureRecoveryEdge, ShortPreFaultSpanStillYieldsABaseline) {
+  // Only 2 seconds of history before the fault — far less than the 30s lookback. The
+  // baseline must come from those two windows alone, not read partial-lookback zeros.
+  std::vector<CompletionSample> completions = SteadyCompletions(0, 60 * kSecond, 10.0);
+  std::vector<CompletionSample> dipped;
+  for (const CompletionSample& c : completions) {
+    if (c.done_time < 2 * kSecond || c.done_time >= 6 * kSecond) {
+      dipped.push_back(c);
+    }
+  }
+  FailureRecoveryReport report =
+      AnalyzeFailureRecovery(dipped, {2 * kSecond}, /*horizon=*/60 * kSecond);
+  EXPECT_NEAR(report.pre_fault_goodput_rps, 10.0, 0.5);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_NEAR(report.dip_area_rps_s, 40.0, 5.0);  // 4 silent seconds at 10 rps
+}
+
+TEST(FailureRecoveryEdge, BackToBackFaultsMergeIntoOneEpisode) {
+  // Two faults 3 seconds apart inside one outage: the second lands in the open episode
+  // and must extend it (reset the recovery streak), not start a second episode.
+  std::vector<CompletionSample> completions;
+  for (const CompletionSample& c : SteadyCompletions(0, 60 * kSecond, 10.0)) {
+    if (c.done_time < 20 * kSecond || c.done_time >= 26 * kSecond) {
+      completions.push_back(c);
+    }
+  }
+  FailureRecoveryReport merged = AnalyzeFailureRecovery(
+      completions, {20 * kSecond, 23 * kSecond}, /*horizon=*/60 * kSecond);
+  EXPECT_EQ(merged.fault_count, 2);
+  EXPECT_TRUE(merged.recovered);
+  // One merged episode: the summed recovery time equals the worst episode's.
+  EXPECT_DOUBLE_EQ(merged.total_recovery_s, merged.time_to_recover_s);
+
+  // The same completion series with two separated outages yields two episodes whose
+  // recovery times sum — distinguishing merge from double-count.
+  std::vector<CompletionSample> two_dips;
+  for (const CompletionSample& c : SteadyCompletions(0, 80 * kSecond, 10.0)) {
+    bool in_first = c.done_time >= 20 * kSecond && c.done_time < 25 * kSecond;
+    bool in_second = c.done_time >= 50 * kSecond && c.done_time < 55 * kSecond;
+    if (!in_first && !in_second) {
+      two_dips.push_back(c);
+    }
+  }
+  FailureRecoveryReport separate = AnalyzeFailureRecovery(
+      two_dips, {20 * kSecond, 50 * kSecond}, /*horizon=*/80 * kSecond);
+  EXPECT_EQ(separate.fault_count, 2);
+  EXPECT_TRUE(separate.recovered);
+  EXPECT_GT(separate.total_recovery_s, separate.time_to_recover_s);
+}
+
+TEST(FailureRecoveryEdge, ImpactOverloadFillsShedRateAndSurvivability) {
+  std::vector<CompletionSample> completions = SteadyCompletions(0, 60 * kSecond, 10.0);
+  FailureImpact impact;
+  impact.submitted = 400;
+  impact.requests_shed = 100;
+  impact.instances_lost = 4;
+  impact.whole_pipeline_losses = 1;
+  FailureRecoveryReport report = AnalyzeFailureRecovery(
+      completions, {20 * kSecond}, /*horizon=*/60 * kSecond, impact);
+  EXPECT_DOUBLE_EQ(report.shed_rate, 0.25);
+  EXPECT_DOUBLE_EQ(report.domain_survivability, 0.75);
+
+  // Division-by-zero guards: no submissions -> no shed rate; no losses -> perfect
+  // survivability (there was nothing to survive).
+  FailureRecoveryReport clean = AnalyzeFailureRecovery(
+      completions, {20 * kSecond}, /*horizon=*/60 * kSecond, FailureImpact{});
+  EXPECT_DOUBLE_EQ(clean.shed_rate, 0.0);
+  EXPECT_DOUBLE_EQ(clean.domain_survivability, 1.0);
+}
+
+}  // namespace
+}  // namespace flexpipe
