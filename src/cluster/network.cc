@@ -88,7 +88,16 @@ TimeNs NetworkModel::EstimateTransfer(GpuId src, GpuId dst, Bytes size) const {
   if (tier == LinkTier::kSameGpu) {
     return 0;
   }
-  return Latency(tier) + TransferTime(size, EffectiveBandwidth(tier));
+  BytesPerSec bw = EffectiveBandwidth(tier);
+  // NIC-crossing tiers honour fail-slow link degradation: the flow runs at the sicker
+  // endpoint's rate. Guarded so healthy runs never touch the per-server factors.
+  if (cluster_->AnyDegraded() &&
+      (tier == LinkTier::kIntraRack || tier == LinkTier::kInterRack)) {
+    double factor = std::min(cluster_->ServerLinkFactor(cluster_->ServerOf(src)),
+                             cluster_->ServerLinkFactor(cluster_->ServerOf(dst)));
+    bw = bw * factor;
+  }
+  return Latency(tier) + TransferTime(size, bw);
 }
 
 }  // namespace flexpipe

@@ -73,6 +73,9 @@ class FLEXPIPE_THREAD_HOSTILE NetworkModel {
   BytesPerSec EffectiveBandwidth(LinkTier tier) const;
 
   const NetworkConfig& config() const { return config_; }
+  // Topology the model prices against; degradation-aware callers read per-server
+  // perf/link factors through it.
+  const Cluster* cluster() const { return cluster_; }
 
  private:
   const Cluster* cluster_;

@@ -110,7 +110,26 @@ Cluster::Cluster(const ClusterConfig& config) {
   gpu_failed_.assign(gpus_.size(), 0);
   gpu_usable_.assign(gpus_.size(), 1);
   rack_reachable_.assign(racks_.size(), 1);
+  server_perf_.assign(servers_.size(), 1.0);
+  server_link_factor_.assign(servers_.size(), 1.0);
   RebuildFreeIndex();
+}
+
+void Cluster::SetServerPerf(ServerId id, double perf) {
+  FLEXPIPE_CHECK_MSG(perf > 0.0 && perf <= 1.0, "server perf multiplier outside (0, 1]");
+  bool was = ServerDegraded(id);
+  server_perf_[static_cast<size_t>(id)] = perf;
+  bool now = ServerDegraded(id);
+  degraded_server_count_ += static_cast<int>(now) - static_cast<int>(was);
+}
+
+void Cluster::SetServerLinkFactor(ServerId id, double factor) {
+  FLEXPIPE_CHECK_MSG(factor > 0.0 && factor <= 1.0,
+                     "server link factor outside (0, 1]");
+  bool was = ServerDegraded(id);
+  server_link_factor_[static_cast<size_t>(id)] = factor;
+  bool now = ServerDegraded(id);
+  degraded_server_count_ += static_cast<int>(now) - static_cast<int>(was);
 }
 
 void Cluster::SetGpuFailed(GpuId id) {

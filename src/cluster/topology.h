@@ -205,6 +205,29 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   bool GpuUsable(GpuId id) const { return gpu_usable_[static_cast<size_t>(id)] != 0; }
   int failed_gpu_count() const { return failed_gpu_count_; }
 
+  // -- Fail-slow degradation ------------------------------------------------------------
+  // Gray failures: per-server performance multipliers in (0, 1]. `perf` scales compute
+  // throughput (0.6 == thermal throttle to 60% of nominal), `link` scales the server's
+  // NIC bandwidth (stretching KV transfers and parameter loads). Both default to 1.0;
+  // setting a factor back to 1.0 clears that axis of degradation. Unlike fail-stop
+  // faults a degraded server stays in the free-GPU index — placement still selects it
+  // unless a health layer quarantines it, which is exactly the gray-failure hazard.
+  void SetServerPerf(ServerId id, double perf);
+  void SetServerLinkFactor(ServerId id, double factor);
+  double ServerPerf(ServerId id) const { return server_perf_[static_cast<size_t>(id)]; }
+  double ServerLinkFactor(ServerId id) const {
+    return server_link_factor_[static_cast<size_t>(id)];
+  }
+  bool ServerDegraded(ServerId id) const {
+    return server_perf_[static_cast<size_t>(id)] != 1.0 ||
+           server_link_factor_[static_cast<size_t>(id)] != 1.0;
+  }
+  // One-branch guard for hot paths: when false, every perf/link factor is exactly 1.0
+  // and degradation-aware code can skip straight to the healthy arithmetic, keeping
+  // no-fault runs bit-identical to pre-fail-slow builds.
+  bool AnyDegraded() const { return degraded_server_count_ > 0; }
+  int degraded_server_count() const { return degraded_server_count_; }
+
   // Largest set of same-server GPUs each having `bytes` free (for tensor-parallel
   // feasibility measurements); returns the GPU ids of the best server.
   std::vector<GpuId> BestColocatedGroup(Bytes bytes_per_gpu) const;
@@ -285,6 +308,12 @@ class FLEXPIPE_THREAD_HOSTILE Cluster {
   std::vector<uint8_t> gpu_usable_;
   std::vector<uint8_t> rack_reachable_;
   int failed_gpu_count_ = 0;
+
+  // Fail-slow state (see SetServerPerf / SetServerLinkFactor). The count caches how
+  // many servers have either factor != 1.0 so AnyDegraded() is one integer compare.
+  std::vector<double> server_perf_;
+  std::vector<double> server_link_factor_;
+  int degraded_server_count_ = 0;
 
   // Free-GPU index state (see ForEachServerWithFreeAtLeast).
   std::vector<Bytes> server_max_free_;

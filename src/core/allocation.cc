@@ -146,8 +146,8 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStages(const PipelinePlan& plan, in
 
     cluster_->ForEachServerWithFreeAtLeast(need, [&](ServerId sid) {
       const Server& server = cluster_->server(sid);
-      if (server.gpus.empty()) {
-        return;
+      if (server.gpus.empty() || ServerExcluded(sid)) {
+        return;  // quarantined stragglers are never candidates
       }
       // Topology bonus is a per-server constant for this stage (prev is excluded from
       // candidacy, so the kSameGpu tier cannot occur).
@@ -290,6 +290,9 @@ std::vector<GpuId> TopologyAwarePlacer::PlaceStagesReference(
       const Gpu& gpu = cluster_->gpu(id);
       if (!cluster_->GpuUsable(id) || gpu.free_memory() < need) {
         continue;  // Eq. 7; failed/partitioned GPUs are never candidates
+      }
+      if (ServerExcluded(gpu.server())) {
+        continue;  // quarantined stragglers are never candidates
       }
       // `chosen` is exactly the set of GPUs used by earlier stages (<= 32 entries):
       // same membership test the old unordered_set answered, scanned flat.

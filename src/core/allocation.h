@@ -102,6 +102,18 @@ class FLEXPIPE_THREAD_HOSTILE TopologyAwarePlacer {
 
   const PlacementConfig& config() const { return config_; }
 
+  // Health-driven quarantine (opt-in): a per-server byte mask of servers the placer
+  // must never select — flagged stragglers the health monitor has pulled from the
+  // candidate set. The pointer is borrowed (the monitor owns and updates the mask in
+  // place); null, or a mask of all zeros, leaves placement bit-identical to the
+  // pre-quarantine placer (pinned by placement_test). Checked identically in both
+  // PlaceStages and PlaceStagesReference so the equivalence contract holds under
+  // quarantine too.
+  void set_excluded_servers(const std::vector<uint8_t>* mask) {
+    excluded_servers_ = mask;
+  }
+  const std::vector<uint8_t>* excluded_servers() const { return excluded_servers_; }
+
  private:
   // Per-server score terms snapshotted once per PlaceStages call; `epoch` tags
   // validity so the scratch array never needs clearing between calls.
@@ -130,10 +142,16 @@ class FLEXPIPE_THREAD_HOSTILE TopologyAwarePlacer {
                   const ServerScoreFn& hrg_penalty, const ServerScoreFn& affinity_bonus,
                   const SpreadState* spread) const;
 
+  bool ServerExcluded(ServerId id) const {
+    return excluded_servers_ != nullptr &&
+           (*excluded_servers_)[static_cast<size_t>(id)] != 0;
+  }
+
   Cluster* cluster_;
   const NetworkModel* network_;
   const ModelPlacementRegistry* registry_;
   PlacementConfig config_;
+  const std::vector<uint8_t>* excluded_servers_ = nullptr;
 
   mutable std::vector<ServerScratch> scratch_;
   mutable uint64_t scratch_epoch_ = 0;

@@ -73,6 +73,15 @@ FlexPipeSystem::FlexPipeSystem(const SystemContext& ctx,
     contexts_.push_back(std::make_unique<ModelContext>(ctx, d.ladder, d.config));
     RegisterServedModel(d.config.model_id);
   }
+  // Like the placement knobs above: the first deployment's HealthConfig configures the
+  // one shared monitor. The quarantine mask is lent to the placer for this system's
+  // lifetime; it stays all-zeros until something is actually quarantined, so enabling
+  // detection alone leaves every placement bit-identical.
+  const HealthConfig& health = contexts_.front()->config.health;
+  if (health.enabled) {
+    health_monitor_ = std::make_unique<HealthMonitor>(ctx.cluster, health);
+    placer_.set_excluded_servers(&health_monitor_->exclusion_mask());
+  }
 }
 
 FlexPipeSystem::~FlexPipeSystem() = default;
@@ -186,6 +195,27 @@ void FlexPipeSystem::CollectAuditViolations(std::vector<std::string>* out) const
     }
     if (server.host_memory_used > server.host_memory) {
       out->push_back("server " + std::to_string(s) + " host memory is overcommitted");
+    }
+  }
+  // Health consistency: the placer's exclusion mask makes quarantine a hard
+  // constraint, so an unreleased instance *launched after* a server's quarantine
+  // began standing on that server means the mask was ignored or went stale.
+  // (Migration-pinned instances are exempt: a refactor wave placed before the
+  // quarantine may still be completing.)
+  if (health_monitor_ != nullptr) {
+    for (const InstanceRecord& rec : records_) {
+      if (rec.released || migration_pinned_.count(rec.instance->id()) > 0) {
+        continue;
+      }
+      for (GpuId g : rec.gpus) {
+        ServerId s = ctx_.cluster->ServerOf(g);
+        if (health_monitor_->IsQuarantined(s) &&
+            rec.launched_at > health_monitor_->quarantined_since(s)) {
+          out->push_back("instance " + std::to_string(rec.instance->id()) +
+                         " was placed onto server " + std::to_string(s) +
+                         " after its quarantine began");
+        }
+      }
     }
   }
 }
@@ -311,6 +341,8 @@ void FlexPipeSystem::RetireLoadStreams(int instance_id) {
 
 void FlexPipeSystem::OnInstanceReleased(int instance_id) {
   RetireLoadStreams(instance_id);
+  health_sampled_.erase(instance_id);
+  loader_restarts_.erase(instance_id);
 }
 
 void FlexPipeSystem::LaunchWithRetry(ModelContext& model, int stages, double cv,
@@ -361,17 +393,28 @@ void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
     }
   }
   double cv = ObservedCv(model);
+  const bool degraded = ctx_.cluster->AnyDegraded();
   int restarts = 0;
   for (PipelineInstance* inst : loading) {
     if (restarts >= model.config.max_launches_per_tick) {
       break;
+    }
+    // Restart budget: a loader on genuinely slow hardware (degraded NIC) legitimately
+    // lags the fresh estimate, and restarting it in place would loop forever. After
+    // the cap it finishes at whatever pace its links allow.
+    auto spent_it = loader_restarts_.find(inst->id());
+    int spent = spent_it == loader_restarts_.end() ? 0 : spent_it->second;
+    if (spent >= model.config.stuck_loader_max_restarts) {
+      continue;
     }
     TimeNs remaining = inst->load_finish_time() - now;
     if (remaining <= model.config.stuck_loader_margin) {
       continue;
     }
     // What the same placement would cost if launched right now (cold: a restarted
-    // loader starts its pull from scratch).
+    // loader starts its pull from scratch). The estimate must price in the same
+    // fail-slow link factors BeginLoading charges, or a degraded-but-progressing
+    // loader looks stuck against an impossibly healthy baseline.
     double slowdown = 1.0;
     for (GpuId g : inst->gpus()) {
       slowdown = std::max(slowdown, hrg_.LoadSlowdown(ctx_.cluster->ServerOf(g)));
@@ -380,6 +423,13 @@ void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
     for (int s = 0; s < inst->plan().num_stages(); ++s) {
       Bytes params = inst->plan().stages[static_cast<size_t>(s)].param_bytes;
       TimeNs t = ctx_.cost_model->ColdLoadTime(params);
+      if (degraded) {
+        double link =
+            ctx_.cluster->ServerLinkFactor(inst->StageServer(s));
+        if (link != 1.0) {
+          t = static_cast<TimeNs>(static_cast<double>(t) / link);
+        }
+      }
       fresh = std::max(fresh, static_cast<TimeNs>(static_cast<double>(t) * slowdown));
     }
     TimeNs threshold =
@@ -397,7 +447,16 @@ void FlexPipeSystem::RestartStuckLoaders(ModelContext& model) {
     if (!displaced.empty()) {
       router_.RequeueFront(displaced);
     }
-    LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/5, /*attempt=*/0);
+    // The replacement inherits the spent-restart count, so the budget bounds total
+    // churn per logical launch, not per instance id. A failed immediate relaunch
+    // falls back to the retry path and the count is forfeited — acceptable: retries
+    // already back off exponentially.
+    PipelineInstance* replacement = LaunchAt(model, stages, cv);
+    if (replacement != nullptr) {
+      loader_restarts_[replacement->id()] = spent + 1;
+    } else {
+      LaunchWithRetry(model, stages, cv, /*remaining_attempts=*/5, /*attempt=*/0);
+    }
     ++restarts;
   }
 }
@@ -742,6 +801,123 @@ void FlexPipeSystem::Tick() {
   for (auto& model : contexts_) {
     TickModel(*model);
   }
+  if (health_monitor_ != nullptr) {
+    SampleHealth();
+  }
+}
+
+void FlexPipeSystem::SampleHealth() {
+  TimeNs now = ctx_.sim->now();
+  // Busy-time deltas since the last tick, attributed per stage to the server the
+  // stage runs on. Records are walked in launch order and the monitor folds its
+  // window in ascending server-id order, so the whole pass is deterministic.
+  for (const InstanceRecord& rec : records_) {
+    if (rec.released) {
+      continue;
+    }
+    const PipelineInstance* inst = rec.instance.get();
+    InstanceState state = inst->state();
+    if (state != InstanceState::kActive && state != InstanceState::kDraining) {
+      continue;  // loaders have no busy time yet; sampling starts at activation
+    }
+    auto& last = health_sampled_[inst->id()];
+    last.resize(static_cast<size_t>(inst->num_stages()), {0, 0});
+    for (int s = 0; s < inst->num_stages(); ++s) {
+      TimeNs observed = inst->StageBusyObserved(s);
+      TimeNs base = inst->StageBusyBase(s);
+      auto& prev = last[static_cast<size_t>(s)];
+      health_monitor_->Observe(inst->StageServer(s), observed - prev.first,
+                               base - prev.second);
+      prev = {observed, base};
+    }
+  }
+  std::vector<ServerId> flagged = health_monitor_->EndWindow(now);
+  if (health_monitor_->config().mitigate) {
+    if (!flagged.empty()) {
+      MitigateStragglers(flagged);
+    }
+    if (!evacuation_queue_.empty()) {
+      ProcessEvacuations();
+    }
+  }
+}
+
+void FlexPipeSystem::MitigateStragglers(const std::vector<ServerId>& flagged) {
+  // Only act on servers the monitor actually quarantined (strikes below the
+  // threshold flag without quarantine — the placer still admits those, so
+  // migrating off them would race the next launch right back on).
+  for (const InstanceRecord& rec : records_) {
+    if (rec.released || migration_pinned_.count(rec.instance->id()) > 0) {
+      continue;
+    }
+    bool on_straggler = false;
+    for (GpuId g : rec.gpus) {
+      ServerId s = ctx_.cluster->ServerOf(g);
+      for (ServerId f : flagged) {
+        on_straggler = on_straggler || (s == f && health_monitor_->IsQuarantined(f));
+      }
+    }
+    int id = rec.instance->id();
+    if (on_straggler && std::find(evacuation_queue_.begin(), evacuation_queue_.end(),
+                                  id) == evacuation_queue_.end()) {
+      evacuation_queue_.push_back(id);
+    }
+  }
+}
+
+void FlexPipeSystem::ProcessEvacuations() {
+  int budget = health_monitor_->config().max_evacuations_per_tick;
+  std::vector<Request*> displaced;
+  std::vector<int> affected;   // model ids, first-seen order (deterministic)
+  std::map<int, int> torn_down;  // model id -> evacuated count this tick
+  size_t taken = 0;
+  while (taken < evacuation_queue_.size() && budget > 0) {
+    int id = evacuation_queue_[taken];
+    ++taken;
+    InstanceRecord* rec = FindRecord(id);
+    // The queue outlives its entries' relevance: an instance may have died, been
+    // retired, or become a migration endpoint since it was flagged.
+    if (rec == nullptr || rec->released || migration_pinned_.count(id) > 0) {
+      continue;
+    }
+    PipelineInstance* victim = rec->instance.get();
+    // Proactive reform: unlike a fail-stop loss, every GPU is still alive, so *all*
+    // stages seed the host cache and the evacuation is a planned migration in all
+    // but name — decode progress survives through Eq. 10 recompute masks.
+    if (std::find(affected.begin(), affected.end(), victim->model_id()) ==
+        affected.end()) {
+      affected.push_back(victim->model_id());
+    }
+    ++torn_down[victim->model_id()];
+    CacheInstanceParams(victim);
+    size_t before = displaced.size();
+    FailInstance(victim, /*restart_decoding=*/false, &displaced);
+    for (size_t i = before; i < displaced.size(); ++i) {
+      if (displaced[i]->recompute_tokens > 0) {
+        TrackRecoveryMask(displaced[i]);
+      }
+    }
+    ++health_migrations_;
+    --budget;
+  }
+  evacuation_queue_.erase(evacuation_queue_.begin(),
+                          evacuation_queue_.begin() + static_cast<long>(taken));
+  if (affected.empty()) {
+    return;
+  }
+  RequeueDisplaced(std::move(displaced));
+  for (int model_id : affected) {
+    ModelContext& model = ContextFor(model_id);
+    double cv = ObservedCv(model);
+    // One-for-one at the fast-loading granularity, same as reform recovery: the
+    // placer's exclusion mask steers the replacements onto healthy capacity.
+    for (int i = 0; i < torn_down[model_id]; ++i) {
+      LaunchWithRetry(model, model.fast_scale_stages, cv, /*remaining_attempts=*/10,
+                      /*attempt=*/0);
+    }
+    UpdateBrownout(model);
+  }
+  router_.Pump();
 }
 
 void FlexPipeSystem::TickModel(ModelContext& model) {

@@ -32,6 +32,7 @@
 #include "src/core/allocation.h"
 #include "src/core/cv_monitor.h"
 #include "src/core/granularity.h"
+#include "src/core/health.h"
 #include "src/core/refactoring.h"
 #include "src/core/scaling.h"
 #include "src/core/serving.h"
@@ -84,6 +85,16 @@ struct FlexPipeConfig {
   // a pod stuck in init. 0 disables.
   double stuck_loader_factor = 2.0;
   TimeNs stuck_loader_margin = 10 * kSecond;
+  // A loader on genuinely slow hardware (fail-slow link) is *supposed* to lag the
+  // fresh estimate; restarting it onto the same degraded server forever would churn
+  // without progress. After this many restarts an instance is left to finish at
+  // whatever pace its hardware allows.
+  int stuck_loader_max_restarts = 2;
+
+  // -- Fail-slow detection and mitigation (fig17) ---------------------------------------
+  // Substrate-level like `placement`: the first deployment's `health` configures the
+  // one shared monitor (gray failures are a property of servers, not of models).
+  HealthConfig health;
 
   // -- Degraded-mode serving (fig16) ----------------------------------------------------
   // Brownout: once a fleet that had come up loses enough capacity that its *active*
@@ -154,6 +165,12 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   const KvValidityMask* recovery_mask_for(RequestId id) const;
   int64_t kv_invalidated_tokens() const { return kv_invalidated_tokens_; }
 
+  // -- Fail-slow introspection (fig17 / health tests) ------------------------------------
+  // nullptr unless the first deployment's HealthConfig::enabled was set.
+  const HealthMonitor* health_monitor() const { return health_monitor_.get(); }
+  // Instances proactively evacuated off flagged-and-quarantined servers.
+  int64_t health_migrations() const { return health_migrations_; }
+
  private:
   // Per-model controller state (§4's control loop instantiated once per model).
   struct ModelContext {
@@ -210,6 +227,22 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   // max_launches_per_tick restarts per call; admitted-but-unserved requests
   // requeue silently (a loader restart is hygiene, not a fault).
   void RestartStuckLoaders(ModelContext& model);
+  // Feeds per-stage busy-time deltas into the health monitor, closes the sampling
+  // window, and (when mitigating) evacuates instances off newly quarantined servers.
+  void SampleHealth();
+  // Proactive reform off gray-failed hardware: every unreleased, non-migration-pinned
+  // instance with a stage on a newly quarantined server is queued for evacuation
+  // through the reform path (surviving params seed the host cache, decode progress
+  // survives via Eq. 10 recompute masks) and replaced at the fast-loading
+  // granularity — the placer's exclusion mask keeps the replacement off the
+  // quarantined server.
+  void MitigateStragglers(const std::vector<ServerId>& flagged);
+  // Drains the evacuation queue at most health.max_evacuations_per_tick instances
+  // per tick:
+  // evacuating a whole quarantined wave at once would raze more live capacity than
+  // the degradation itself costs, so victims keep (slowly) serving until their
+  // replacement slot comes up.
+  void ProcessEvacuations();
   void RetireOne(ModelContext& model);
   void BeginRefactor(ModelContext& model, std::vector<PipelineInstance*> old_instances,
                      int new_stages, double cv);
@@ -252,6 +285,20 @@ class FLEXPIPE_THREAD_HOSTILE FlexPipeSystem : public ServingSystemBase {
   // id; erased when the request completes (its recompute pass rebuilt the KV).
   std::map<RequestId, std::unique_ptr<KvValidityMask>> recovery_masks_;
   int64_t kv_invalidated_tokens_ = 0;
+
+  // -- Fail-slow state -------------------------------------------------------------------
+  // Shared across models (built from the first deployment's HealthConfig when enabled);
+  // its quarantine mask is lent to the placer for the lifetime of this system.
+  std::unique_ptr<HealthMonitor> health_monitor_;
+  // Last-sampled per-stage (observed, base) busy counters per instance id, so each
+  // control tick reports window deltas rather than lifetime totals.
+  std::map<int, std::vector<std::pair<TimeNs, TimeNs>>> health_sampled_;
+  // Instances awaiting paced evacuation off quarantined servers, in flag order.
+  std::vector<int> evacuation_queue_;
+  int64_t health_migrations_ = 0;
+  // Stuck-loader restarts already spent per instance id (satellite of the fail-slow
+  // work: restarts are capped so genuinely slow hardware cannot churn forever).
+  std::map<int, int> loader_restarts_;
 };
 
 }  // namespace flexpipe

@@ -115,6 +115,7 @@ PipelineInstance* ServingSystemBase::LaunchInstance(const PipelinePlan& plan, in
   InstanceRecord record;
   record.model_id = model_id;
   record.gpus = gpus;
+  record.launched_at = ctx_.sim->now();
   record.reserved_bytes.reserve(gpus.size());
   for (int s = 0; s < plan.num_stages(); ++s) {
     Bytes bytes = static_cast<Bytes>(

@@ -133,6 +133,9 @@ class FLEXPIPE_THREAD_HOSTILE ServingSystemBase {
     double sm_share = 0.6;
     int model_id = 0;
     bool released = false;
+    // Virtual launch time; the health-consistency audit checks no instance was
+    // placed onto a server after that server's quarantine began.
+    TimeNs launched_at = 0;
   };
 
   // Subclass hook invoked after metrics collection for each completed request.

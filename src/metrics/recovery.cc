@@ -203,8 +203,19 @@ FailureRecoveryReport AnalyzeFailureRecovery(const std::vector<CompletionSample>
                                              const std::vector<TimeNs>& fault_times,
                                              TimeNs horizon, const FailureImpact& impact,
                                              const FailureRecoveryConfig& config) {
+  // Fold degradation-episode starts into the fault series: a gray failure dents
+  // goodput exactly like a loss, so episode boundaries drive the same TTR machinery.
+  std::vector<TimeNs> all_faults = fault_times;
+  for (const DegradedSpan& span : impact.degraded_spans) {
+    all_faults.push_back(span.start);
+  }
   FailureRecoveryReport report =
-      AnalyzeFailureRecovery(completions, fault_times, horizon, config);
+      AnalyzeFailureRecovery(completions, all_faults, horizon, config);
+  for (const DegradedSpan& span : impact.degraded_spans) {
+    TimeNs start = std::min(std::max<TimeNs>(span.start, 0), horizon);
+    TimeNs clear = span.clear > span.start ? std::min(span.clear, horizon) : horizon;
+    report.degraded_span_s += ToSeconds(clear - start);
+  }
   if (impact.submitted > 0) {
     report.shed_rate =
         static_cast<double>(impact.requests_shed) / static_cast<double>(impact.submitted);

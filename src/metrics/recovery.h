@@ -74,6 +74,9 @@ struct FailureRecoveryReport {
   // least one stage alive (spread placement doing its job), 0.0 means every loss took
   // the whole pipeline at once.
   double domain_survivability = 1.0;
+  // Total wall time some server was fail-slow degraded (sum over episodes, clamped to
+  // the horizon); filled by the FailureImpact overload from its degraded episodes.
+  double degraded_span_s = 0.0;
 };
 
 // Degenerate baselines are handled rather than declared vacuously recovered: a fault
@@ -85,6 +88,14 @@ FailureRecoveryReport AnalyzeFailureRecovery(
     const std::vector<CompletionSample>& completions, const std::vector<TimeNs>& fault_times,
     TimeNs horizon, const FailureRecoveryConfig& config = FailureRecoveryConfig{});
 
+// One span during which the cluster had at least one fail-slow-degraded server
+// (mirrors FaultInjector::DegradationEpisode without depending on the sim layer).
+// clear <= start means the episode never cleared within the run.
+struct DegradedSpan {
+  TimeNs start = 0;
+  TimeNs clear = 0;
+};
+
 // Capacity-loss accounting from the serving system's FailureStats, turned into the
 // shed-rate / domain-survivability ratios of the report.
 struct FailureImpact {
@@ -92,6 +103,10 @@ struct FailureImpact {
   int64_t requests_shed = 0;
   int instances_lost = 0;
   int whole_pipeline_losses = 0;
+  // Fail-slow degradation episodes (fig17): each span's start is folded into the
+  // fault series — a gray failure dips goodput exactly like a loss does, so the TTR /
+  // dip-area machinery applies unchanged — and the spans sum into degraded_span_s.
+  std::vector<DegradedSpan> degraded_spans;
 };
 
 FailureRecoveryReport AnalyzeFailureRecovery(

@@ -39,11 +39,13 @@ PipelineInstance::PipelineInstance(Simulation* sim, int id, const PipelinePlan& 
   stages_.resize(static_cast<size_t>(plan_.num_stages()));
   stage_busy_until_.assign(stages_.size(), 0);
   stage_busy_accum_.assign(stages_.size(), 0);
+  stage_busy_base_accum_.assign(stages_.size(), 0);
   stage_stall_accum_.assign(stages_.size(), 0);
   for (int s = 0; s < plan_.num_stages(); ++s) {
     const StagePlan& sp = plan_.stages[static_cast<size_t>(s)];
     StageConfig& rt = stages_[static_cast<size_t>(s)];
     rt.gpu = gpus_[static_cast<size_t>(s)];
+    rt.server = network_->cluster()->ServerOf(rt.gpu);
     rt.overhead = overhead;
     rt.prefill_per_token = sp.compute_time / std::max(1, spec.context_window);
     double share = total_compute > 0
@@ -56,6 +58,8 @@ PipelineInstance::PipelineInstance(Simulation* sim, int id, const PipelinePlan& 
       LinkTier tier = network_->TierBetween(rt.gpu, gpus_[static_cast<size_t>(s + 1)]);
       rt.comm_latency = network_->Latency(tier);
       rt.comm_bandwidth = network_->Bandwidth(tier);
+      rt.next_server = network_->cluster()->ServerOf(gpus_[static_cast<size_t>(s + 1)]);
+      rt.comm_nic = tier == LinkTier::kIntraRack || tier == LinkTier::kInterRack;
     }
   }
   groups_.resize(config_.pipelined ? static_cast<size_t>(plan_.num_stages()) : 1);
@@ -66,12 +70,23 @@ void PipelineInstance::BeginLoading(const std::vector<bool>& warm_stages, double
   FLEXPIPE_CHECK(warm_stages.empty() ||
                  warm_stages.size() == static_cast<size_t>(plan_.num_stages()));
   FLEXPIPE_CHECK(load_slowdown > 0.0);  // > 1 = contention, < 1 = accelerated loader
+  const Cluster* cluster = network_->cluster();
+  const bool degraded = cluster->AnyDegraded();
   TimeNs worst = 0;
   for (int s = 0; s < plan_.num_stages(); ++s) {
     Bytes params = plan_.stages[static_cast<size_t>(s)].param_bytes;
     bool warm = !warm_stages.empty() && warm_stages[static_cast<size_t>(s)];
     TimeNs t = warm ? cost_model_->WarmLoadTime(params, network_->config().pcie_bandwidth)
                     : cost_model_->ColdLoadTime(params);
+    // Fail-slow link degradation stretches parameter ingest — storage fetch and host
+    // copy both cross the server's sick I/O path (same factor RestartStuckLoaders
+    // prices into its fresh-load estimate, so a merely-slow load is not "stuck").
+    if (degraded) {
+      double link = cluster->ServerLinkFactor(stages_[static_cast<size_t>(s)].server);
+      if (link != 1.0) {
+        t = static_cast<TimeNs>(static_cast<double>(t) / link);
+      }
+    }
     worst = std::max(worst, static_cast<TimeNs>(static_cast<double>(t) * load_slowdown));
   }
   load_finish_time_ = sim_->now() + worst;
@@ -376,6 +391,12 @@ void PipelineInstance::TryStart(size_t group_index) {
   // pipeline's natural fill/drain behaviour.
   const bool backlog = !pending_.empty();
   const size_t num_stages = stages_.size();
+  // Fail-slow degradation is applied at use time, never baked into the memoized
+  // decode cache: the cache keeps the healthy profile (what the controller believes)
+  // and a degraded server stretches each wave here, so a throttle that clears stops
+  // being priced on the very next wave. One flag check on the healthy path.
+  const Cluster* cluster = network_->cluster();
+  const bool degraded = cluster->AnyDegraded();
   for (size_t s = 0; s < num_stages; ++s) {
     const TimeNs busy_until = stage_busy_until_[s];
     TimeNs start = std::max(t, busy_until);
@@ -387,6 +408,13 @@ void PipelineInstance::TryStart(size_t group_index) {
     }
     TimeNs st = prefill_tokens == 0 ? DecodeIterationTime(s, decode_batch)
                                     : StageIterationTime(s, prefill_tokens, decode_batch);
+    stage_busy_base_accum_[s] += st;
+    if (degraded) {
+      double perf = cluster->ServerPerf(stages_[s].server);
+      if (perf != 1.0) {
+        st = static_cast<TimeNs>(static_cast<double>(st) / perf);
+      }
+    }
     stage_busy_until_[s] = start + st;
     stage_busy_accum_[s] += st;
     exec_total += st;
@@ -394,6 +422,18 @@ void PipelineInstance::TryStart(size_t group_index) {
     if (s + 1 < num_stages) {
       TimeNs c = prefill_tokens == 0 ? DecodeCommTime(s, decode_batch)
                                      : StageCommTime(s, prefill_tokens, decode_batch);
+      if (degraded && stages_[s].comm_nic) {
+        double link = std::min(cluster->ServerLinkFactor(stages_[s].server),
+                               cluster->ServerLinkFactor(stages_[s].next_server));
+        if (link != 1.0) {
+          TimeNs healthy_c = c;
+          c = static_cast<TimeNs>(static_cast<double>(c) / link);
+          // The stretch is charged to this stage's *observed* busy time (its NIC is
+          // the bottleneck) and never to the base, so the health monitor's
+          // observed/base ratio sees sick links as well as sick SMs.
+          stage_busy_accum_[s] += c - healthy_c;
+        }
+      }
       t += c;
       comm_total += c;
     }

@@ -149,6 +149,21 @@ class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
   // Steady-state token-production cadence of one group at the given batch.
   TimeNs EstimateCadence(int group_batch) const;
 
+  // -- Health sampling -----------------------------------------------------------------
+  // Per-stage cumulative busy time: observed (stretched by any fail-slow degradation on
+  // the stage's server) vs base (the healthy cost-model profile). Their ratio is the
+  // straggler signal the health monitor watches — exactly 1.0 on a healthy fleet, so a
+  // deterministic zero-false-positive baseline.
+  TimeNs StageBusyObserved(int stage) const {
+    return stage_busy_accum_[static_cast<size_t>(stage)];
+  }
+  TimeNs StageBusyBase(int stage) const {
+    return stage_busy_base_accum_[static_cast<size_t>(stage)];
+  }
+  ServerId StageServer(int stage) const {
+    return stages_[static_cast<size_t>(stage)].server;
+  }
+
   // -- Metrics -------------------------------------------------------------------------
   const InstanceStats& stats() const { return stats_; }
   TimeNs TotalStall() const;
@@ -164,6 +179,11 @@ class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
   // this config (SoA split of the former StageRuntime struct).
   struct StageConfig {
     GpuId gpu = kInvalidGpu;
+    // Hosting server (and the next stage's), resolved once so the fail-slow hot path
+    // reads perf/link factors without topology lookups per wave.
+    ServerId server = kInvalidServer;
+    ServerId next_server = kInvalidServer;
+    bool comm_nic = false;         // next-stage link crosses a NIC (rack/spine tier)
     TimeNs prefill_per_token = 0;  // compute per prompt token
     TimeNs decode_base = 0;        // batch-1 decode compute
     TimeNs overhead = 0;           // fixed per iteration
@@ -221,6 +241,9 @@ class FLEXPIPE_THREAD_HOSTILE PipelineInstance {
   // arrays plus the flat decode cache, all packed and indexed by stage.
   std::vector<TimeNs> stage_busy_until_;
   std::vector<TimeNs> stage_busy_accum_;
+  // Busy time at the healthy cost-model profile (== busy_accum_ unless the stage's
+  // server is degraded); see StageBusyBase.
+  std::vector<TimeNs> stage_busy_base_accum_;
   std::vector<TimeNs> stage_stall_accum_;
   // Lazily-filled decode-only {iteration, comm} times, one flat array indexed
   // [stage * (per_group_capacity + 1) + batch] (-1 = unset; pairs so a wave's paired

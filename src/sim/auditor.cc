@@ -425,11 +425,39 @@ AuditReport SimulationAuditor::AuditFailureDomains(const Cluster& cluster,
   return out;
 }
 
+AuditReport SimulationAuditor::AuditPerfState(const Cluster& cluster) {
+  AuditReport out;
+  int degraded = 0;
+  for (ServerId sid = 0; sid < cluster.server_count(); ++sid) {
+    double perf = cluster.server_perf_[static_cast<size_t>(sid)];
+    double link = cluster.server_link_factor_[static_cast<size_t>(sid)];
+    if (!(perf > 0.0 && perf <= 1.0)) {
+      Violation(&out) << "server " << sid << " compute perf factor " << perf
+                      << " is outside (0, 1]";
+    }
+    if (!(link > 0.0 && link <= 1.0)) {
+      Violation(&out) << "server " << sid << " link factor " << link
+                      << " is outside (0, 1]";
+    }
+    if (perf != 1.0 || link != 1.0) {
+      ++degraded;
+    }
+  }
+  if (degraded != cluster.degraded_server_count_) {
+    Violation(&out) << "cluster caches " << cluster.degraded_server_count_
+                    << " degraded servers but the perf/link factors imply " << degraded
+                    << " (stale count: degradation pricing is skipped or overapplied)";
+  }
+  return out;
+}
+
 AuditReport SimulationAuditor::AuditAll(const Simulation& sim, const Cluster& cluster,
                                         const std::vector<ServingSystemBase*>& systems) {
   AuditReport out = AuditArena(sim);
   AuditReport index = AuditFreeGpuIndex(cluster);
   out.insert(out.end(), index.begin(), index.end());
+  AuditReport perf = AuditPerfState(cluster);
+  out.insert(out.end(), perf.begin(), perf.end());
   for (const ServingSystemBase* system : systems) {
     AuditReport sys;
     system->CollectAuditViolations(&sys);
@@ -472,6 +500,12 @@ void SimulationAuditor::TestOnlyMisrouteQueuedRequest(Router* router, Request* r
 void SimulationAuditor::TestOnlyCorruptRegistry(ServingSystemBase* system, int32_t gpu,
                                                 int model_id) {
   system->placement_registry_.Add(gpu, model_id);
+}
+
+void SimulationAuditor::TestOnlyCorruptPerfState(Cluster* cluster, int32_t server) {
+  // Deliberately bypasses SetServerPerf: the factor changes but the cached degraded
+  // count does not, which is exactly the staleness AuditPerfState attributes.
+  cluster->server_perf_[static_cast<size_t>(server)] = 0.5;
 }
 
 PeriodicSimulationAuditor::PeriodicSimulationAuditor(Simulation* sim, const Cluster* cluster,

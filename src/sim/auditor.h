@@ -80,6 +80,14 @@ class FLEXPIPE_THREAD_COMPATIBLE SimulationAuditor {
   static AuditReport AuditFailureDomains(const Cluster& cluster,
                                          const ServingSystemBase& system);
 
+  // Fail-slow perf-state consistency: every per-server compute/link factor lies in
+  // (0, 1], and the cached degraded-server count — the one integer the hot paths
+  // compare against zero to skip all degradation math — equals a from-scratch count
+  // over the factor vectors. A stale count in either direction is silent corruption:
+  // too low and live slowdowns stop being priced into stage times; too high and a
+  // fully healed fleet keeps paying the degraded-path lookups forever.
+  static AuditReport AuditPerfState(const Cluster& cluster);
+
   // Runs every audit: arena, free-GPU index, then each system's own invariants via
   // ServingSystemBase::CollectAuditViolations (router, registry, and whatever the
   // subclass adds — FlexPipe contributes the HRG and host-cache accounting).
@@ -105,6 +113,10 @@ class FLEXPIPE_THREAD_COMPATIBLE SimulationAuditor {
                                             int wrong_model);
   // Registers a phantom (gpu, model) pair no instance record backs.
   static void TestOnlyCorruptRegistry(ServingSystemBase* system, int32_t gpu, int model_id);
+  // Degrades one server's perf factor without bumping the cached degraded-server
+  // count: the hot paths would skip pricing the slowdown, the exact staleness the
+  // perf-state audit attributes.
+  static void TestOnlyCorruptPerfState(Cluster* cluster, int32_t server);
 };
 
 // Runs AuditAll every `interval` of virtual time and CHECK-fails on the first

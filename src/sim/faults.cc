@@ -78,6 +78,85 @@ FaultPlan FaultPlan::ThermalCascade(TimeNs start, ThermalZoneId seed_zone,
   return plan;
 }
 
+FaultPlan FaultPlan::GpuSlowdown(TimeNs when, ServerId server, double multiplier,
+                                 TimeNs recover_after) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kGpuSlowdown, server, multiplier});
+  if (recover_after > 0) {
+    plan.events.push_back({when + recover_after, FaultKind::kGpuSlowdown, server, 1.0});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::LinkDegrade(TimeNs when, ServerId server, double factor,
+                                 TimeNs recover_after) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kServerLinkDegrade, server, factor});
+  if (recover_after > 0) {
+    plan.events.push_back(
+        {when + recover_after, FaultKind::kServerLinkDegrade, server, 1.0});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::RackLinkDegrade(TimeNs when, RackId rack, double factor,
+                                     TimeNs recover_after) {
+  FaultPlan plan;
+  plan.events.push_back({when, FaultKind::kRackLinkDegrade, rack, factor});
+  if (recover_after > 0) {
+    plan.events.push_back({when + recover_after, FaultKind::kRackLinkDegrade, rack, 1.0});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::ThrottleWave(TimeNs start, ThermalZoneId seed_zone,
+                                  const Cluster& cluster, double multiplier,
+                                  double spread_factor, TimeNs spread_interval,
+                                  TimeNs quench_after, TimeNs recover_after,
+                                  uint64_t seed) {
+  int zone_count = cluster.thermal_zone_count();
+  FLEXPIPE_CHECK(seed_zone >= 0 && seed_zone < zone_count);
+  FaultPlan plan;
+  auto throttle_zone = [&](ThermalZoneId zone, TimeNs at) {
+    for (ServerId s : cluster.ThermalZoneServers(zone)) {
+      plan.events.push_back({at, FaultKind::kGpuSlowdown, s, multiplier});
+      if (recover_after > 0) {
+        plan.events.push_back({at + recover_after, FaultKind::kGpuSlowdown, s, 1.0});
+      }
+    }
+  };
+  throttle_zone(seed_zone, start);
+
+  // Same generation-BFS over the linear zone adjacency as ThermalCascade, on its own
+  // child stream: draws consumed in ascending-zone order per generation, so the wave
+  // is a pure function of (cluster shape, seed) and composes with a cascade at the
+  // same seed without perturbing it.
+  std::vector<uint8_t> infected(static_cast<size_t>(zone_count), 0);
+  infected[static_cast<size_t>(seed_zone)] = 1;
+  std::vector<ThermalZoneId> frontier = {seed_zone};
+  Rng rng = Rng(seed).Child("throttle-wave");
+  for (int step = 1;
+       static_cast<TimeNs>(step) * spread_interval < quench_after && !frontier.empty();
+       ++step) {
+    std::vector<ThermalZoneId> next;
+    for (ThermalZoneId zone : frontier) {
+      for (ThermalZoneId nb : {zone - 1, zone + 1}) {
+        if (nb < 0 || nb >= zone_count || infected[static_cast<size_t>(nb)] != 0) {
+          continue;
+        }
+        if (rng.Bernoulli(spread_factor)) {
+          infected[static_cast<size_t>(nb)] = 1;
+          next.push_back(nb);
+          throttle_zone(nb, start + static_cast<TimeNs>(step) * spread_interval);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::FleetChurn(TimeNs start, TimeNs spacing, double fraction,
                                 const Cluster& cluster, uint64_t seed) {
   std::vector<ServerId> candidates;
@@ -195,6 +274,14 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
       break;
     }
+    case FaultKind::kGpuSlowdown:
+    case FaultKind::kServerLinkDegrade:
+    case FaultKind::kRackLinkDegrade: {
+      // Gray failure: capacity stays usable and no listener fires — by design nothing
+      // in the control plane is told. Detection is the health monitor's job.
+      ApplyDegrade(event);
+      return;
+    }
   }
   if (lost.empty()) {
     return;
@@ -203,6 +290,34 @@ void FaultInjector::Fire(const FaultEvent& event) {
   loss_times_.push_back(sim_->now());
   for (const GpuLossListener& listener : listeners_) {
     listener(lost);
+  }
+}
+
+void FaultInjector::ApplyDegrade(const FaultEvent& event) {
+  bool was_degraded = cluster_->AnyDegraded();
+  switch (event.kind) {
+    case FaultKind::kGpuSlowdown:
+      cluster_->SetServerPerf(event.target, event.magnitude);
+      break;
+    case FaultKind::kServerLinkDegrade:
+      cluster_->SetServerLinkFactor(event.target, event.magnitude);
+      break;
+    case FaultKind::kRackLinkDegrade:
+      for (ServerId s : cluster_->rack(event.target).servers) {
+        cluster_->SetServerLinkFactor(s, event.magnitude);
+      }
+      break;
+    default:
+      FLEXPIPE_CHECK_MSG(false, "ApplyDegrade on a fail-stop fault kind");
+  }
+  if (event.magnitude < 1.0) {
+    degrade_times_.push_back(sim_->now());
+  }
+  bool now_degraded = cluster_->AnyDegraded();
+  if (!was_degraded && now_degraded) {
+    degradation_episodes_.push_back({sim_->now(), 0});
+  } else if (was_degraded && !now_degraded) {
+    degradation_episodes_.back().clear = sim_->now();
   }
 }
 

@@ -114,6 +114,45 @@ TEST(FreeIndexAudit, DetectsIndexStillCountingDeadGpu) {
   EXPECT_TRUE(AnyMentions(report, "failed/partitioned GPU"));
 }
 
+// -- Fail-slow perf state ---------------------------------------------------------------
+
+TEST(PerfStateAudit, CleanThroughDegradeAndRestoreChurn) {
+  Cluster cluster(EvalClusterConfig());
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+
+  cluster.SetServerPerf(0, 0.4);
+  cluster.SetServerLinkFactor(1, 0.2);
+  cluster.SetServerPerf(1, 0.5);  // server 1 now degraded on both axes
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+  EXPECT_EQ(cluster.degraded_server_count(), 2);
+
+  // Partial restore: server 1 still degraded through its link factor.
+  cluster.SetServerPerf(1, 1.0);
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+  EXPECT_EQ(cluster.degraded_server_count(), 2);
+
+  cluster.SetServerPerf(0, 1.0);
+  cluster.SetServerLinkFactor(1, 1.0);
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+  EXPECT_FALSE(cluster.AnyDegraded());
+}
+
+TEST(PerfStateAudit, DetectsStaleDegradedCount) {
+  // A perf factor written without going through SetServerPerf leaves the cached
+  // degraded count stale — the one-branch AnyDegraded guard would then skip live
+  // degradation pricing entirely. The audit must name that failure mode.
+  Cluster cluster(EvalClusterConfig());
+  SimulationAuditor::TestOnlyCorruptPerfState(&cluster, /*server=*/3);
+  AuditReport report = SimulationAuditor::AuditPerfState(cluster);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(AnyMentions(report, "stale count"));
+
+  // The composite AuditAll sweep surfaces it too (debug builds run this live).
+  Simulation sim;
+  AuditReport all = SimulationAuditor::AuditAll(sim, cluster, {});
+  EXPECT_TRUE(AnyMentions(all, "stale count"));
+}
+
 // -- Router -----------------------------------------------------------------------------
 
 TEST(RouterAudit, DetectsQueueModelMismatch) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "src/cluster/topology.h"
@@ -656,6 +657,233 @@ TEST(FaultStormTest, BrownoutShedsLowPriorityTrafficUnderTotalCapacityLoss) {
   EXPECT_LT(stats.requests_shed, report.submitted);
   EXPECT_EQ(system.metrics().completed() + stats.requests_shed, report.submitted);
   EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+}
+
+// -- Fail-slow (gray) faults --------------------------------------------------------------
+
+TEST(FaultPlanTest, FailSlowBuilderShapes) {
+  FaultPlan slow = FaultPlan::GpuSlowdown(5 * kSecond, /*server=*/3, 0.4, 10 * kSecond);
+  ASSERT_EQ(slow.events.size(), 2u);
+  EXPECT_EQ(slow.events[0].kind, FaultKind::kGpuSlowdown);
+  EXPECT_EQ(slow.events[0].target, 3);
+  EXPECT_EQ(slow.events[0].magnitude, 0.4);
+  EXPECT_EQ(slow.events[1].when, 15 * kSecond);
+  EXPECT_EQ(slow.events[1].magnitude, 1.0);  // recovery = the same kind at nominal
+
+  // recover_after <= 0: the degradation never clears.
+  EXPECT_EQ(FaultPlan::GpuSlowdown(5 * kSecond, 3, 0.4).events.size(), 1u);
+  EXPECT_EQ(FaultPlan::LinkDegrade(5 * kSecond, 3, 0.2).events.size(), 1u);
+
+  FaultPlan link = FaultPlan::LinkDegrade(5 * kSecond, /*server=*/7, 0.2, 3 * kSecond);
+  ASSERT_EQ(link.events.size(), 2u);
+  EXPECT_EQ(link.events[0].kind, FaultKind::kServerLinkDegrade);
+  EXPECT_EQ(link.events[0].magnitude, 0.2);
+  EXPECT_EQ(link.events[1].when, 8 * kSecond);
+
+  // The rack variant is ONE event (atomic, like the power-domain outage).
+  FaultPlan rack = FaultPlan::RackLinkDegrade(5 * kSecond, /*rack=*/1, 0.5, 3 * kSecond);
+  ASSERT_EQ(rack.events.size(), 2u);
+  EXPECT_EQ(rack.events[0].kind, FaultKind::kRackLinkDegrade);
+  EXPECT_EQ(rack.events[0].target, 1);
+}
+
+TEST(FaultPlanTest, ThrottleWaveIsSeededAndRecoversPerInfection) {
+  Cluster cluster(EvalClusterConfig());
+  const ThermalZoneId seed_zone = cluster.thermal_zone_count() / 2;
+
+  FaultPlan a = FaultPlan::ThrottleWave(5 * kSecond, seed_zone, cluster, 0.4, 0.7,
+                                        2 * kSecond, 8 * kSecond, 20 * kSecond, 17);
+  FaultPlan b = FaultPlan::ThrottleWave(5 * kSecond, seed_zone, cluster, 0.4, 0.7,
+                                        2 * kSecond, 8 * kSecond, 20 * kSecond, 17);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].when, b.events[i].when);
+    EXPECT_EQ(a.events[i].kind, FaultKind::kGpuSlowdown);  // nothing ever dies
+    EXPECT_EQ(a.events[i].target, b.events[i].target);
+    EXPECT_EQ(a.events[i].magnitude, b.events[i].magnitude);
+  }
+
+  // Every infected server throttles once and recovers exactly 20s after its own
+  // infection time (not the wave start) — rolling recovery, like rolling onset.
+  std::map<int32_t, TimeNs> throttled_at;
+  for (const FaultEvent& e : a.events) {
+    if (e.magnitude != 1.0) {
+      EXPECT_EQ(e.magnitude, 0.4);
+      EXPECT_EQ(throttled_at.count(e.target), 0u);  // at most one throttle per server
+      throttled_at[e.target] = e.when;
+    }
+  }
+  EXPECT_FALSE(throttled_at.empty());
+  for (const FaultEvent& e : a.events) {
+    if (e.magnitude == 1.0) {
+      ASSERT_EQ(throttled_at.count(e.target), 1u);
+      EXPECT_EQ(e.when, throttled_at[e.target] + 20 * kSecond);
+    }
+  }
+  // The seed zone throttles at the wave start regardless of the spread draws.
+  for (ServerId s : cluster.ThermalZoneServers(seed_zone)) {
+    ASSERT_EQ(throttled_at.count(s), 1u);
+    EXPECT_EQ(throttled_at[s], 5 * kSecond);
+  }
+}
+
+TEST(ClusterFaultTest, DegradeFiresNoLossListenerAndRestoresCleanly) {
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  FaultInjector injector(&sim, &cluster);
+  int loss_calls = 0;
+  injector.AddGpuLossListener(
+      [&loss_calls](const std::vector<GpuId>&) { ++loss_calls; });
+
+  FaultPlan plan = FaultPlan::GpuSlowdown(kSecond, /*server=*/0, 0.4, 2 * kSecond);
+  FaultPlan link = FaultPlan::LinkDegrade(kSecond, /*server=*/1, 0.2, 4 * kSecond);
+  plan.events.insert(plan.events.end(), link.events.begin(), link.events.end());
+  injector.Arm(plan);
+  sim.RunUntil(1500 * kMillisecond);
+
+  // Mid-degradation: both servers are slower but every GPU is still usable — the
+  // defining property of a gray failure — and no loss listener ever fired.
+  EXPECT_EQ(loss_calls, 0);
+  EXPECT_EQ(cluster.failed_gpu_count(), 0);
+  EXPECT_EQ(cluster.ServerPerf(0), 0.4);
+  EXPECT_EQ(cluster.ServerLinkFactor(1), 0.2);
+  EXPECT_TRUE(cluster.ServerDegraded(0));
+  EXPECT_TRUE(cluster.ServerDegraded(1));
+  EXPECT_TRUE(cluster.AnyDegraded());
+  EXPECT_EQ(cluster.degraded_server_count(), 2);
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+
+  sim.RunUntilIdle();
+  // Both recoveries landed: factors back to exactly 1.0 and the cached degraded
+  // count back to zero, so the one-branch AnyDegraded guard is false again.
+  EXPECT_EQ(loss_calls, 0);
+  EXPECT_EQ(cluster.ServerPerf(0), 1.0);
+  EXPECT_EQ(cluster.ServerLinkFactor(1), 1.0);
+  EXPECT_FALSE(cluster.AnyDegraded());
+  EXPECT_EQ(injector.degrade_times().size(), 2u);  // restores are not degrade events
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+}
+
+TEST(ClusterFaultTest, SlowdownComposesWithFailStopFaults) {
+  // Slowdown-while-down: a server throttles, then its rack partitions, heals, and the
+  // throttle clears last. Fail-slow state must ride through the fail-stop transitions
+  // without leaking into either the failure accounting or the perf-state audit.
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  const RackId rack = 0;
+  ServerId victim = kInvalidServer;
+  for (ServerId s : cluster.rack(rack).servers) {
+    if (!cluster.server(s).gpus.empty()) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidServer);
+
+  FaultPlan plan = FaultPlan::GpuSlowdown(kSecond, victim, 0.5, 8 * kSecond);
+  FaultPlan part = FaultPlan::RackPartition(2 * kSecond, rack, 3 * kSecond);
+  plan.events.insert(plan.events.end(), part.events.begin(), part.events.end());
+  // Heal-then-throttle on a second server: degradation arriving after a heal.
+  FaultPlan late = FaultPlan::GpuSlowdown(6 * kSecond, victim + 1, 0.5, 10 * kSecond);
+  plan.events.insert(plan.events.end(), late.events.begin(), late.events.end());
+
+  FaultInjector injector(&sim, &cluster);
+  injector.Arm(plan);
+  sim.RunUntil(5500 * kMillisecond);
+
+  // Post-heal, pre-clear: the partition lifted but the throttle is still live.
+  EXPECT_TRUE(cluster.RackReachable(rack));
+  EXPECT_TRUE(cluster.ServerDegraded(victim));
+  for (GpuId g : cluster.server(victim).gpus) {
+    EXPECT_TRUE(cluster.GpuUsable(g));
+  }
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+
+  sim.RunUntilIdle();
+  EXPECT_FALSE(cluster.AnyDegraded());
+  EXPECT_EQ(cluster.failed_gpu_count(), 0);
+  // Two degradation episodes never overlapped... unless they did: victim cleared at
+  // 9s, victim+1 degraded at 6s — overlapping, so ONE episode spans 1s..16s.
+  ASSERT_EQ(injector.degradation_episodes().size(), 1u);
+  EXPECT_EQ(injector.degradation_episodes()[0].start, kSecond);
+  EXPECT_EQ(injector.degradation_episodes()[0].clear, 16 * kSecond);
+  EXPECT_TRUE(SimulationAuditor::AuditPerfState(cluster).empty());
+}
+
+TEST(ClusterFaultTest, DegradationEpisodesSplitWhenCountReturnsToZero) {
+  Simulation sim;
+  Cluster cluster(EvalClusterConfig());
+  FaultInjector injector(&sim, &cluster);
+  FaultPlan plan = FaultPlan::GpuSlowdown(kSecond, 0, 0.4, kSecond);
+  FaultPlan second = FaultPlan::LinkDegrade(5 * kSecond, 1, 0.2);  // never clears
+  plan.events.insert(plan.events.end(), second.events.begin(), second.events.end());
+  injector.Arm(plan);
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(injector.degradation_episodes().size(), 2u);
+  EXPECT_EQ(injector.degradation_episodes()[0].start, kSecond);
+  EXPECT_EQ(injector.degradation_episodes()[0].clear, 2 * kSecond);
+  EXPECT_EQ(injector.degradation_episodes()[1].start, 5 * kSecond);
+  EXPECT_EQ(injector.degradation_episodes()[1].clear, 0);  // open at end of run
+  EXPECT_TRUE(cluster.AnyDegraded());
+}
+
+TEST(FaultStormTest, ThrottleWaveStormDrainsAndReplaysBitIdentically) {
+  // End-to-end: a rolling throttle wave with health monitoring + mitigation enabled.
+  // Requests displaced by proactive evacuations must still complete exactly once, and
+  // the whole run must replay bit-identically at the same seed.
+  ExperimentEnvConfig env_config = SmallEnvConfig();
+  FaultPlan wave;
+  {
+    Cluster shape(env_config.cluster);
+    wave = FaultPlan::ThrottleWave(10 * kSecond, shape.thermal_zone_count() / 2, shape,
+                                   /*multiplier=*/0.12, /*spread_factor=*/1.0,
+                                   /*spread_interval=*/2 * kSecond,
+                                   /*quench_after=*/4 * kSecond,
+                                   /*recover_after=*/60 * kSecond, /*seed=*/17);
+  }
+  ASSERT_FALSE(wave.empty());
+
+  auto run = [&]() {
+    ExperimentEnv env(env_config);
+    FlexPipeConfig fconfig = SmallFlexPipeConfig();
+    fconfig.fault_recovery = FaultRecoveryPolicy::kReform;
+    fconfig.health.enabled = true;
+    fconfig.health.hysteresis_windows = 2;
+    fconfig.health.reprobe_interval = 5 * kSecond;
+    FlexPipeSystem system(env.Context(), &env.ladder(0), fconfig);
+    FaultInjector injector(&env.sim(), &env.cluster());
+    injector.AddGpuLossListener(
+        [&system](const std::vector<GpuId>& lost) { system.OnGpusLost(lost); });
+    injector.Arm(wave);
+
+    std::vector<RequestSpec> specs = StormWorkload();
+    std::vector<Request> storage;
+    RunReport report = RunWorkload(env, system, specs, storage,
+                                   RunOptions{.drain_grace = 180 * kSecond});
+    EXPECT_TRUE(SimulationAuditor::AuditAll(env.sim(), env.cluster(), {&system}).empty());
+
+    StormOutcome out;
+    out.submitted = report.submitted;
+    out.completed = system.metrics().completed();
+    out.events = env.sim().executed_events() - report.audit_events;
+    out.stats = system.failure_stats();
+    out.completions = system.metrics().completions();
+    EXPECT_GT(system.health_monitor()->flags_raised(), 0);
+    EXPECT_EQ(out.submitted, out.completed);  // gray faults lose nothing
+    return out;
+  };
+
+  StormOutcome first = run();
+  StormOutcome second = run();
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.stats.requests_requeued, second.stats.requests_requeued);
+  ASSERT_EQ(first.completions.size(), second.completions.size());
+  for (size_t i = 0; i < first.completions.size(); ++i) {
+    EXPECT_EQ(first.completions[i].done_time, second.completions[i].done_time);
+    EXPECT_EQ(first.completions[i].latency, second.completions[i].latency);
+  }
 }
 
 TEST(FaultStormTest, BrownoutOffShedsNothing) {

@@ -1,0 +1,248 @@
+// HealthMonitor unit tests: straggler detection hysteresis, quarantine with the
+// capacity guard, canary readmission, and the deterministic zero-false-positive
+// contract on a healthy fleet (observed == base -> ratio exactly 1.0 -> never flags).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/core/experiment.h"
+#include "src/core/health.h"
+
+namespace flexpipe {
+namespace {
+
+HealthConfig TestConfig() {
+  HealthConfig config;
+  config.enabled = true;
+  config.ewma_alpha = 0.5;
+  config.straggler_ratio = 1.25;
+  config.hysteresis_windows = 3;
+  config.quarantine_strikes = 1;
+  config.reprobe_interval = 10 * kSecond;
+  config.readmit_probes = 2;
+  return config;
+}
+
+// Feeds `server` one window with the given observed/base ratio and closes it.
+std::vector<ServerId> FeedWindow(HealthMonitor& monitor, ServerId server, double ratio,
+                                 TimeNs now) {
+  monitor.Observe(server, static_cast<TimeNs>(ratio * 1e6), static_cast<TimeNs>(1e6));
+  return monitor.EndWindow(now);
+}
+
+TEST(HealthMonitorTest, HealthyFleetNeverFlags) {
+  Cluster cluster(EvalClusterConfig());
+  HealthMonitor monitor(&cluster, TestConfig());
+  // A healthy runtime reports observed == base EXACTLY (degradation stretches are
+  // only applied when a server is degraded), so the ratio is exactly 1.0 and zero
+  // false positives is a deterministic guarantee, not a statistical one.
+  for (int w = 0; w < 200; ++w) {
+    for (ServerId s = 0; s < cluster.server_count(); ++s) {
+      monitor.Observe(s, 5 * kMillisecond, 5 * kMillisecond);
+    }
+    EXPECT_TRUE(monitor.EndWindow(w * kSecond).empty());
+  }
+  EXPECT_EQ(monitor.flags_raised(), 0);
+  EXPECT_EQ(monitor.quarantine_count(), 0);
+  for (uint8_t bit : monitor.exclusion_mask()) {
+    EXPECT_EQ(bit, 0);
+  }
+}
+
+TEST(HealthMonitorTest, HysteresisKillsSingleWindowFlaps) {
+  Cluster cluster(EvalClusterConfig());
+  HealthConfig config = TestConfig();
+  config.ewma_alpha = 1.0;  // no smoothing: isolate the streak logic from the EWMA
+  HealthMonitor monitor(&cluster, config);
+  const ServerId s = 0;
+  // Two bad windows (below hysteresis_windows = 3), then a clean one: no flag, and
+  // the streak resets so the next bad window starts the count from scratch.
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 1 * kSecond).empty());
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 2 * kSecond).empty());
+  EXPECT_TRUE(FeedWindow(monitor, s, 1.0, 3 * kSecond).empty());
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 4 * kSecond).empty());
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 5 * kSecond).empty());
+  EXPECT_EQ(monitor.flags_raised(), 0);
+
+  // The third consecutive bad window confirms the straggler.
+  std::vector<ServerId> flagged = FeedWindow(monitor, s, 3.0, 6 * kSecond);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], s);
+  EXPECT_EQ(monitor.flags_raised(), 1);
+  EXPECT_EQ(monitor.first_flag_time(), 6 * kSecond);
+  // Already flagged: staying bad raises no duplicate flag.
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 7 * kSecond).empty());
+  EXPECT_EQ(monitor.flags_raised(), 1);
+}
+
+TEST(HealthMonitorTest, EwmaSmoothsTransientSpikes) {
+  Cluster cluster(EvalClusterConfig());
+  HealthConfig config = TestConfig();
+  config.ewma_alpha = 0.2;  // heavy smoothing
+  config.hysteresis_windows = 1;
+  HealthMonitor monitor(&cluster, config);
+  const ServerId s = 0;
+  // A long healthy history pins the EWMA near 1.0; one wild window (a batch spike,
+  // not a sick server) cannot drag the smoothed ratio over the threshold.
+  for (int w = 0; w < 20; ++w) {
+    EXPECT_TRUE(FeedWindow(monitor, s, 1.0, w * kSecond).empty());
+  }
+  EXPECT_TRUE(FeedWindow(monitor, s, 2.0, 21 * kSecond).empty());
+  EXPECT_NEAR(monitor.SmoothedRatio(s), 1.2, 1e-9);
+  EXPECT_EQ(monitor.flags_raised(), 0);
+}
+
+TEST(HealthMonitorTest, QuarantineProbesGroundTruthAndReadmits) {
+  Cluster cluster(EvalClusterConfig());
+  HealthMonitor monitor(&cluster, TestConfig());
+  const ServerId s = 2;
+  cluster.SetServerPerf(s, 0.4);
+
+  TimeNs now = 0;
+  std::vector<ServerId> flagged;
+  for (int w = 0; w < 3; ++w) {
+    now += kSecond;
+    flagged = FeedWindow(monitor, s, 2.5, now);
+  }
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_TRUE(monitor.IsQuarantined(s));
+  EXPECT_EQ(monitor.quarantine_count(), 1);
+  EXPECT_EQ(monitor.quarantined_now(), 1);
+  EXPECT_EQ(monitor.quarantined_since(s), now);
+  EXPECT_EQ(monitor.exclusion_mask()[static_cast<size_t>(s)], 1);
+
+  // While the ground truth stays degraded, probes never accumulate toward
+  // readmission no matter how long the quarantine lasts.
+  for (int w = 0; w < 50; ++w) {
+    now += kSecond;
+    monitor.EndWindow(now);
+  }
+  EXPECT_TRUE(monitor.IsQuarantined(s));
+  EXPECT_EQ(monitor.readmissions(), 0);
+
+  // Hardware heals -> two clean probes (reprobe_interval apart) readmit, clear both
+  // masks, and reset the EWMA so stale degraded history cannot haunt the server.
+  cluster.SetServerPerf(s, 1.0);
+  for (int w = 0; w < 25; ++w) {
+    now += kSecond;
+    monitor.EndWindow(now);
+  }
+  EXPECT_FALSE(monitor.IsQuarantined(s));
+  EXPECT_EQ(monitor.readmissions(), 1);
+  EXPECT_EQ(monitor.quarantined_now(), 0);
+  EXPECT_EQ(monitor.exclusion_mask()[static_cast<size_t>(s)], 0);
+  EXPECT_EQ(monitor.SmoothedRatio(s), 1.0);
+
+  // A readmitted server is a first-class citizen again: it can re-flag from scratch
+  // (fresh hysteresis), not from its pre-quarantine streak.
+  cluster.SetServerPerf(s, 0.4);
+  now += kSecond;
+  EXPECT_TRUE(FeedWindow(monitor, s, 2.5, now).empty());
+  now += kSecond;
+  EXPECT_TRUE(FeedWindow(monitor, s, 2.5, now).empty());
+  now += kSecond;
+  EXPECT_EQ(FeedWindow(monitor, s, 2.5, now).size(), 1u);
+  EXPECT_EQ(monitor.quarantine_count(), 2);
+}
+
+TEST(HealthMonitorTest, CapacityGuardCapsTheQuarantineSet) {
+  Cluster cluster(EvalClusterConfig());
+  HealthConfig config = TestConfig();
+  config.max_quarantine_fraction = 0.05;
+  HealthMonitor monitor(&cluster, config);
+  int gpu_servers = 0;
+  for (ServerId s = 0; s < cluster.server_count(); ++s) {
+    if (!cluster.server(s).gpus.empty()) {
+      ++gpu_servers;
+    }
+  }
+  ASSERT_EQ(monitor.quarantine_cap(),
+            std::max(1, static_cast<int>(0.05 * gpu_servers)));
+
+  // Degrade far more servers than the cap allows.
+  const int sick = monitor.quarantine_cap() + 4;
+  TimeNs now = 0;
+  for (int w = 0; w < 3; ++w) {
+    now += kSecond;
+    for (ServerId s = 0; s < sick; ++s) {
+      monitor.Observe(s, static_cast<TimeNs>(2.5e6), static_cast<TimeNs>(1e6));
+    }
+    monitor.EndWindow(now);
+  }
+  // Everyone is flagged (and excluded from new placements), but only the cap's worth
+  // is quarantined — the overflow keeps limping rather than forcing evacuations the
+  // healthy remainder cannot absorb.
+  EXPECT_EQ(monitor.flags_raised(), sick);
+  EXPECT_EQ(monitor.quarantined_now(), monitor.quarantine_cap());
+  int excluded = 0;
+  for (uint8_t bit : monitor.exclusion_mask()) {
+    excluded += bit;
+  }
+  EXPECT_EQ(excluded, sick);
+}
+
+TEST(HealthMonitorTest, DetectOnlyModeNeverQuarantinesOrExcludes) {
+  Cluster cluster(EvalClusterConfig());
+  HealthConfig config = TestConfig();
+  config.mitigate = false;
+  HealthMonitor monitor(&cluster, config);
+  TimeNs now = 0;
+  std::vector<ServerId> flagged;
+  for (int w = 0; w < 5; ++w) {
+    now += kSecond;
+    flagged = FeedWindow(monitor, 0, 3.0, now);
+  }
+  // Flags (and thus detection latency) are still tracked for the ignore baseline,
+  // but nothing is quarantined and the placer mask stays all-zeros.
+  EXPECT_EQ(monitor.flags_raised(), 1);
+  EXPECT_GE(monitor.first_flag_time(), 0);
+  EXPECT_EQ(monitor.quarantine_count(), 0);
+  for (uint8_t bit : monitor.exclusion_mask()) {
+    EXPECT_EQ(bit, 0);
+  }
+}
+
+TEST(HealthMonitorTest, SelfRecoveryClearsFlagAndExclusion) {
+  Cluster cluster(EvalClusterConfig());
+  HealthConfig config = TestConfig();
+  config.quarantine_strikes = 2;  // first flag excludes but does not yet quarantine
+  HealthMonitor monitor(&cluster, config);
+  const ServerId s = 1;
+  TimeNs now = 0;
+  for (int w = 0; w < 3; ++w) {
+    now += kSecond;
+    FeedWindow(monitor, s, 3.0, now);
+  }
+  EXPECT_EQ(monitor.flags_raised(), 1);
+  EXPECT_FALSE(monitor.IsQuarantined(s));
+  EXPECT_EQ(monitor.exclusion_mask()[static_cast<size_t>(s)], 1);
+
+  // The throttle clears on its own (EWMA decays below threshold): the flag drops and
+  // the server re-enters the placement pool without any probe machinery.
+  for (int w = 0; w < 10; ++w) {
+    now += kSecond;
+    FeedWindow(monitor, s, 1.0, now);
+  }
+  EXPECT_EQ(monitor.exclusion_mask()[static_cast<size_t>(s)], 0);
+  EXPECT_EQ(monitor.quarantine_count(), 0);
+}
+
+TEST(HealthMonitorTest, IdleWindowsHoldHysteresisState) {
+  Cluster cluster(EvalClusterConfig());
+  HealthMonitor monitor(&cluster, TestConfig());
+  const ServerId s = 0;
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 1 * kSecond).empty());
+  EXPECT_TRUE(FeedWindow(monitor, s, 3.0, 2 * kSecond).empty());
+  // Two idle windows (no samples at all): absence of data is not evidence of
+  // health, so the bad streak holds instead of resetting.
+  EXPECT_TRUE(monitor.EndWindow(3 * kSecond).empty());
+  EXPECT_TRUE(monitor.EndWindow(4 * kSecond).empty());
+  std::vector<ServerId> flagged = FeedWindow(monitor, s, 3.0, 5 * kSecond);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], s);
+}
+
+}  // namespace
+}  // namespace flexpipe

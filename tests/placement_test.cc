@@ -298,6 +298,81 @@ TEST(PlacementSpread, PositiveWeightDispersesStagesAcrossFailureDomains) {
   EXPECT_GT(domains_used(spread, wide), domains_used(packed, tight));
 }
 
+TEST(PlacementQuarantine, ExcludedServersAreNeverSelectedInEitherPath) {
+  // The health monitor's exclusion mask is a hard constraint: no stage may land on a
+  // masked server, in the indexed path or the reference scan, across random cluster
+  // shapes, fragmentation, and mask densities — and the two paths still agree exactly.
+  constexpr int kCases = 120;
+  Rng rng(20260809);
+  int placements_checked = 0;
+
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    Cluster cluster(RandomClusterConfig(rng));
+    NetworkModel network(&cluster, NetworkConfig{});
+    ModelPlacementRegistry registry(cluster.gpu_count());
+    for (GpuId g = 0; g < cluster.gpu_count(); ++g) {
+      cluster.gpu(g).SetBackground(
+          static_cast<Bytes>(rng.Uniform(0.0, 0.6) *
+                             static_cast<double>(cluster.gpu(g).memory_capacity())),
+          rng.Uniform(), static_cast<int>(rng.UniformInt(0, 3)));
+    }
+    TopologyAwarePlacer placer(&cluster, &network, &registry, PlacementConfig{});
+
+    std::vector<uint8_t> mask(static_cast<size_t>(cluster.server_count()), 0);
+    for (ServerId s = 0; s < cluster.server_count(); ++s) {
+      mask[static_cast<size_t>(s)] = rng.Bernoulli(0.3) ? 1 : 0;
+    }
+    placer.set_excluded_servers(&mask);
+
+    PipelinePlan plan = RandomPlan(rng, false);
+    std::vector<GpuId> indexed = placer.PlaceStages(plan, 0, 1.5, nullptr, nullptr);
+    std::vector<GpuId> reference =
+        placer.PlaceStagesReference(plan, 0, 1.5, nullptr, nullptr);
+    EXPECT_EQ(indexed, reference);
+    for (GpuId g : indexed) {
+      EXPECT_EQ(mask[static_cast<size_t>(cluster.ServerOf(g))], 0)
+          << "stage placed on excluded server " << cluster.ServerOf(g);
+    }
+    placements_checked += static_cast<int>(indexed.size());
+  }
+  EXPECT_GT(placements_checked, 0);  // the sweep must produce real placements
+}
+
+TEST(PlacementQuarantine, EmptyMaskIsBitIdenticalToNullMask) {
+  // An all-zeros mask (health monitoring on, nothing quarantined) must leave the
+  // placer bit-identical to no mask at all — the mechanism behind the untouched
+  // golden fig9/fig13 signatures when health monitoring is enabled on a healthy fleet.
+  Rng rng(43);
+  Cluster cluster(EvalClusterConfig());
+  Cluster cluster_masked(EvalClusterConfig());
+  NetworkModel network(&cluster, NetworkConfig{});
+  NetworkModel network_masked(&cluster_masked, NetworkConfig{});
+  ModelPlacementRegistry registry(cluster.gpu_count());
+  ModelPlacementRegistry registry_masked(cluster_masked.gpu_count());
+  for (GpuId g = 0; g < cluster.gpu_count(); ++g) {
+    Bytes background = static_cast<Bytes>(
+        rng.Uniform() * static_cast<double>(cluster.gpu(g).memory_capacity()));
+    double sm = rng.Uniform();
+    cluster.gpu(g).SetBackground(background, sm, 1);
+    cluster_masked.gpu(g).SetBackground(background, sm, 1);
+  }
+
+  TopologyAwarePlacer placer(&cluster, &network, &registry, PlacementConfig{});
+  TopologyAwarePlacer masked(&cluster_masked, &network_masked, &registry_masked,
+                             PlacementConfig{});
+  std::vector<uint8_t> zeros(static_cast<size_t>(cluster_masked.server_count()), 0);
+  masked.set_excluded_servers(&zeros);
+  for (int c = 0; c < 24; ++c) {
+    SCOPED_TRACE("plan " + std::to_string(c));
+    PipelinePlan plan = RandomPlan(rng, false);
+    EXPECT_EQ(placer.PlaceStages(plan, 0, 1.5, nullptr, nullptr),
+              masked.PlaceStages(plan, 0, 1.5, nullptr, nullptr));
+    EXPECT_EQ(placer.PlaceStagesReference(plan, 0, 1.5, nullptr, nullptr),
+              masked.PlaceStagesReference(plan, 0, 1.5, nullptr, nullptr));
+  }
+}
+
 TEST(FreeGpuIndex, MatchesBruteForceUnderChurn) {
   Rng rng(31);
   Cluster cluster(MeasurementClusterC1());

@@ -123,5 +123,37 @@ TEST(FailureRecoveryEdge, ImpactOverloadFillsShedRateAndSurvivability) {
   EXPECT_DOUBLE_EQ(clean.domain_survivability, 1.0);
 }
 
+TEST(FailureRecoveryEdge, DegradedSpansFoldIntoFaultSeriesAndSumClamped) {
+  // Steady 10 rps with a shallow dip starting at t=30s: no fail-stop fault ever
+  // fired, but a degradation episode opened there — the overload must treat the
+  // episode start as a fault so the TTR/dip machinery sees the gray failure.
+  std::vector<CompletionSample> completions = SteadyCompletions(0, 30 * kSecond, 10.0);
+  std::vector<CompletionSample> slow = SteadyCompletions(30 * kSecond, 60 * kSecond, 4.0);
+  completions.insert(completions.end(), slow.begin(), slow.end());
+
+  FailureImpact impact;
+  impact.degraded_spans.push_back({30 * kSecond, 50 * kSecond});
+  FailureRecoveryReport report = AnalyzeFailureRecovery(
+      completions, /*fault_times=*/{}, /*horizon=*/60 * kSecond, impact);
+  EXPECT_EQ(report.fault_count, 1);  // the episode start became the fault
+  EXPECT_GT(report.dip_area_rps_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.degraded_span_s, 20.0);
+
+  // A span still open at end of run (clear <= start) charges up to the horizon, and
+  // spans past the horizon are clamped to it.
+  FailureImpact open;
+  open.degraded_spans.push_back({30 * kSecond, 0});
+  open.degraded_spans.push_back({40 * kSecond, 500 * kSecond});
+  FailureRecoveryReport charged = AnalyzeFailureRecovery(
+      completions, /*fault_times=*/{}, /*horizon=*/60 * kSecond, open);
+  EXPECT_EQ(charged.fault_count, 2);
+  EXPECT_DOUBLE_EQ(charged.degraded_span_s, 30.0 + 20.0);
+
+  // No spans -> the overload stays bit-compatible with the fail-stop-only path.
+  FailureRecoveryReport none = AnalyzeFailureRecovery(
+      completions, {30 * kSecond}, /*horizon=*/60 * kSecond, FailureImpact{});
+  EXPECT_DOUBLE_EQ(none.degraded_span_s, 0.0);
+}
+
 }  // namespace
 }  // namespace flexpipe
